@@ -1,0 +1,149 @@
+// Command experiments regenerates the paper's tables and figures — the
+// analog of the artifact's `run_all.sh` driving all benchmarks and
+// logging CSV results.
+//
+// Usage:
+//
+//	experiments -exp all                 # everything (slow: full suite, 3 systems)
+//	experiments -exp fig9                # one experiment
+//	experiments -exp fig9,fig10b -quick  # reduced-size suite, for smoke runs
+//	experiments -exp all -csv out/       # also write one CSV per table
+//
+// Experiments: table1 table3 table4 fig4 fig5 fig6 fig9 fig9dist fig10a
+// fig10b fig11 fig12 ablation noise all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/exper"
+	"repro/internal/hw"
+	"repro/internal/polybench"
+	"repro/internal/prog"
+	"repro/internal/scaler"
+)
+
+func main() {
+	exps := flag.String("exp", "all", "comma-separated experiment ids (see package doc)")
+	csvDir := flag.String("csv", "", "directory to write per-table CSV files (created if missing)")
+	quick := flag.Bool("quick", false, "use the reduced-size benchmark suite")
+	quiet := flag.Bool("quiet", false, "suppress progress logging")
+	only := flag.String("benchmarks", "", "comma-separated benchmark names to restrict the suite (default: all 14)")
+	flag.Parse()
+
+	suite := polybench.Suite()
+	if *quick {
+		suite = polybench.SmallSuite()
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*prog.Workload
+		for _, w := range suite {
+			if keep[w.Name] {
+				filtered = append(filtered, w)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "experiments: -benchmarks matched nothing (known: %v)\n", polybench.Names())
+			os.Exit(1)
+		}
+		suite = filtered
+	}
+	r := exper.NewRunner(suite)
+	if !*quiet {
+		r.Log = os.Stderr
+	}
+
+	var tables []*exper.Table
+	add := func(t *exper.Table, err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		tables = append(tables, t)
+	}
+
+	opts := scaler.DefaultOptions()
+	sys1 := hw.System1()
+	for _, id := range strings.Split(*exps, ",") {
+		switch strings.TrimSpace(id) {
+		case "all":
+			ts, err := r.All()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			tables = append(tables, ts...)
+		case "table1":
+			tables = append(tables, exper.Table1())
+		case "table3":
+			tables = append(tables, exper.Table3())
+		case "table4":
+			tables = append(tables, r.Table4())
+		case "fig4":
+			add(r.Fig4(sys1))
+		case "fig5":
+			add(r.Fig5(sys1))
+		case "fig6":
+			add(r.Fig6(sys1))
+		case "fig9":
+			for _, sys := range hw.Systems() {
+				add(r.Fig9(sys, opts))
+			}
+		case "fig9dist":
+			for _, sys := range hw.Systems() {
+				add(r.Fig9Dist(sys, opts))
+			}
+		case "fig10a":
+			add(r.Fig10a(sys1, opts))
+		case "fig10b":
+			add(r.Fig10b(sys1, opts))
+		case "fig11":
+			add(r.Fig11(opts))
+		case "fig12":
+			add(r.Fig12())
+		case "ablation":
+			add(r.Ablation(sys1))
+		case "noise":
+			add(r.NoiseSweep(sys1, []float64{0, 0.02, 0.05, 0.10, 0.20}))
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
+			os.Exit(1)
+		}
+	}
+
+	for _, t := range tables {
+		fmt.Println(t.String())
+	}
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			path := filepath.Join(*csvDir, t.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if err := t.WriteCSV(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+}

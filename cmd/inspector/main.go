@@ -1,0 +1,60 @@
+// Command inspector runs PreScaler's one-time System Inspector for a
+// system preset and writes the resulting database as JSON — the analog of
+// the artifact's `system_inspector/inspect_all` step whose output later
+// runs can load to skip inspection.
+//
+// Usage:
+//
+//	inspector -system system1 -o system1.db.json
+//	inspector -system system2            # print to stdout
+//	inspector -list                      # list system presets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/hw"
+	"repro/internal/inspect"
+)
+
+func main() {
+	system := flag.String("system", "system1", "system preset: system1, system1-x8, system2, system3")
+	out := flag.String("o", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list system presets and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range []*hw.System{hw.System1(), hw.System1x8(), hw.System2(), hw.System3()} {
+			fmt.Printf("%-12s %s + %s (%s, capability %s)\n",
+				s.Name, s.CPU.Name, s.GPU.Name, s.Bus.String(), s.GPU.Capability)
+		}
+		return
+	}
+
+	sys := hw.ByName(*system)
+	if sys == nil {
+		fmt.Fprintf(os.Stderr, "inspector: unknown system %q (use -list)\n", *system)
+		os.Exit(1)
+	}
+
+	fmt.Fprintf(os.Stderr, "inspecting %s (%s + %s) ...\n", sys.Name, sys.CPU.Name, sys.GPU.Name)
+	db := inspect.Inspect(sys)
+	data, err := db.MarshalJSON()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "inspector: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "measured %d curves over %d sizes\n", db.NumCurves(), len(db.Sizes()))
+
+	if *out == "" {
+		fmt.Println(string(data))
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "inspector: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

@@ -1,0 +1,116 @@
+// Command prescaler runs the full PreScaler pipeline on one Polybench
+// benchmark: system inspection (or a precollected database), application
+// profiling, the decision-maker search, and a report of the chosen
+// memory-object precision configuration — the analog of the artifact's
+// `make framework_execution` per benchmark.
+//
+// Usage:
+//
+//	prescaler -bench GEMM -system system2
+//	prescaler -bench ATAX -toq 0.95 -input random
+//	prescaler -bench 2DCONV -db system1.db.json
+//	prescaler -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/ocl"
+	"repro/internal/polybench"
+	"repro/internal/prog"
+	"repro/internal/scaler"
+)
+
+func main() {
+	bench := flag.String("bench", "GEMM", "benchmark name (see -list)")
+	system := flag.String("system", "system1", "system preset")
+	toq := flag.Float64("toq", 0.90, "target output quality in [0,1]")
+	input := flag.String("input", "default", "input set: default, image, random")
+	dbPath := flag.String("db", "", "precollected inspector database (JSON); empty runs inspection")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event timeline of the scaled run to this file")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, name := range polybench.Names() {
+			w := polybench.ByName(name)
+			fmt.Printf("%-8s input %6.2f MB, default range %g-%g, %d objects, %d kernels\n",
+				name, float64(w.InputBytes)/(1<<20),
+				w.DefaultRange[0], w.DefaultRange[1], len(w.Objects), len(w.Kernels))
+		}
+		return
+	}
+
+	w := polybench.ByName(*bench)
+	if w == nil {
+		fatalf("unknown benchmark %q (use -list)", *bench)
+	}
+	sys := hw.ByName(*system)
+	if sys == nil {
+		fatalf("unknown system %q", *system)
+	}
+	var set prog.InputSet
+	switch *input {
+	case "default":
+		set = prog.InputDefault
+	case "image":
+		set = prog.InputImage
+	case "random":
+		set = prog.InputRandom
+	default:
+		fatalf("unknown input set %q", *input)
+	}
+
+	var fw *core.Framework
+	if *dbPath != "" {
+		data, err := os.ReadFile(*dbPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fw, err = core.LoadFramework(sys, data)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded inspector database from %s\n", *dbPath)
+	} else {
+		fmt.Fprintf(os.Stderr, "inspecting %s ...\n", sys.Name)
+		fw = core.NewFramework(sys)
+	}
+
+	fmt.Fprintf(os.Stderr, "profiling and searching %s (toq=%.2f, input=%s) ...\n", w.Name, *toq, set)
+	sp, err := fw.Scale(w, scaler.Options{TOQ: *toq, InputSet: set})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Print(sp.Describe())
+	res := sp.Search
+	fmt.Printf("\nbaseline       %12.6f ms\n", res.BaselineTime*1e3)
+	fmt.Printf("prescaler      %12.6f ms (kernel %.6f, HtoD %.6f, DtoH %.6f)\n",
+		res.Final.Total*1e3, res.Final.KernelTime*1e3, res.Final.HtoDTime*1e3, res.Final.DtoHTime*1e3)
+	fmt.Printf("speedup        %12.2fx\n", res.Speedup)
+	fmt.Printf("quality        %12.4f (TOQ %.2f)\n", res.Quality, *toq)
+	fmt.Printf("trials         %12d of %.3g possible configurations (%.2g tested)\n",
+		res.Trials, res.SearchSpace, float64(res.Trials)/res.SearchSpace)
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		if err := ocl.WriteChromeTrace(f, res.Final.Events); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace to %s (open in chrome://tracing)\n", *tracePath)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "prescaler: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+// Lowbandwidth: system adaptivity across PCIe link widths.
+//
+// The same data-intensive program (ATAX, 16 MB input) is scaled on
+// System 1 at PCIe x16 and on the identical machine limited to x8. With
+// half the bus bandwidth the transfer share of execution time grows, so
+// the decision maker finds more lower-precision opportunities and the
+// speedup over the (slower) baseline increases — the Figure 11 story on
+// one application.
+//
+//	go run ./examples/lowbandwidth
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/polybench"
+	"repro/internal/prog"
+	"repro/internal/scaler"
+)
+
+func main() {
+	w := polybench.ByName("ATAX")
+
+	for _, sys := range []*hw.System{hw.System1(), hw.System1x8()} {
+		fmt.Printf("== %s (%s) ==\n", sys.Name, sys.Bus.String())
+		fw := core.NewFramework(sys)
+
+		htod, kernel, dtoh, err := fw.Categorize(w, prog.InputDefault)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("baseline split: HtoD %.0f%%  kernel %.0f%%  DtoH %.0f%%\n",
+			htod*100, kernel*100, dtoh*100)
+
+		sp, err := fw.Scale(w, scaler.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(sp.Describe())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,47 @@
+// Quickstart: the minimal end-to-end use of the PreScaler framework.
+//
+// It builds the GEMM benchmark at the paper's evaluation size, creates a
+// framework for System 2 (the DGX Station the artifact recommends),
+// lets the decision maker pick a memory-object precision configuration,
+// prints the resulting scaling report, and re-runs the scaled program.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/polybench"
+	"repro/internal/prog"
+	"repro/internal/scaler"
+)
+
+func main() {
+	// One-time system inspection for the target machine.
+	sys := hw.System2()
+	fmt.Printf("inspecting %s (%s + %s)...\n", sys.Name, sys.CPU.Name, sys.GPU.Name)
+	fw := core.NewFramework(sys)
+
+	// Pick a workload: GEMM at the paper's Table 4 size (0.25 MB).
+	w := polybench.ByName("GEMM")
+
+	// Profile, search, and generate the scaled program.
+	sp, err := fw.Scale(w, scaler.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(sp.Describe())
+
+	// The scaled program is a first-class artifact: run it again.
+	res, err := sp.Run(prog.InputDefault)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nre-run: %.3f ms total (%.3f kernel, %.3f transfer), %.2fx over baseline\n",
+		res.Total*1e3, res.KernelTime*1e3, res.TransferTime()*1e3,
+		sp.Search.BaselineTime/res.Total)
+}

@@ -1,0 +1,79 @@
+package repro
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/polybench"
+	"repro/internal/prog"
+	"repro/internal/scaler"
+)
+
+// TestPipelineAcrossSystems runs the complete inspect -> profile ->
+// search -> execute pipeline for every reduced-size benchmark on every
+// evaluation system and checks the framework's end-to-end contract:
+// TOQ respected, never slower than baseline, trial budget tiny.
+func TestPipelineAcrossSystems(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-pipeline integration test")
+	}
+	for _, sys := range hw.Systems() {
+		sys := sys
+		t.Run(sys.Name, func(t *testing.T) {
+			fw := core.NewFramework(sys)
+			for _, w := range polybench.SmallSuite() {
+				sp, err := fw.Scale(w, scaler.DefaultOptions())
+				if err != nil {
+					t.Fatalf("%s: %v", w.Name, err)
+				}
+				if sp.Quality() < 0.90 {
+					t.Errorf("%s: quality %v below TOQ", w.Name, sp.Quality())
+				}
+				if sp.Search.Final.Total > sp.Search.BaselineTime*(1+1e-9) {
+					t.Errorf("%s: scaled total %v exceeds baseline %v",
+						w.Name, sp.Search.Final.Total, sp.Search.BaselineTime)
+				}
+				if frac := float64(sp.Search.Trials) / sp.Search.SearchSpace; frac > 0.5 {
+					t.Errorf("%s: tested fraction %v too large", w.Name, frac)
+				}
+				// The generated scaled program replays deterministically.
+				res, err := sp.Run(prog.InputDefault)
+				if err != nil {
+					t.Fatalf("%s: re-run: %v", w.Name, err)
+				}
+				if math.Abs(res.Total-sp.Search.Final.Total) > 1e-15 {
+					t.Errorf("%s: re-run differs from search measurement", w.Name)
+				}
+			}
+		})
+	}
+}
+
+// TestInspectorDatabaseRoundTripPipeline checks the save/load path the
+// artifact uses to skip re-inspection.
+func TestInspectorDatabaseRoundTripPipeline(t *testing.T) {
+	sys := hw.System1()
+	fw := core.NewFramework(sys)
+	data, err := fw.DB().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw2, err := core.LoadFramework(hw.System1(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := polybench.Gemm(24)
+	a, err := fw.Scale(w, scaler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fw2.Scale(w, scaler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Search.Final.Total != b.Search.Final.Total || a.Search.Trials != b.Search.Trials {
+		t.Error("loaded-database pipeline must match fresh-inspection pipeline")
+	}
+}

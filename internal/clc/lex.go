@@ -1,0 +1,234 @@
+// Package clc is an OpenCL C frontend for the kernel IR: it parses the
+// subset of OpenCL C that data-parallel benchmark kernels use — __kernel
+// functions over __global float/double/half buffers and int scalars, with
+// counted for loops, if/else, compound assignment, the ternary operator,
+// get_global_id, and the common math builtins — and lowers it to
+// internal/kir kernels.
+//
+// PreScaler's pipeline starts from OpenCL source (the paper's Table 2
+// wraps clCreateProgramWithSource); this package provides that entry
+// point for the reproduction: the same kernel can be written as OpenCL C
+// or built with the kir builder, and both compile to identical programs.
+//
+// Precision remains late-bound: the pointer element types that appear in
+// the source (float, double, half) are recorded as declared types but do
+// not constrain execution — the runtime binds each buffer's actual
+// precision per scaling configuration, exactly as PreScaler's LLVM
+// backend regenerates retyped kernels from one source.
+package clc
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokIntLit
+	tokFloatLit
+	tokPunct // single- or multi-character operator/punctuation
+)
+
+// token is one lexeme with its source position (1-based).
+type token struct {
+	kind tokKind
+	text string
+	i    int64
+	f    float64
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return fmt.Sprintf("identifier %q", t.text)
+	case tokIntLit:
+		return fmt.Sprintf("integer %d", t.i)
+	case tokFloatLit:
+		return fmt.Sprintf("float %g", t.f)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// multi-character operators, longest first so maximal munch works.
+var multiOps = []string{
+	"+=", "-=", "*=", "/=", "<=", ">=", "==", "!=", "&&", "||", "++", "--",
+}
+
+const singleOps = "+-*/%<>=!?:;,()[]{}&|"
+
+// lexer turns source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("clc: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// skipSpace consumes whitespace and // and /* */ comments.
+func (l *lexer) skipSpace() error {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			line, col := l.line, l.col
+			l.advance()
+			l.advance()
+			closed := false
+			for l.pos+1 < len(l.src)+1 && l.pos < len(l.src) {
+				if l.peekByte() == '*' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				return l.errf(line, col, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line, col: l.col}, nil
+	}
+	line, col := l.line, l.col
+	c := l.peekByte()
+
+	switch {
+	case c == '_' || unicode.IsLetter(rune(c)):
+		start := l.pos
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			if c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) {
+				l.advance()
+			} else {
+				break
+			}
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], line: line, col: col}, nil
+
+	case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+		start := l.pos
+		isFloat := false
+		for l.pos < len(l.src) {
+			c := l.peekByte()
+			switch {
+			case unicode.IsDigit(rune(c)):
+				l.advance()
+			case c == '.':
+				isFloat = true
+				l.advance()
+			case c == 'e' || c == 'E':
+				isFloat = true
+				l.advance()
+				if p := l.peekByte(); p == '+' || p == '-' {
+					l.advance()
+				}
+			case c == 'f' || c == 'F':
+				// float suffix; consumed, not part of the value
+				isFloat = true
+				l.advance()
+				goto done
+			default:
+				goto done
+			}
+		}
+	done:
+		text := strings.TrimRight(l.src[start:l.pos], "fF")
+		if isFloat {
+			var f float64
+			if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+				return token{}, l.errf(line, col, "bad float literal %q", text)
+			}
+			return token{kind: tokFloatLit, f: f, text: text, line: line, col: col}, nil
+		}
+		var i int64
+		if _, err := fmt.Sscanf(text, "%d", &i); err != nil {
+			return token{}, l.errf(line, col, "bad integer literal %q", text)
+		}
+		return token{kind: tokIntLit, i: i, text: text, line: line, col: col}, nil
+
+	default:
+		for _, op := range multiOps {
+			if strings.HasPrefix(l.src[l.pos:], op) {
+				l.advance()
+				l.advance()
+				return token{kind: tokPunct, text: op, line: line, col: col}, nil
+			}
+		}
+		if strings.IndexByte(singleOps, c) >= 0 {
+			l.advance()
+			return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+		}
+		return token{}, l.errf(line, col, "unexpected character %q", string(c))
+	}
+}
+
+// lexAll tokenizes the whole input (including the trailing EOF token).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

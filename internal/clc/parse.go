@@ -1,0 +1,951 @@
+package clc
+
+import (
+	"fmt"
+
+	"repro/internal/kir"
+	"repro/internal/precision"
+)
+
+// Kernel is a parsed OpenCL kernel: the lowered IR plus the advisory
+// pointer element types that appeared in the source.
+type Kernel struct {
+	*kir.Kernel
+	// DeclaredTypes records the source-level element type of each buffer
+	// parameter. Execution precision is late-bound by the runtime; these
+	// are kept for diagnostics and for choosing a program's Original
+	// precision.
+	DeclaredTypes map[string]precision.Type
+}
+
+// Parse parses OpenCL C source and returns every __kernel function found,
+// lowered to verified kir kernels.
+func Parse(src string) ([]*Kernel, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []*Kernel
+	for !p.at(tokEOF) {
+		k, err := p.kernelDecl()
+		if err != nil {
+			return nil, err
+		}
+		if err := kir.Verify(k.Kernel); err != nil {
+			return nil, fmt.Errorf("clc: %w", err)
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("clc: no __kernel functions in source")
+	}
+	return out, nil
+}
+
+// ParseOne parses source expected to contain exactly one kernel.
+func ParseOne(src string) (*Kernel, error) {
+	ks, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(ks) != 1 {
+		return nil, fmt.Errorf("clc: source has %d kernels, want 1", len(ks))
+	}
+	return ks[0], nil
+}
+
+// MustParseOne is ParseOne that panics on error; for statically-known
+// kernel sources.
+func MustParseOne(src string) *Kernel {
+	k, err := ParseOne(src)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// typed pairs an expression with its inferred kind.
+type typed struct {
+	e kir.Expr
+	k kir.Kind
+}
+
+type parser struct {
+	toks []token
+	pos  int
+
+	// Per-kernel state.
+	kinds      map[string]kir.Kind // scalar params and locals
+	bufs       map[string]bool
+	paramNames []string // scalar int parameter names, in order
+	maxDim     int
+}
+
+func (p *parser) cur() token        { return p.toks[p.pos] }
+func (p *parser) at(k tokKind) bool { return p.cur().kind == k }
+
+func (p *parser) atPunct(s string) bool {
+	t := p.cur()
+	return t.kind == tokPunct && t.text == s
+}
+
+func (p *parser) atIdent(s string) bool {
+	t := p.cur()
+	return t.kind == tokIdent && t.text == s
+}
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("clc: %d:%d: %s", t.line, t.col, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	if !p.atPunct(s) {
+		return p.errf(p.cur(), "expected %q, found %s", s, p.cur())
+	}
+	p.advance()
+	return nil
+}
+
+func (p *parser) expectIdent() (token, error) {
+	if !p.at(tokIdent) {
+		return token{}, p.errf(p.cur(), "expected identifier, found %s", p.cur())
+	}
+	return p.advance(), nil
+}
+
+// floatTypeName maps a source type name to a precision, ok=false when the
+// name is not a floating type.
+func floatTypeName(s string) (precision.Type, bool) {
+	switch s {
+	case "half":
+		return precision.Half, true
+	case "float":
+		return precision.Single, true
+	case "double":
+		return precision.Double, true
+	default:
+		return precision.Invalid, false
+	}
+}
+
+// kernelDecl parses one __kernel function.
+func (p *parser) kernelDecl() (*Kernel, error) {
+	if !p.atIdent("__kernel") && !p.atIdent("kernel") {
+		return nil, p.errf(p.cur(), "expected __kernel, found %s", p.cur())
+	}
+	p.advance()
+	if !p.atIdent("void") {
+		return nil, p.errf(p.cur(), "expected void, found %s", p.cur())
+	}
+	p.advance()
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+
+	p.kinds = map[string]kir.Kind{}
+	p.bufs = map[string]bool{}
+	p.paramNames = nil
+	p.maxDim = 0
+	k := &kir.Kernel{Name: name.text}
+	declared := map[string]precision.Type{}
+
+	for !p.atPunct(")") {
+		if len(k.Bufs)+len(k.IntParams) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.param(k, declared); err != nil {
+			return nil, err
+		}
+	}
+	p.advance() // ')'
+
+	body, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	k.Body = body
+	k.Dims = p.maxDim + 1
+	return &Kernel{Kernel: k, DeclaredTypes: declared}, nil
+}
+
+// param parses one kernel parameter.
+func (p *parser) param(k *kir.Kernel, declared map[string]precision.Type) error {
+	isGlobal := false
+	isConst := false
+	for {
+		switch {
+		case p.atIdent("__global") || p.atIdent("global"):
+			isGlobal = true
+			p.advance()
+		case p.atIdent("const"):
+			isConst = true
+			p.advance()
+		case p.atIdent("restrict") || p.atIdent("__restrict"):
+			p.advance()
+		default:
+			goto typeName
+		}
+	}
+typeName:
+	t, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	if ft, ok := floatTypeName(t.text); ok {
+		if err := p.expectPunct("*"); err != nil {
+			return fmt.Errorf("%w (only pointer parameters may have floating type)", err)
+		}
+		for p.atIdent("restrict") || p.atIdent("__restrict") {
+			p.advance()
+		}
+		name, err := p.expectIdent()
+		if err != nil {
+			return err
+		}
+		if !isGlobal {
+			return p.errf(t, "buffer parameter %s must be __global", name.text)
+		}
+		access := kir.ReadWrite
+		if isConst {
+			access = kir.ReadOnly
+		}
+		k.Bufs = append(k.Bufs, kir.BufParam{Name: name.text, Access: access})
+		p.bufs[name.text] = true
+		declared[name.text] = ft
+		return nil
+	}
+	if t.text != "int" {
+		return p.errf(t, "unsupported parameter type %q", t.text)
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return err
+	}
+	k.IntParams = append(k.IntParams, name.text)
+	p.kinds[name.text] = kir.KindInt
+	p.paramNames = append(p.paramNames, name.text)
+	return nil
+}
+
+// block parses '{' stmt* '}'.
+func (p *parser) block() ([]kir.Stmt, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var out []kir.Stmt
+	for !p.atPunct("}") {
+		if p.at(tokEOF) {
+			return nil, p.errf(p.cur(), "unexpected end of input in block")
+		}
+		stmts, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, stmts...)
+	}
+	p.advance() // '}'
+	return out, nil
+}
+
+// stmtOrBlock parses either a braced block or a single statement.
+func (p *parser) stmtOrBlock() ([]kir.Stmt, error) {
+	if p.atPunct("{") {
+		return p.block()
+	}
+	return p.stmt()
+}
+
+// stmt parses one statement, possibly desugaring into several.
+func (p *parser) stmt() ([]kir.Stmt, error) {
+	switch {
+	case p.atPunct(";"):
+		p.advance()
+		return nil, nil
+	case p.atIdent("for"):
+		return p.forStmt()
+	case p.atIdent("if"):
+		return p.ifStmt()
+	case p.atIdent("int"), p.atIdent("float"), p.atIdent("double"), p.atIdent("half"):
+		return p.declStmt()
+	default:
+		return p.assignStmt()
+	}
+}
+
+// declStmt parses 'type name [= expr] ;'.
+func (p *parser) declStmt() ([]kir.Stmt, error) {
+	t := p.advance()
+	kind := kir.KindFloat
+	if t.text == "int" {
+		kind = kir.KindInt
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	init := typed{e: kir.Int{V: 0}, k: kir.KindInt}
+	if kind == kir.KindFloat {
+		init = typed{e: kir.Float{V: 0}, k: kir.KindFloat}
+	}
+	if p.atPunct("=") {
+		p.advance()
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		init, err = p.coerce(v, kind, name)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	p.kinds[name.text] = kind
+	return []kir.Stmt{kir.Let{Name: name.text, Kind: kind, Init: init.e}}, nil
+}
+
+// assignStmt parses 'lvalue op expr ;' where lvalue is a variable or a
+// buffer element and op is one of = += -= *= /=.
+func (p *parser) assignStmt() ([]kir.Stmt, error) {
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	// Buffer element target?
+	if p.bufs[name.text] {
+		if err := p.expectPunct("["); err != nil {
+			return nil, err
+		}
+		idx, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if idx.k != kir.KindInt {
+			return nil, p.errf(name, "index of %s must be int", name.text)
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		op := p.cur()
+		if op.kind != tokPunct {
+			return nil, p.errf(op, "expected assignment operator, found %s", op)
+		}
+		p.advance()
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		rhs, err = p.coerce(rhs, kir.KindFloat, name)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(";"); err != nil {
+			return nil, err
+		}
+		val := rhs.e
+		if op.text != "=" {
+			cur := kir.Load{Buf: name.text, Index: idx.e}
+			val, err = compound(op.text, cur, rhs.e)
+			if err != nil {
+				return nil, p.errf(op, "%v", err)
+			}
+		}
+		return []kir.Stmt{kir.Store{Buf: name.text, Index: idx.e, Value: val}}, nil
+	}
+
+	kind, ok := p.kinds[name.text]
+	if !ok {
+		return nil, p.errf(name, "undeclared variable %q", name.text)
+	}
+	op := p.cur()
+	if op.kind != tokPunct {
+		return nil, p.errf(op, "expected assignment operator, found %s", op)
+	}
+	p.advance()
+	rhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	rhs, err = p.coerce(rhs, kind, name)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	val := rhs.e
+	if op.text != "=" {
+		val, err = compound(op.text, kir.Var{Name: name.text}, rhs.e)
+		if err != nil {
+			return nil, p.errf(op, "%v", err)
+		}
+	}
+	return []kir.Stmt{kir.Assign{Name: name.text, Value: val}}, nil
+}
+
+// compound maps 'x op= v' to the underlying binary expression.
+func compound(op string, cur, rhs kir.Expr) (kir.Expr, error) {
+	switch op {
+	case "+=":
+		return kir.Binary{Op: kir.OpAdd, A: cur, B: rhs}, nil
+	case "-=":
+		return kir.Binary{Op: kir.OpSub, A: cur, B: rhs}, nil
+	case "*=":
+		return kir.Binary{Op: kir.OpMul, A: cur, B: rhs}, nil
+	case "/=":
+		return kir.Binary{Op: kir.OpDiv, A: cur, B: rhs}, nil
+	default:
+		return nil, fmt.Errorf("unsupported assignment operator %q", op)
+	}
+}
+
+// forStmt parses 'for (int i = a; i < b; i++) body'. Both < and <= upper
+// bounds are accepted; <= becomes an exclusive bound of b+1.
+func (p *parser) forStmt() ([]kir.Stmt, error) {
+	p.advance() // for
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	if !p.atIdent("int") {
+		return nil, p.errf(p.cur(), "for loop must declare 'int i = ...'")
+	}
+	p.advance()
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return nil, err
+	}
+	start, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if start.k != kir.KindInt {
+		return nil, p.errf(name, "loop start must be int")
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	cmpVar, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if cmpVar.text != name.text {
+		return nil, p.errf(cmpVar, "loop condition must test %q", name.text)
+	}
+	le := false
+	switch {
+	case p.atPunct("<"):
+	case p.atPunct("<="):
+		le = true
+	default:
+		return nil, p.errf(p.cur(), "loop condition must be < or <=")
+	}
+	p.advance()
+	end, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if end.k != kir.KindInt {
+		return nil, p.errf(cmpVar, "loop bound must be int")
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, err
+	}
+	incVar, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if incVar.text != name.text {
+		return nil, p.errf(incVar, "loop increment must update %q", name.text)
+	}
+	if !p.atPunct("++") {
+		return nil, p.errf(p.cur(), "only i++ loops are supported")
+	}
+	p.advance()
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+
+	p.kinds[name.text] = kir.KindInt
+	body, err := p.stmtOrBlock()
+	if err != nil {
+		return nil, err
+	}
+	delete(p.kinds, name.text)
+
+	endE := end.e
+	if le {
+		endE = kir.Binary{Op: kir.OpAdd, A: endE, B: kir.Int{V: 1}}
+	}
+	return []kir.Stmt{kir.For{Var: name.text, Start: start.e, End: endE, Body: body}}, nil
+}
+
+// ifStmt parses 'if (cond) body [else body]'.
+func (p *parser) ifStmt() ([]kir.Stmt, error) {
+	p.advance() // if
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if cond.k != kir.KindBool {
+		return nil, p.errf(p.cur(), "if condition must be a comparison")
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	then, err := p.stmtOrBlock()
+	if err != nil {
+		return nil, err
+	}
+	var els []kir.Stmt
+	if p.atIdent("else") {
+		p.advance()
+		if p.atIdent("if") {
+			els, err = p.ifStmt()
+		} else {
+			els, err = p.stmtOrBlock()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return []kir.Stmt{kir.If{Cond: cond.e, Then: then, Else: els}}, nil
+}
+
+// coerce converts a typed expression to the wanted kind, inserting
+// int-to-float conversion where C would.
+func (p *parser) coerce(v typed, want kir.Kind, at token) (typed, error) {
+	if v.k == want {
+		return v, nil
+	}
+	if v.k == kir.KindInt && want == kir.KindFloat {
+		return typed{e: kir.Unary{Op: kir.OpItoF, A: v.e}, k: kir.KindFloat}, nil
+	}
+	return typed{}, p.errf(at, "cannot use %v value where %v is required", v.k, want)
+}
+
+// unify applies the usual arithmetic conversions to a binary operation's
+// operands.
+func (p *parser) unify(a, b typed, at token) (typed, typed, kir.Kind, error) {
+	if a.k == b.k {
+		return a, b, a.k, nil
+	}
+	if a.k == kir.KindInt && b.k == kir.KindFloat {
+		return typed{e: kir.Unary{Op: kir.OpItoF, A: a.e}, k: kir.KindFloat}, b, kir.KindFloat, nil
+	}
+	if a.k == kir.KindFloat && b.k == kir.KindInt {
+		return a, typed{e: kir.Unary{Op: kir.OpItoF, A: b.e}, k: kir.KindFloat}, kir.KindFloat, nil
+	}
+	return typed{}, typed{}, kir.KindInvalid, p.errf(at, "operands have kinds %v and %v", a.k, b.k)
+}
+
+// Expression grammar, lowest precedence first.
+
+func (p *parser) expr() (typed, error) { return p.ternary() }
+
+func (p *parser) ternary() (typed, error) {
+	cond, err := p.orExpr()
+	if err != nil {
+		return typed{}, err
+	}
+	if !p.atPunct("?") {
+		return cond, nil
+	}
+	at := p.advance()
+	if cond.k != kir.KindBool {
+		return typed{}, p.errf(at, "?: condition must be a comparison")
+	}
+	a, err := p.expr()
+	if err != nil {
+		return typed{}, err
+	}
+	if err := p.expectPunct(":"); err != nil {
+		return typed{}, err
+	}
+	b, err := p.ternary()
+	if err != nil {
+		return typed{}, err
+	}
+	a, b, kind, err := p.unify(a, b, at)
+	if err != nil {
+		return typed{}, err
+	}
+	return typed{e: kir.Select{Cond: cond.e, A: a.e, B: b.e}, k: kind}, nil
+}
+
+func (p *parser) orExpr() (typed, error) {
+	a, err := p.andExpr()
+	if err != nil {
+		return typed{}, err
+	}
+	for p.atPunct("||") {
+		at := p.advance()
+		b, err := p.andExpr()
+		if err != nil {
+			return typed{}, err
+		}
+		if a.k != kir.KindBool || b.k != kir.KindBool {
+			return typed{}, p.errf(at, "|| needs comparisons on both sides")
+		}
+		a = typed{e: kir.Logic{Op: kir.LogicOr, A: a.e, B: b.e}, k: kir.KindBool}
+	}
+	return a, nil
+}
+
+func (p *parser) andExpr() (typed, error) {
+	a, err := p.cmpExpr()
+	if err != nil {
+		return typed{}, err
+	}
+	for p.atPunct("&&") {
+		at := p.advance()
+		b, err := p.cmpExpr()
+		if err != nil {
+			return typed{}, err
+		}
+		if a.k != kir.KindBool || b.k != kir.KindBool {
+			return typed{}, p.errf(at, "&& needs comparisons on both sides")
+		}
+		a = typed{e: kir.Logic{Op: kir.LogicAnd, A: a.e, B: b.e}, k: kir.KindBool}
+	}
+	return a, nil
+}
+
+var cmpOps = map[string]kir.CmpOp{
+	"<": kir.CmpLT, "<=": kir.CmpLE, ">": kir.CmpGT, ">=": kir.CmpGE,
+	"==": kir.CmpEQ, "!=": kir.CmpNE,
+}
+
+func (p *parser) cmpExpr() (typed, error) {
+	a, err := p.addExpr()
+	if err != nil {
+		return typed{}, err
+	}
+	t := p.cur()
+	op, ok := cmpOps[t.text]
+	if t.kind != tokPunct || !ok {
+		return a, nil
+	}
+	p.advance()
+	b, err := p.addExpr()
+	if err != nil {
+		return typed{}, err
+	}
+	a, b, _, err = p.unify(a, b, t)
+	if err != nil {
+		return typed{}, err
+	}
+	return typed{e: kir.Compare{Op: op, A: a.e, B: b.e}, k: kir.KindBool}, nil
+}
+
+func (p *parser) addExpr() (typed, error) {
+	a, err := p.mulExpr()
+	if err != nil {
+		return typed{}, err
+	}
+	for p.atPunct("+") || p.atPunct("-") {
+		t := p.advance()
+		b, err := p.mulExpr()
+		if err != nil {
+			return typed{}, err
+		}
+		var kind kir.Kind
+		a, b, kind, err = p.unify(a, b, t)
+		if err != nil {
+			return typed{}, err
+		}
+		op := kir.OpAdd
+		if t.text == "-" {
+			op = kir.OpSub
+		}
+		a = typed{e: kir.Binary{Op: op, A: a.e, B: b.e}, k: kind}
+	}
+	return a, nil
+}
+
+func (p *parser) mulExpr() (typed, error) {
+	a, err := p.unaryExpr()
+	if err != nil {
+		return typed{}, err
+	}
+	for p.atPunct("*") || p.atPunct("/") || p.atPunct("%") {
+		t := p.advance()
+		b, err := p.unaryExpr()
+		if err != nil {
+			return typed{}, err
+		}
+		var kind kir.Kind
+		a, b, kind, err = p.unify(a, b, t)
+		if err != nil {
+			return typed{}, err
+		}
+		var op kir.BinOp
+		switch t.text {
+		case "*":
+			op = kir.OpMul
+		case "/":
+			op = kir.OpDiv
+		default:
+			op = kir.OpMod
+			if kind != kir.KindInt {
+				return typed{}, p.errf(t, "%% needs integer operands")
+			}
+		}
+		a = typed{e: kir.Binary{Op: op, A: a.e, B: b.e}, k: kind}
+	}
+	return a, nil
+}
+
+func (p *parser) unaryExpr() (typed, error) {
+	switch {
+	case p.atPunct("-"):
+		p.advance()
+		v, err := p.unaryExpr()
+		if err != nil {
+			return typed{}, err
+		}
+		return typed{e: kir.Unary{Op: kir.OpNeg, A: v.e}, k: v.k}, nil
+	case p.atPunct("!"):
+		t := p.advance()
+		v, err := p.unaryExpr()
+		if err != nil {
+			return typed{}, err
+		}
+		if v.k != kir.KindBool {
+			return typed{}, p.errf(t, "! needs a comparison operand")
+		}
+		return typed{e: negate(v.e), k: kir.KindBool}, nil
+	case p.atPunct("("):
+		// Either a cast or a parenthesized expression.
+		if p.pos+2 < len(p.toks) && p.toks[p.pos+1].kind == tokIdent && p.toks[p.pos+2].kind == tokPunct && p.toks[p.pos+2].text == ")" {
+			name := p.toks[p.pos+1].text
+			if _, isFloat := floatTypeName(name); isFloat || name == "int" {
+				castTok := p.cur()
+				p.advance() // (
+				p.advance() // type
+				p.advance() // )
+				v, err := p.unaryExpr()
+				if err != nil {
+					return typed{}, err
+				}
+				if isFloat {
+					return p.coerce(v, kir.KindFloat, castTok)
+				}
+				if v.k != kir.KindInt {
+					return typed{}, p.errf(castTok, "float-to-int casts are not supported")
+				}
+				return v, nil
+			}
+		}
+		p.advance()
+		v, err := p.expr()
+		if err != nil {
+			return typed{}, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return typed{}, err
+		}
+		return v, nil
+	default:
+		return p.postfixExpr()
+	}
+}
+
+// negate rewrites a boolean expression into its complement (the IR has
+// no boolean-not): comparisons flip, De Morgan distributes over && / ||.
+func negate(e kir.Expr) kir.Expr {
+	switch e := e.(type) {
+	case kir.Compare:
+		flip := map[kir.CmpOp]kir.CmpOp{
+			kir.CmpLT: kir.CmpGE, kir.CmpGE: kir.CmpLT,
+			kir.CmpLE: kir.CmpGT, kir.CmpGT: kir.CmpLE,
+			kir.CmpEQ: kir.CmpNE, kir.CmpNE: kir.CmpEQ,
+		}
+		return kir.Compare{Op: flip[e.Op], A: e.A, B: e.B}
+	case kir.Logic:
+		op := kir.LogicAnd
+		if e.Op == kir.LogicAnd {
+			op = kir.LogicOr
+		}
+		return kir.Logic{Op: op, A: negate(e.A), B: negate(e.B)}
+	default:
+		return e
+	}
+}
+
+// builtin1 maps one-argument float builtins.
+var builtin1 = map[string]kir.UnOp{
+	"sqrt": kir.OpSqrt,
+	"fabs": kir.OpAbs,
+	"exp":  kir.OpExp,
+	"log":  kir.OpLog,
+}
+
+func (p *parser) postfixExpr() (typed, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokIntLit:
+		p.advance()
+		return typed{e: kir.Int{V: t.i}, k: kir.KindInt}, nil
+	case tokFloatLit:
+		p.advance()
+		return typed{e: kir.Float{V: t.f}, k: kir.KindFloat}, nil
+	case tokIdent:
+		p.advance()
+		// Builtin or user call?
+		if p.atPunct("(") {
+			return p.call(t)
+		}
+		if p.bufs[t.text] {
+			if err := p.expectPunct("["); err != nil {
+				return typed{}, err
+			}
+			idx, err := p.expr()
+			if err != nil {
+				return typed{}, err
+			}
+			if idx.k != kir.KindInt {
+				return typed{}, p.errf(t, "index of %s must be int", t.text)
+			}
+			if err := p.expectPunct("]"); err != nil {
+				return typed{}, err
+			}
+			return typed{e: kir.Load{Buf: t.text, Index: idx.e}, k: kir.KindFloat}, nil
+		}
+		if kind, ok := p.kinds[t.text]; ok {
+			// Scalar int parameters are Params; locals are Vars.
+			for _, pn := range p.intParams() {
+				if pn == t.text {
+					return typed{e: kir.Param{Name: t.text}, k: kir.KindInt}, nil
+				}
+			}
+			return typed{e: kir.Var{Name: t.text}, k: kind}, nil
+		}
+		return typed{}, p.errf(t, "undeclared identifier %q", t.text)
+	default:
+		return typed{}, p.errf(t, "expected expression, found %s", t)
+	}
+}
+
+// intParams returns the scalar int parameter names of the kernel being
+// parsed, in declaration order.
+func (p *parser) intParams() []string { return p.paramNames }
+
+// call parses a builtin invocation; t is the already-consumed name.
+func (p *parser) call(t token) (typed, error) {
+	if err := p.expectPunct("("); err != nil {
+		return typed{}, err
+	}
+	var args []typed
+	for !p.atPunct(")") {
+		if len(args) > 0 {
+			if err := p.expectPunct(","); err != nil {
+				return typed{}, err
+			}
+		}
+		a, err := p.expr()
+		if err != nil {
+			return typed{}, err
+		}
+		args = append(args, a)
+	}
+	p.advance() // ')'
+
+	need := func(n int) error {
+		if len(args) != n {
+			return p.errf(t, "%s expects %d arguments, got %d", t.text, n, len(args))
+		}
+		return nil
+	}
+
+	switch t.text {
+	case "get_global_id":
+		if err := need(1); err != nil {
+			return typed{}, err
+		}
+		lit, ok := args[0].e.(kir.Int)
+		if !ok || lit.V < 0 || lit.V > 1 {
+			return typed{}, p.errf(t, "get_global_id needs a literal 0 or 1")
+		}
+		if int(lit.V) > p.maxDim {
+			p.maxDim = int(lit.V)
+		}
+		return typed{e: kir.GID{Dim: int(lit.V)}, k: kir.KindInt}, nil
+	case "sqrt", "fabs", "exp", "log":
+		if err := need(1); err != nil {
+			return typed{}, err
+		}
+		a, err := p.coerce(args[0], kir.KindFloat, t)
+		if err != nil {
+			return typed{}, err
+		}
+		return typed{e: kir.Unary{Op: builtin1[t.text], A: a.e}, k: kir.KindFloat}, nil
+	case "abs":
+		if err := need(1); err != nil {
+			return typed{}, err
+		}
+		if args[0].k != kir.KindInt {
+			return typed{}, p.errf(t, "abs needs an int argument (use fabs)")
+		}
+		return typed{e: kir.Unary{Op: kir.OpAbs, A: args[0].e}, k: kir.KindInt}, nil
+	case "fmin", "fmax", "min", "max":
+		if err := need(2); err != nil {
+			return typed{}, err
+		}
+		a, b, kind, err := p.unify(args[0], args[1], t)
+		if err != nil {
+			return typed{}, err
+		}
+		if (t.text == "fmin" || t.text == "fmax") && kind != kir.KindFloat {
+			a, _ = p.coerce(a, kir.KindFloat, t)
+			b, _ = p.coerce(b, kir.KindFloat, t)
+			kind = kir.KindFloat
+		}
+		op := kir.OpMin
+		if t.text == "fmax" || t.text == "max" {
+			op = kir.OpMax
+		}
+		return typed{e: kir.Binary{Op: op, A: a.e, B: b.e}, k: kind}, nil
+	case "fma", "mad":
+		if err := need(3); err != nil {
+			return typed{}, err
+		}
+		a, err := p.coerce(args[0], kir.KindFloat, t)
+		if err != nil {
+			return typed{}, err
+		}
+		b, err := p.coerce(args[1], kir.KindFloat, t)
+		if err != nil {
+			return typed{}, err
+		}
+		c, err := p.coerce(args[2], kir.KindFloat, t)
+		if err != nil {
+			return typed{}, err
+		}
+		// a*b + c fuses to an FMA during lowering.
+		return typed{e: kir.Binary{Op: kir.OpAdd, A: kir.Binary{Op: kir.OpMul, A: a.e, B: b.e}, B: c.e}, k: kir.KindFloat}, nil
+	default:
+		return typed{}, p.errf(t, "unknown function %q", t.text)
+	}
+}

@@ -1,0 +1,324 @@
+// Package convert implements the type-conversion-with-transfer methods of
+// the paper's Figure 3 for moving data between host and device memory
+// while changing its floating-point precision:
+//
+//   - single-threaded host-side conversion loop,
+//   - multithreaded SIMD host-side conversion,
+//   - device-side conversion (transfer at the source width, convert on
+//     the GPU),
+//   - transient conversion through an intermediate wire type (converted
+//     on both sides; saves transfer bytes at the cost of extra rounding),
+//   - pipelining of conversion and transfer in fixed-size atoms.
+//
+// A Plan captures one complete choice: the host-side method (and thread
+// count), and the intermediate "wire" precision Mid that travels over
+// PCIe. Host-side scaling is Mid == target, device-side scaling is
+// Mid == source, and a Mid strictly between them is the transient
+// conversion enabled by the decision maker's wildcard test.
+//
+// Every plan has two faces kept in exact agreement: Execute* performs the
+// real data movement (with genuine rounding through Mid) against an ocl
+// queue, and Estimate* returns the simulated cost without touching data.
+// The system inspector builds its database from the estimators, so the
+// decision maker's predictions match what execution will charge.
+package convert
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hw"
+	"repro/internal/ocl"
+	"repro/internal/precision"
+)
+
+// Method is the host-side conversion technique of a plan.
+type Method uint8
+
+const (
+	// MethodNone performs no host-side conversion; valid only when the
+	// wire type equals the host data type.
+	MethodNone Method = iota
+	// MethodLoop is a single-threaded scalar conversion loop.
+	MethodLoop
+	// MethodMT is a multithreaded SIMD conversion.
+	MethodMT
+	// MethodPipelined overlaps multithreaded conversion with the PCIe
+	// transfer in fixed-size atoms.
+	MethodPipelined
+)
+
+func (m Method) String() string {
+	switch m {
+	case MethodNone:
+		return "none"
+	case MethodLoop:
+		return "loop"
+	case MethodMT:
+		return "multithread"
+	case MethodPipelined:
+		return "pipelined"
+	default:
+		return fmt.Sprintf("Method(%d)", uint8(m))
+	}
+}
+
+// Methods lists every host-side method.
+var Methods = []Method{MethodNone, MethodLoop, MethodMT, MethodPipelined}
+
+// ChunkBytes is the pipelining atom size. Too small an atom pays the
+// OpenCL per-call launch latency per chunk (Section 2.2 of the paper);
+// 1 MiB is a reasonable fixed choice for the model.
+const ChunkBytes = 1 << 20
+
+// Plan is a complete conversion-with-transfer configuration for one
+// transfer event.
+type Plan struct {
+	// Host is the host-side conversion method for the host-type <-> Mid
+	// step.
+	Host Method
+	// Threads is the worker count for MethodMT and MethodPipelined.
+	Threads int
+	// Mid is the wire precision transferred over PCIe.
+	Mid precision.Type
+}
+
+// Direct returns the plan that transfers at precision t with no
+// conversion anywhere (host data must already be t).
+func Direct(t precision.Type) Plan {
+	return Plan{Host: MethodNone, Mid: t}
+}
+
+// Validate checks internal consistency of the plan for a transfer whose
+// host side holds hostType data.
+func (p Plan) Validate(hostType precision.Type) error {
+	if !p.Mid.Valid() {
+		return fmt.Errorf("convert: invalid wire type %v", p.Mid)
+	}
+	if p.Host == MethodNone && p.Mid != hostType {
+		return fmt.Errorf("convert: wire type %v differs from host type %v but no host method chosen", p.Mid, hostType)
+	}
+	if p.Host != MethodNone && p.Mid == hostType {
+		return fmt.Errorf("convert: host method %v chosen but wire type equals host type %v", p.Host, hostType)
+	}
+	if (p.Host == MethodMT || p.Host == MethodPipelined) && p.Threads < 1 {
+		return fmt.Errorf("convert: %v requires a positive thread count", p.Host)
+	}
+	return nil
+}
+
+// Class names the conversion category of the plan for a transfer from
+// hostType to devType, matching the categories of the paper's Figure 9
+// (e): "none" (no conversion), "host" (host-side scaling), "device"
+// (device-side scaling), "transient" (intermediate wire type), with
+// pipelined host-side scaling reported as "pipelined".
+func (p Plan) Class(hostType, devType precision.Type) string {
+	switch {
+	case hostType == devType && p.Mid == hostType:
+		return "none"
+	case p.Mid == devType && p.Mid != hostType:
+		if p.Host == MethodPipelined {
+			return "pipelined"
+		}
+		return "host"
+	case p.Mid == hostType && p.Mid != devType:
+		return "device"
+	default:
+		return "transient"
+	}
+}
+
+// hostConvertTime returns the host-side cost of converting n elements
+// from src to dst with the given method. MethodPipelined is handled by
+// pipelineTime, not here.
+func hostConvertTime(cpu *hw.CPU, n int, src, dst precision.Type, m Method, threads int) float64 {
+	switch m {
+	case MethodNone:
+		return 0
+	case MethodLoop:
+		return float64(n) / cpu.ScalarConvertRate(src, dst)
+	case MethodMT:
+		return cpu.MTConvertTime(n, src, dst, threads)
+	default:
+		panic("convert: hostConvertTime on " + m.String())
+	}
+}
+
+// pipelineTime models overlapped conversion+transfer: the first atom must
+// be converted before the transfer starts, after which conversion and
+// transfer proceed concurrently; the transfer pays the per-atom call
+// latency for every chunk.
+func pipelineTime(sys *hw.System, n int, src, mid precision.Type, threads int) float64 {
+	if n <= 0 {
+		return sys.Bus.Latency()
+	}
+	midBytes := float64(n * mid.Size())
+	chunkElems := ChunkBytes / mid.Size()
+	nChunks := int(math.Ceil(float64(n) / float64(chunkElems)))
+	if nChunks < 1 {
+		nChunks = 1
+	}
+	convTotal := sys.CPU.MTConvertTime(n, src, mid, threads)
+	// The first atom must be fully converted before its transfer starts.
+	first := n
+	if first > chunkElems {
+		first = chunkElems
+	}
+	startup := sys.CPU.MTConvertTime(first, src, mid, threads)
+	transfer := midBytes/(sys.Bus.EffBandwidthGBps*1e9) + float64(nChunks)*sys.Bus.Latency()
+	steady := convTotal - startup
+	if steady < 0 {
+		steady = 0
+	}
+	if transfer > steady {
+		steady = transfer
+	}
+	return startup + steady
+}
+
+// EstimateHtoD returns the simulated seconds for moving n host elements
+// of type hostType into a device buffer of type devType under plan. It is
+// exactly the time ExecuteHtoD will charge.
+func EstimateHtoD(sys *hw.System, n int, hostType, devType precision.Type, plan Plan) float64 {
+	var total float64
+	switch plan.Host {
+	case MethodPipelined:
+		total += pipelineTime(sys, n, hostType, plan.Mid, plan.Threads)
+	default:
+		total += hostConvertTime(&sys.CPU, n, hostType, plan.Mid, plan.Host, plan.Threads)
+		total += sys.Bus.TransferTime(float64(n * plan.Mid.Size()))
+	}
+	if plan.Mid != devType {
+		total += ocl.DeviceConvertTime(sys, n, plan.Mid, devType)
+	}
+	return total
+}
+
+// EstimateDtoH returns the simulated seconds for moving a device buffer
+// of n elements of devType back to host data of hostType under plan.
+func EstimateDtoH(sys *hw.System, n int, devType, hostType precision.Type, plan Plan) float64 {
+	var total float64
+	if plan.Mid != devType {
+		total += ocl.DeviceConvertTime(sys, n, devType, plan.Mid)
+	}
+	switch plan.Host {
+	case MethodPipelined:
+		total += pipelineTime(sys, n, hostType, plan.Mid, plan.Threads)
+	default:
+		total += sys.Bus.TransferTime(float64(n * plan.Mid.Size()))
+		total += hostConvertTime(&sys.CPU, n, plan.Mid, hostType, plan.Host, plan.Threads)
+	}
+	return total
+}
+
+// ExecuteHtoD performs the conversion chain host(hostArr) -> Mid -> dev
+// buffer of devType, recording host-convert, write, and device-convert
+// events on q, and returns the resulting device buffer named name.
+//
+// Note the DtoH direction of the plan's host method is validated against
+// the host array's precision.
+func ExecuteHtoD(q *ocl.Queue, name string, hostArr *precision.Array, devType precision.Type, plan Plan) (*ocl.Buffer, error) {
+	if err := plan.Validate(hostArr.Elem()); err != nil {
+		return nil, err
+	}
+	sys := q.Context().System()
+	n := hostArr.Len()
+
+	wire := hostArr
+	if plan.Mid != hostArr.Elem() {
+		wire = hostArr.Convert(plan.Mid)
+	}
+
+	switch plan.Host {
+	case MethodPipelined:
+		// Charge the overlapped total minus the plain transfer the write
+		// below will add, keeping the clock exact while the trace still
+		// shows a write event of the wire size.
+		total := pipelineTime(sys, n, hostArr.Elem(), plan.Mid, plan.Threads)
+		plain := sys.Bus.TransferTime(float64(n * plan.Mid.Size()))
+		extra := total - plain
+		if extra < 0 {
+			extra = 0
+		}
+		q.AddHostTime(extra, ocl.DirHtoD, nil, n, hostArr.Elem(), plan.Mid)
+	case MethodNone:
+		// nothing
+	default:
+		t := hostConvertTime(&sys.CPU, n, hostArr.Elem(), plan.Mid, plan.Host, plan.Threads)
+		q.AddHostTime(t, ocl.DirHtoD, nil, n, hostArr.Elem(), plan.Mid)
+	}
+
+	staging := q.Context().CreateBuffer(name, plan.Mid, n)
+	if err := q.WriteBuffer(staging, wire); err != nil {
+		return nil, err
+	}
+	if plan.Mid == devType {
+		return staging, nil
+	}
+	return q.DeviceConvertDirected(staging, devType, ocl.DirHtoD), nil
+}
+
+// ExecuteDtoH performs the reverse chain dev -> Mid -> host(hostType),
+// recording events on q, and returns the host array.
+func ExecuteDtoH(q *ocl.Queue, dev *ocl.Buffer, hostType precision.Type, plan Plan) (*precision.Array, error) {
+	if err := plan.Validate(hostType); err != nil {
+		return nil, err
+	}
+	sys := q.Context().System()
+	n := dev.Len()
+
+	wireBuf := dev
+	if plan.Mid != dev.Elem() {
+		wireBuf = q.DeviceConvertDirected(dev, plan.Mid, ocl.DirDtoH)
+	}
+	wire := q.ReadBuffer(wireBuf)
+
+	switch plan.Host {
+	case MethodPipelined:
+		total := pipelineTime(sys, n, hostType, plan.Mid, plan.Threads)
+		plain := sys.Bus.TransferTime(float64(n * plan.Mid.Size()))
+		extra := total - plain
+		if extra < 0 {
+			extra = 0
+		}
+		q.AddHostTime(extra, ocl.DirDtoH, nil, n, plan.Mid, hostType)
+	case MethodNone:
+		// nothing
+	default:
+		t := hostConvertTime(&sys.CPU, n, plan.Mid, hostType, plan.Host, plan.Threads)
+		q.AddHostTime(t, ocl.DirDtoH, nil, n, plan.Mid, hostType)
+	}
+
+	if plan.Mid == hostType {
+		return wire, nil
+	}
+	return wire.Convert(hostType), nil
+}
+
+// CandidatePlans enumerates the reasonable plans for a transfer between
+// hostType and devType through intermediates drawn from mids. Thread
+// counts use the CPU's logical thread count, matching the paper's setup
+// ("the number of threads is set to the number of logical CPU cores").
+func CandidatePlans(cpu *hw.CPU, hostType, devType precision.Type, mids []precision.Type) []Plan {
+	seen := map[Plan]bool{}
+	var out []Plan
+	add := func(p Plan) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, mid := range mids {
+		if !mid.Valid() {
+			continue
+		}
+		if mid == hostType {
+			add(Plan{Host: MethodNone, Mid: mid})
+			continue
+		}
+		add(Plan{Host: MethodLoop, Mid: mid})
+		add(Plan{Host: MethodMT, Threads: cpu.Threads, Mid: mid})
+		add(Plan{Host: MethodPipelined, Threads: cpu.Threads, Mid: mid})
+	}
+	return out
+}

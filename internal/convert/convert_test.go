@@ -1,0 +1,350 @@
+package convert
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/ocl"
+	"repro/internal/precision"
+)
+
+func sys1() *hw.System { return hw.System1() }
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		plan Plan
+		host precision.Type
+		ok   bool
+	}{
+		{Direct(precision.Double), precision.Double, true},
+		{Plan{Host: MethodLoop, Mid: precision.Single}, precision.Double, true},
+		{Plan{Host: MethodMT, Threads: 8, Mid: precision.Half}, precision.Double, true},
+		{Plan{Host: MethodPipelined, Threads: 8, Mid: precision.Single}, precision.Double, true},
+		// wire != host without a host method
+		{Plan{Host: MethodNone, Mid: precision.Single}, precision.Double, false},
+		// host method with wire == host
+		{Plan{Host: MethodLoop, Mid: precision.Double}, precision.Double, false},
+		// MT without threads
+		{Plan{Host: MethodMT, Mid: precision.Single}, precision.Double, false},
+		// invalid wire type
+		{Plan{Host: MethodNone, Mid: precision.Invalid}, precision.Double, false},
+	}
+	for i, c := range cases {
+		err := c.plan.Validate(c.host)
+		if (err == nil) != c.ok {
+			t.Errorf("case %d: Validate = %v, want ok=%v", i, err, c.ok)
+		}
+	}
+}
+
+func TestPlanClass(t *testing.T) {
+	d, s, h := precision.Double, precision.Single, precision.Half
+	cases := []struct {
+		plan      Plan
+		host, dev precision.Type
+		want      string
+	}{
+		{Direct(d), d, d, "none"},
+		{Plan{Host: MethodLoop, Mid: s}, d, s, "host"},
+		{Plan{Host: MethodMT, Threads: 8, Mid: s}, d, s, "host"},
+		{Plan{Host: MethodPipelined, Threads: 8, Mid: s}, d, s, "pipelined"},
+		{Direct(d), d, s, "device"},
+		{Plan{Host: MethodMT, Threads: 8, Mid: h}, d, s, "transient"},
+	}
+	for i, c := range cases {
+		if got := c.plan.Class(c.host, c.dev); got != c.want {
+			t.Errorf("case %d: Class = %q, want %q", i, got, c.want)
+		}
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	want := map[Method]string{
+		MethodNone: "none", MethodLoop: "loop", MethodMT: "multithread", MethodPipelined: "pipelined",
+	}
+	for m, w := range want {
+		if m.String() != w {
+			t.Errorf("%d = %q, want %q", m, m.String(), w)
+		}
+	}
+}
+
+func TestExecuteHtoDHostScaling(t *testing.T) {
+	s := sys1()
+	ctx := ocl.NewContext(s)
+	q := ocl.NewQueue(ctx)
+	host := precision.FromSlice(precision.Double, []float64{1, math.Pi, 2048.7})
+	plan := Plan{Host: MethodLoop, Mid: precision.Half}
+	buf, err := ExecuteHtoD(q, "A", host, precision.Half, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Elem() != precision.Half {
+		t.Fatal("buffer type")
+	}
+	if buf.Array().Get(1) != precision.Round(math.Pi, precision.Half) {
+		t.Error("host scaling should round through half")
+	}
+	// Timing must match the estimator exactly.
+	want := EstimateHtoD(s, 3, precision.Double, precision.Half, plan)
+	if math.Abs(q.Now()-want) > 1e-15 {
+		t.Errorf("executed time %v != estimated %v", q.Now(), want)
+	}
+	// Events: host-convert then write.
+	evs := q.Events()
+	if len(evs) != 2 || evs[0].Kind != ocl.EvHostConvert || evs[1].Kind != ocl.EvWrite {
+		t.Errorf("events: %+v", evs)
+	}
+	if evs[1].Bytes != 3*2 {
+		t.Errorf("wire bytes = %d, want 6 (half)", evs[1].Bytes)
+	}
+}
+
+func TestExecuteHtoDDeviceScaling(t *testing.T) {
+	s := sys1()
+	ctx := ocl.NewContext(s)
+	q := ocl.NewQueue(ctx)
+	host := precision.FromSlice(precision.Double, []float64{2, 4, 8, 16})
+	plan := Direct(precision.Double) // wire at double, convert on device
+	buf, err := ExecuteHtoD(q, "A", host, precision.Single, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Elem() != precision.Single {
+		t.Fatal("final buffer must be single")
+	}
+	want := EstimateHtoD(s, 4, precision.Double, precision.Single, plan)
+	if math.Abs(q.Now()-want) > 1e-15 {
+		t.Errorf("executed %v != estimated %v", q.Now(), want)
+	}
+	evs := q.Events()
+	if len(evs) != 2 || evs[0].Kind != ocl.EvWrite || evs[1].Kind != ocl.EvDeviceConvert {
+		t.Errorf("events: %+v", evs)
+	}
+	if evs[0].Bytes != 4*8 {
+		t.Errorf("wire bytes = %d, want 32 (double)", evs[0].Bytes)
+	}
+	if evs[1].Dir != ocl.DirHtoD {
+		t.Error("device convert should carry HtoD direction")
+	}
+}
+
+func TestExecuteHtoDTransient(t *testing.T) {
+	// double host -> half wire -> single device: saves transfer bytes but
+	// rounds through half.
+	s := sys1()
+	ctx := ocl.NewContext(s)
+	q := ocl.NewQueue(ctx)
+	host := precision.FromSlice(precision.Double, []float64{2049}) // not representable at half
+	plan := Plan{Host: MethodMT, Threads: 8, Mid: precision.Half}
+	buf, err := ExecuteHtoD(q, "A", host, precision.Single, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Elem() != precision.Single {
+		t.Fatal("final buffer must be single")
+	}
+	if buf.Array().Get(0) != 2048 {
+		t.Errorf("transient through half: got %v, want 2048 (rounded)", buf.Array().Get(0))
+	}
+	want := EstimateHtoD(s, 1, precision.Double, precision.Single, plan)
+	if math.Abs(q.Now()-want) > 1e-15 {
+		t.Errorf("executed %v != estimated %v", q.Now(), want)
+	}
+}
+
+func TestExecuteHtoDPipelined(t *testing.T) {
+	s := sys1()
+	ctx := ocl.NewContext(s)
+	q := ocl.NewQueue(ctx)
+	n := 1 << 20
+	host := precision.NewArray(precision.Double, n)
+	for i := 0; i < n; i++ {
+		host.Set(i, float64(i%100)*0.5)
+	}
+	plan := Plan{Host: MethodPipelined, Threads: s.CPU.Threads, Mid: precision.Single}
+	buf, err := ExecuteHtoD(q, "A", host, precision.Single, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.Array().Get(5) != 2.5 {
+		t.Error("pipelined functional path broken")
+	}
+	want := EstimateHtoD(s, n, precision.Double, precision.Single, plan)
+	if math.Abs(q.Now()-want) > 1e-12 {
+		t.Errorf("executed %v != estimated %v", q.Now(), want)
+	}
+}
+
+func TestExecuteHtoDInvalidPlan(t *testing.T) {
+	ctx := ocl.NewContext(sys1())
+	q := ocl.NewQueue(ctx)
+	host := precision.NewArray(precision.Double, 2)
+	if _, err := ExecuteHtoD(q, "A", host, precision.Single, Plan{Host: MethodNone, Mid: precision.Single}); err == nil {
+		t.Error("invalid plan must be rejected")
+	}
+}
+
+func TestExecuteDtoHChains(t *testing.T) {
+	s := sys1()
+	for _, plan := range []Plan{
+		Direct(precision.Single),                                   // transfer at device type, host convert? no: Mid==dev, host==?
+		{Host: MethodLoop, Mid: precision.Single},                  // transfer single, host loop single->double
+		{Host: MethodMT, Threads: 4, Mid: precision.Single},        // MT
+		{Host: MethodPipelined, Threads: 4, Mid: precision.Single}, // pipelined
+	} {
+		ctx := ocl.NewContext(s)
+		q := ocl.NewQueue(ctx)
+		dev := ctx.CreateBuffer("C", precision.Single, 8)
+		for i := 0; i < 8; i++ {
+			dev.Array().Set(i, float64(i)+0.5)
+		}
+		hostType := precision.Double
+		if plan.Host == MethodNone {
+			hostType = precision.Single // direct read at single
+		}
+		got, err := ExecuteDtoH(q, dev, hostType, plan)
+		if err != nil {
+			t.Fatalf("plan %+v: %v", plan, err)
+		}
+		if got.Elem() != hostType || got.Len() != 8 {
+			t.Fatalf("plan %+v: result %v/%d", plan, got.Elem(), got.Len())
+		}
+		if got.Get(3) != 3.5 {
+			t.Fatalf("plan %+v: value %v", plan, got.Get(3))
+		}
+		want := EstimateDtoH(s, 8, precision.Single, hostType, plan)
+		if math.Abs(q.Now()-want) > 1e-15 {
+			t.Errorf("plan %+v: executed %v != estimated %v", plan, q.Now(), want)
+		}
+	}
+}
+
+func TestExecuteDtoHDeviceSide(t *testing.T) {
+	// Device converts half -> double, transfer at double (device-side
+	// scaling on the way back).
+	s := sys1()
+	ctx := ocl.NewContext(s)
+	q := ocl.NewQueue(ctx)
+	dev := ctx.CreateBuffer("C", precision.Half, 4)
+	dev.Array().Set(0, 1.5)
+	plan := Direct(precision.Double)
+	got, err := ExecuteDtoH(q, dev, precision.Double, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Get(0) != 1.5 {
+		t.Error("value")
+	}
+	evs := q.Events()
+	if evs[0].Kind != ocl.EvDeviceConvert || evs[0].Dir != ocl.DirDtoH {
+		t.Errorf("first event: %+v", evs[0])
+	}
+	want := EstimateDtoH(s, 4, precision.Half, precision.Double, plan)
+	if math.Abs(q.Now()-want) > 1e-15 {
+		t.Errorf("executed %v != estimated %v", q.Now(), want)
+	}
+}
+
+func TestEstimateCrossovers(t *testing.T) {
+	// The Figure 5 shape: the single loop wins on small arrays, a
+	// parallel host method wins on large ones.
+	s := sys1()
+	d, sg := precision.Double, precision.Single
+	loop := Plan{Host: MethodLoop, Mid: sg}
+	mt := Plan{Host: MethodMT, Threads: s.CPU.Threads, Mid: sg}
+	pipe := Plan{Host: MethodPipelined, Threads: s.CPU.Threads, Mid: sg}
+
+	small := 1 << 8
+	if EstimateHtoD(s, small, d, sg, loop) >= EstimateHtoD(s, small, d, sg, mt) {
+		t.Error("loop should win on small arrays")
+	}
+	large := 1 << 23
+	tLoop := EstimateHtoD(s, large, d, sg, loop)
+	tMT := EstimateHtoD(s, large, d, sg, mt)
+	tPipe := EstimateHtoD(s, large, d, sg, pipe)
+	if tMT >= tLoop {
+		t.Errorf("MT (%v) should beat loop (%v) on large arrays", tMT, tLoop)
+	}
+	if tPipe >= tMT {
+		t.Errorf("pipelining (%v) should beat plain MT (%v) on large arrays", tPipe, tMT)
+	}
+}
+
+func TestEstimateTransientSavesTime(t *testing.T) {
+	// For large double->single HtoD on a narrow bus, wiring through half
+	// (transient) can beat wiring at single because it halves the bytes.
+	s := hw.System1x8()
+	n := 1 << 23
+	direct := Plan{Host: MethodPipelined, Threads: s.CPU.Threads, Mid: precision.Single}
+	transient := Plan{Host: MethodPipelined, Threads: s.CPU.Threads, Mid: precision.Half}
+	td := EstimateHtoD(s, n, precision.Double, precision.Single, direct)
+	tt := EstimateHtoD(s, n, precision.Double, precision.Single, transient)
+	if tt >= td {
+		t.Errorf("transient (%v) should beat direct (%v) at x8", tt, td)
+	}
+}
+
+func TestPropertyEstimatesPositiveMonotonic(t *testing.T) {
+	s := sys1()
+	plans := []Plan{
+		Direct(precision.Double),
+		{Host: MethodLoop, Mid: precision.Single},
+		{Host: MethodMT, Threads: 20, Mid: precision.Half},
+		{Host: MethodPipelined, Threads: 20, Mid: precision.Single},
+	}
+	f := func(a, b uint32) bool {
+		x, y := int(a%(1<<22))+1, int(b%(1<<22))+1
+		if x > y {
+			x, y = y, x
+		}
+		for _, p := range plans {
+			tx := EstimateHtoD(s, x, precision.Double, precision.Single, p)
+			ty := EstimateHtoD(s, y, precision.Double, precision.Single, p)
+			if tx <= 0 || ty <= 0 || tx > ty+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCandidatePlans(t *testing.T) {
+	cpu := &sys1().CPU
+	mids := []precision.Type{precision.Double, precision.Single, precision.Half}
+	plans := CandidatePlans(cpu, precision.Double, precision.Single, mids)
+	// double mid: 1 none-plan; single & half mids: 3 host methods each.
+	if len(plans) != 7 {
+		t.Fatalf("got %d plans, want 7: %+v", len(plans), plans)
+	}
+	for _, p := range plans {
+		if err := p.Validate(precision.Double); err != nil {
+			t.Errorf("candidate plan invalid: %+v: %v", p, err)
+		}
+	}
+	// Duplicates collapse.
+	plans = CandidatePlans(cpu, precision.Double, precision.Double, []precision.Type{precision.Double, precision.Double})
+	if len(plans) != 1 {
+		t.Errorf("duplicate mids should collapse: %d", len(plans))
+	}
+	// Invalid mids are skipped.
+	plans = CandidatePlans(cpu, precision.Double, precision.Double, []precision.Type{precision.Invalid})
+	if len(plans) != 0 {
+		t.Errorf("invalid mid should be skipped: %+v", plans)
+	}
+}
+
+func TestPipelineDegenerateSizes(t *testing.T) {
+	s := sys1()
+	if pt := pipelineTime(s, 0, precision.Double, precision.Single, 8); pt != s.Bus.Latency() {
+		t.Errorf("zero elements: %v", pt)
+	}
+	if pt := pipelineTime(s, 1, precision.Double, precision.Single, 8); pt <= 0 {
+		t.Errorf("one element: %v", pt)
+	}
+}

@@ -1,0 +1,193 @@
+// Package core is the PreScaler framework facade — the paper's primary
+// contribution assembled from its three processes:
+//
+//	System Inspector  (internal/inspect)  — one-time system probing,
+//	Application Profiler (internal/profile) — per-application profiling,
+//	Decision Maker    (internal/scaler)   — decision-tree configuration
+//	                                        search with wildcard tests.
+//
+// A Framework is bound to one target system and carries the inspector
+// database; Scale runs the full pipeline for a workload and returns a
+// ScaledProgram — the analog of the paper's generated executable binary:
+// the workload paired with its chosen memory-object precision and
+// conversion configuration, runnable on the simulated system and
+// printable as a human-readable scaling report.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/baseline"
+	"repro/internal/hw"
+	"repro/internal/inspect"
+	"repro/internal/precision"
+	"repro/internal/prog"
+	"repro/internal/scaler"
+)
+
+// Framework is a PreScaler instance for one target system.
+type Framework struct {
+	sys *hw.System
+	db  *inspect.DB
+}
+
+// NewFramework creates a framework for sys, running the one-time system
+// inspection.
+func NewFramework(sys *hw.System) *Framework {
+	return &Framework{sys: sys, db: inspect.Inspect(sys)}
+}
+
+// LoadFramework creates a framework from a previously saved inspector
+// database (see cmd/inspector), skipping the inspection step — the
+// artifact's "precollected information" path.
+func LoadFramework(sys *hw.System, dbJSON []byte) (*Framework, error) {
+	db, err := inspect.Load(sys, dbJSON)
+	if err != nil {
+		return nil, err
+	}
+	return &Framework{sys: sys, db: db}, nil
+}
+
+// System returns the target system.
+func (f *Framework) System() *hw.System { return f.sys }
+
+// DB returns the inspector database.
+func (f *Framework) DB() *inspect.DB { return f.db }
+
+// ScaledProgram is the output of the framework: a workload bound to the
+// scaling configuration the decision maker chose.
+type ScaledProgram struct {
+	Workload *prog.Workload
+	Config   *prog.Config
+	// Search carries the measurements of the configuration search.
+	Search *scaler.Result
+	sys    *hw.System
+}
+
+// Scale runs profiling and the decision-maker search for w and returns
+// the scaled program.
+func (f *Framework) Scale(w *prog.Workload, opts scaler.Options) (*ScaledProgram, error) {
+	s := scaler.New(f.sys, f.db, w, opts)
+	res, err := s.Search()
+	if err != nil {
+		return nil, fmt.Errorf("core: scale %s: %w", w.Name, err)
+	}
+	return &ScaledProgram{Workload: w, Config: res.Config, Search: res, sys: f.sys}, nil
+}
+
+// Run executes the scaled program on its system with the given input set
+// and returns the result.
+func (p *ScaledProgram) Run(set prog.InputSet) (*prog.Result, error) {
+	return prog.Run(p.sys, p.Workload, set, p.Config)
+}
+
+// Speedup returns the measured speedup over the unscaled program.
+func (p *ScaledProgram) Speedup() float64 { return p.Search.Speedup }
+
+// Quality returns the measured output quality of the scaled program.
+func (p *ScaledProgram) Quality() float64 { return p.Search.Quality }
+
+// Describe renders the chosen configuration as a human-readable report:
+// one line per memory object with its precision and per-event conversion
+// plan.
+func (p *ScaledProgram) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s (%s, %s):\n", p.Workload.Name, p.sys.Name, p.sys.GPU.Name, p.sys.Bus.String())
+	fmt.Fprintf(&b, "  speedup %.2fx, quality %.4f, %d trials\n", p.Search.Speedup, p.Search.Quality, p.Search.Trials)
+
+	names := make([]string, 0, len(p.Workload.Objects))
+	for _, o := range p.Workload.Objects {
+		names = append(names, o.Name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		oc := p.Config.Objects[name]
+		spec := p.Workload.Object(name)
+		fmt.Fprintf(&b, "  %-8s %-5s -> %-5s (%s, %d elems)",
+			name, p.Workload.Original, oc.Target, spec.Kind, spec.Len)
+		if oc.InKernel {
+			b.WriteString(" [in-kernel]")
+		}
+		storage := oc.Target
+		if oc.InKernel {
+			storage = p.Workload.Original
+		}
+		for i, plan := range oc.Plans {
+			fmt.Fprintf(&b, " ev%d:%s", i, plan.Class(p.Workload.Original, storage))
+			if plan.Mid != p.Workload.Original && plan.Mid != storage {
+				fmt.Fprintf(&b, "(via %s)", plan.Mid)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Comparison holds the four techniques' outcomes for one workload, the
+// rows of the Figure 9/10 experiments.
+type Comparison struct {
+	Workload  string
+	Baseline  *baseline.Outcome
+	InKernel  *baseline.Outcome
+	PFP       *baseline.Outcome
+	PreScaler *scaler.Result
+}
+
+// Compare evaluates Baseline, In-Kernel, PFP and PreScaler on w.
+func (f *Framework) Compare(w *prog.Workload, opts scaler.Options) (*Comparison, error) {
+	if opts.TOQ == 0 {
+		opts.TOQ = 0.90
+	}
+	base, err := baseline.Baseline(f.sys, w, opts.InputSet)
+	if err != nil {
+		return nil, fmt.Errorf("core: baseline %s: %w", w.Name, err)
+	}
+	ik, err := baseline.InKernel(f.sys, w, opts.InputSet, opts.TOQ)
+	if err != nil {
+		return nil, fmt.Errorf("core: in-kernel %s: %w", w.Name, err)
+	}
+	pfp, err := baseline.PFP(f.sys, w, opts.InputSet, opts.TOQ)
+	if err != nil {
+		return nil, fmt.Errorf("core: pfp %s: %w", w.Name, err)
+	}
+	ps, err := scaler.New(f.sys, f.db, w, opts).Search()
+	if err != nil {
+		return nil, fmt.Errorf("core: prescaler %s: %w", w.Name, err)
+	}
+	return &Comparison{
+		Workload:  w.Name,
+		Baseline:  base,
+		InKernel:  ik,
+		PFP:       pfp,
+		PreScaler: ps,
+	}, nil
+}
+
+// Categorize runs the workload at baseline precision and returns the
+// HtoD / kernel / DtoH fractions of total time (Figure 4).
+func (f *Framework) Categorize(w *prog.Workload, set prog.InputSet) (htod, kernel, dtoh float64, err error) {
+	res, err := prog.Run(f.sys, w, set, nil)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if res.Total == 0 {
+		return 0, 0, 0, nil
+	}
+	return res.HtoDTime / res.Total, res.KernelTime / res.Total, res.DtoHTime / res.Total, nil
+}
+
+// HalfQuality runs the workload with every memory object forced to half
+// precision and returns the resulting output quality (Figure 6).
+func (f *Framework) HalfQuality(w *prog.Workload, set prog.InputSet) (float64, error) {
+	ref, err := prog.Run(f.sys, w, set, nil)
+	if err != nil {
+		return 0, err
+	}
+	res, err := prog.Run(f.sys, w, set, prog.NewConfig(w, precision.Half))
+	if err != nil {
+		return 0, err
+	}
+	return prog.Quality(ref, res), nil
+}

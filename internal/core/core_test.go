@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/prog"
+	"repro/internal/scaler"
+	"repro/internal/wltest"
+)
+
+func newFW(t *testing.T) *Framework {
+	t.Helper()
+	return NewFramework(hw.System1())
+}
+
+func TestFrameworkScale(t *testing.T) {
+	fw := newFW(t)
+	w := wltest.VecCombine(1 << 14)
+	sp, err := fw.Scale(w, scaler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Quality() < 0.90 {
+		t.Errorf("quality = %v", sp.Quality())
+	}
+	if sp.Speedup() <= 0 {
+		t.Errorf("speedup = %v", sp.Speedup())
+	}
+	res, err := sp.Run(prog.InputDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-running the scaled program reproduces the search's measurement.
+	if math.Abs(res.Total-sp.Search.Final.Total) > 1e-15 {
+		t.Errorf("re-run total %v != search total %v", res.Total, sp.Search.Final.Total)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	fw := newFW(t)
+	w := wltest.VecCombine(1 << 12)
+	sp, err := fw.Scale(w, scaler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sp.Describe()
+	for _, want := range []string{"veccombine", "system1", "Titan Xp", "speedup", "a ", "b ", "tmp", "c "} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe() missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestLoadFramework(t *testing.T) {
+	fw := newFW(t)
+	data, err := fw.DB().MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw2, err := LoadFramework(hw.System1(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw2.System().Name != "system1" {
+		t.Error("system binding")
+	}
+	if _, err := LoadFramework(hw.System2(), data); err == nil {
+		t.Error("mismatched system must fail")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	fw := newFW(t)
+	w := wltest.VecCombine(1 << 15)
+	cmp, err := fw.Compare(w, scaler.Options{TOQ: 0.9, InputSet: prog.InputDefault})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Baseline.Speedup != 1 {
+		t.Error("baseline speedup must be 1")
+	}
+	if cmp.InKernel.Speedup < 1 || cmp.PFP.Speedup < 1 {
+		t.Errorf("technique speedups below 1: ik=%v pfp=%v", cmp.InKernel.Speedup, cmp.PFP.Speedup)
+	}
+	// The paper's headline ordering: PreScaler >= PFP and >= In-Kernel
+	// (PreScaler's search space strictly contains both techniques'
+	// configurations up to prediction error; allow a small tolerance).
+	if cmp.PreScaler.Speedup < cmp.PFP.Speedup*0.98 {
+		t.Errorf("PreScaler (%v) should not lose to PFP (%v)", cmp.PreScaler.Speedup, cmp.PFP.Speedup)
+	}
+	if cmp.PreScaler.Speedup < cmp.InKernel.Speedup*0.98 {
+		t.Errorf("PreScaler (%v) should not lose to In-Kernel (%v)", cmp.PreScaler.Speedup, cmp.InKernel.Speedup)
+	}
+}
+
+func TestCategorize(t *testing.T) {
+	fw := newFW(t)
+	htod, kernel, dtoh, err := fw.Categorize(wltest.VecCombine(1<<14), prog.InputDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := htod + kernel + dtoh
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("fractions sum to %v", sum)
+	}
+	if htod <= 0 || kernel <= 0 || dtoh <= 0 {
+		t.Errorf("fractions: %v %v %v", htod, kernel, dtoh)
+	}
+	// Compute-heavy workload must be kernel-dominated.
+	_, k2, _, err := fw.Categorize(wltest.ComputeHeavy(1<<10, 5000), prog.InputDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 < 0.5 {
+		t.Errorf("compute-heavy kernel fraction = %v", k2)
+	}
+}
+
+func TestHalfQuality(t *testing.T) {
+	fw := newFW(t)
+	qGood, err := fw.HalfQuality(wltest.VecCombine(1<<12), prog.InputDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qGood < 0.9 {
+		t.Errorf("benign workload half quality = %v", qGood)
+	}
+	qBad, err := fw.HalfQuality(wltest.HalfHostile(1<<12), prog.InputDefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qBad >= 0.9 {
+		t.Errorf("overflowing workload half quality = %v, expected failure", qBad)
+	}
+}

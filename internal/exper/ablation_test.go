@@ -1,0 +1,79 @@
+package exper
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/prog"
+	"repro/internal/wltest"
+)
+
+func TestMarkdown(t *testing.T) {
+	tab := &Table{
+		ID:     "demo",
+		Title:  "a title",
+		Header: []string{"x", "y"},
+		Rows:   [][]string{{"1", "2"}},
+	}
+	md := tab.Markdown()
+	for _, want := range []string{"**demo**", "| x | y |", "|---|---|", "| 1 | 2 |"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestAblation(t *testing.T) {
+	r := NewRunner([]*prog.Workload{wltest.VecCombine(1 << 15)})
+	tab, err := r.Ablation(hw.System1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 { // one benchmark + geomean
+		t.Fatalf("ablation rows = %d", len(tab.Rows))
+	}
+	row := tab.Rows[0]
+	full, err := strconv.ParseFloat(row[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noWild, err := strconv.ParseFloat(row[2], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noPre, err := strconv.ParseFloat(row[3], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full search dominates both ablations (its space is a superset)
+	// up to prediction noise.
+	if full < noWild*0.98 || full < noPre*0.98 {
+		t.Errorf("full %v should not lose to ablations (%v, %v)", full, noWild, noPre)
+	}
+	// Trial columns parse as integers.
+	if _, err := strconv.Atoi(row[4]); err != nil {
+		t.Errorf("trials full: %v", err)
+	}
+	if _, err := strconv.Atoi(row[5]); err != nil {
+		t.Errorf("trials no-wildcard: %v", err)
+	}
+}
+
+func TestNoiseSweep(t *testing.T) {
+	r := NewRunner([]*prog.Workload{wltest.VecCombine(1 << 14)})
+	tab, err := r.NoiseSweep(hw.System1(), []float64{0, 0.05, 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Every amplitude must keep all workloads above TOQ.
+	for _, row := range tab.Rows {
+		if row[3] != "1/1" {
+			t.Errorf("jitter %s: passing = %s", row[0], row[3])
+		}
+	}
+}

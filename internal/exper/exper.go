@@ -1,0 +1,627 @@
+// Package exper regenerates every table and figure of the paper's
+// evaluation (Section 3 motivation data and Section 5 results): each
+// experiment produces a Table that can be pretty-printed or written as
+// CSV, mirroring the artifact's CSV logs. A Runner caches the expensive
+// four-technique comparisons so that figures sharing measurements (9, 10,
+// 11, 12) do not repeat runs.
+package exper
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"repro/internal/convert"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/ocl"
+	"repro/internal/precision"
+	"repro/internal/prog"
+	"repro/internal/scaler"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// WriteCSV writes the table as CSV with a leading header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Runner executes experiments over a benchmark suite, caching frameworks
+// and comparisons.
+type Runner struct {
+	Suite []*prog.Workload
+	fws   map[string]*core.Framework
+	cmps  map[string]*core.Comparison
+	// Log receives progress lines; nil disables logging.
+	Log io.Writer
+}
+
+// NewRunner creates a runner over the given suite.
+func NewRunner(suite []*prog.Workload) *Runner {
+	return &Runner{
+		Suite: suite,
+		fws:   map[string]*core.Framework{},
+		cmps:  map[string]*core.Comparison{},
+	}
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format+"\n", args...)
+	}
+}
+
+// Framework returns the (cached) framework for a system. Jittered
+// variants of a system get their own cache entry.
+func (r *Runner) Framework(sys *hw.System) *core.Framework {
+	key := fmt.Sprintf("%s/%g/%d", sys.Name, sys.TimingJitter, sys.JitterSeed)
+	if fw, ok := r.fws[key]; ok {
+		return fw
+	}
+	r.logf("inspecting %s ...", sys.Name)
+	fw := core.NewFramework(sys)
+	r.fws[key] = fw
+	return fw
+}
+
+// Compare returns the (cached) four-technique comparison for one
+// workload.
+func (r *Runner) Compare(sys *hw.System, w *prog.Workload, opts scaler.Options) (*core.Comparison, error) {
+	key := fmt.Sprintf("%s/%s/%v/%.2f", sys.Name, w.Name, opts.InputSet, opts.TOQ)
+	if c, ok := r.cmps[key]; ok {
+		return c, nil
+	}
+	r.logf("comparing %s on %s (set=%v toq=%.2f) ...", w.Name, sys.Name, opts.InputSet, opts.TOQ)
+	c, err := r.Framework(sys).Compare(w, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.cmps[key] = c
+	return c, nil
+}
+
+// scale runs only PreScaler (cached via Compare when available).
+func (r *Runner) scale(sys *hw.System, w *prog.Workload, opts scaler.Options) (*scaler.Result, error) {
+	key := fmt.Sprintf("%s/%s/%v/%.2f", sys.Name, w.Name, opts.InputSet, opts.TOQ)
+	if c, ok := r.cmps[key]; ok {
+		return c.PreScaler, nil
+	}
+	r.logf("prescaler %s on %s (set=%v toq=%.2f) ...", w.Name, sys.Name, opts.InputSet, opts.TOQ)
+	sp, err := r.Framework(sys).Scale(w, opts)
+	if err != nil {
+		return nil, err
+	}
+	return sp.Search, nil
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func f4(v float64) string  { return fmt.Sprintf("%.4f", v) }
+func sci(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// geomean returns the geometric mean of positive values.
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vs)))
+}
+
+// Table1 reproduces the paper's Table 1: native arithmetic throughput per
+// compute capability.
+func Table1() *Table {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Throughput of native arithmetic operations (results/cycle/SM)",
+		Header: []string{"capability", "FP16", "FP32", "FP64"},
+	}
+	for _, c := range hw.Capabilities() {
+		tp := hw.ThroughputTable[c]
+		row := []string{string(c)}
+		for _, p := range []precision.Type{precision.Half, precision.Single, precision.Double} {
+			if tp[p] == 0 {
+				row = append(row, "N")
+			} else {
+				row = append(row, fmt.Sprintf("%g", tp[p]))
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table3 reproduces the paper's Table 3: the evaluation systems.
+func Table3() *Table {
+	t := &Table{
+		ID:    "table3",
+		Title: "Target system configurations",
+		Header: []string{
+			"system", "CPU", "cores/threads", "SIMD", "GPU", "SMs",
+			"GPU clock MHz", "capability", "bus",
+		},
+	}
+	for _, s := range hw.Systems() {
+		t.Rows = append(t.Rows, []string{
+			s.Name, s.CPU.Name,
+			fmt.Sprintf("%d/%d", s.CPU.Cores, s.CPU.Threads),
+			string(s.CPU.SIMD), s.GPU.Name,
+			fmt.Sprintf("%d", s.GPU.SMs),
+			fmt.Sprintf("%.0f", s.GPU.ClockMHz),
+			string(s.GPU.Capability), s.Bus.String(),
+		})
+	}
+	return t
+}
+
+// Table4 reproduces the paper's Table 4: benchmark specification.
+func (r *Runner) Table4() *Table {
+	t := &Table{
+		ID:     "table4",
+		Title:  "Benchmark specification",
+		Header: []string{"benchmark", "input size", "default range", "image range", "random range"},
+	}
+	for _, w := range r.Suite {
+		t.Rows = append(t.Rows, []string{
+			w.Name,
+			fmt.Sprintf("%.2fMB", float64(w.InputBytes)/(1<<20)),
+			fmt.Sprintf("%g-%g", w.DefaultRange[0], w.DefaultRange[1]),
+			"0.0-256.0", "0.0-1.0",
+		})
+	}
+	return t
+}
+
+// Fig4 reproduces Figure 4: the HtoD / kernel / DtoH execution-time
+// fractions per benchmark at baseline precision.
+func (r *Runner) Fig4(sys *hw.System) (*Table, error) {
+	t := &Table{
+		ID:     "fig4",
+		Title:  "OpenCL program categorization on " + sys.Name,
+		Header: []string{"benchmark", "HtoD", "kernel", "DtoH", "category"},
+	}
+	fw := r.Framework(sys)
+	for _, w := range r.Suite {
+		htod, kernel, dtoh, err := fw.Categorize(w, prog.InputDefault)
+		if err != nil {
+			return nil, err
+		}
+		cat := "data-intensive"
+		if kernel > htod+dtoh {
+			cat = "computation-intensive"
+		}
+		t.Rows = append(t.Rows, []string{w.Name, f3(htod), f3(kernel), f3(dtoh), cat})
+	}
+	return t, nil
+}
+
+// Fig5 reproduces Figure 5: conversion+transfer time of each method
+// across sizes for a double->single HtoD transfer, normalized to the
+// single loop, with the best method per size.
+func (r *Runner) Fig5(sys *hw.System) (*Table, error) {
+	t := &Table{
+		ID:    "fig5",
+		Title: "HtoD double->single conversion methods across data sizes on " + sys.Name + " (normalized to single loop)",
+		Header: []string{
+			"elements", "bytes", "loop", "multithread", "device", "pipelined", "transient(half)", "best",
+		},
+	}
+	fw := r.Framework(sys)
+	db := fw.DB()
+	methods := fig5Methods(sys)
+	for n := 1 << 10; n <= 1<<24; n <<= 2 {
+		times := make([]float64, len(methods))
+		for i, m := range methods {
+			times[i] = db.Estimate(m.dir, n, m.host, m.dev, m.p)
+		}
+		base := times[0]
+		row := []string{fmt.Sprintf("%d", n), fmt.Sprintf("%d", n*8)}
+		bestIdx := 0
+		for i, tm := range times {
+			row = append(row, f3(tm/base))
+			// "best except transient", as the figure notes.
+			if methods[i].transient {
+				continue
+			}
+			if tm < times[bestIdx] {
+				bestIdx = i
+			}
+		}
+		row = append(row, methods[bestIdx].name)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: output quality per input set when every
+// memory object is forced to half precision.
+func (r *Runner) Fig6(sys *hw.System) (*Table, error) {
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Output quality with all memory objects at half precision (" + sys.Name + ")",
+		Header: []string{"benchmark", "default", "image", "random"},
+	}
+	fw := r.Framework(sys)
+	for _, w := range r.Suite {
+		row := []string{w.Name}
+		for _, set := range prog.InputSets {
+			q, err := fw.HalfQuality(w, set)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f4(q))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig9 reproduces Figure 9 (a-c): In-Kernel / PFP / PreScaler speedups
+// per benchmark on one system, normalized to baseline, with the
+// geometric-mean row.
+func (r *Runner) Fig9(sys *hw.System, opts scaler.Options) (*Table, error) {
+	t := &Table{
+		ID:     "fig9-" + sys.Name,
+		Title:  "Speedup over baseline on " + sys.Name,
+		Header: []string{"benchmark", "in-kernel", "pfp", "prescaler", "prescaler quality", "trials"},
+	}
+	var ik, pfp, ps []float64
+	for _, w := range r.Suite {
+		c, err := r.Compare(sys, w, opts)
+		if err != nil {
+			return nil, err
+		}
+		ik = append(ik, c.InKernel.Speedup)
+		pfp = append(pfp, c.PFP.Speedup)
+		ps = append(ps, c.PreScaler.Speedup)
+		t.Rows = append(t.Rows, []string{
+			w.Name,
+			f2(c.InKernel.Speedup), f2(c.PFP.Speedup), f2(c.PreScaler.Speedup),
+			f4(c.PreScaler.Quality),
+			fmt.Sprintf("%d", c.PreScaler.Trials),
+		})
+	}
+	t.Rows = append(t.Rows, []string{"geomean", f2(geomean(ik)), f2(geomean(pfp)), f2(geomean(ps)), "", ""})
+	return t, nil
+}
+
+// Fig9Dist reproduces Figure 9 (d-e): the distribution of resulting
+// memory-object types and conversion-method classes for PFP and
+// PreScaler on one system.
+func (r *Runner) Fig9Dist(sys *hw.System, opts scaler.Options) (*Table, error) {
+	t := &Table{
+		ID:    "fig9dist-" + sys.Name,
+		Title: "Result type and conversion method distribution on " + sys.Name,
+		Header: []string{
+			"technique", "FP64", "FP32", "FP16",
+			"none", "host", "device", "transient", "pipelined",
+		},
+	}
+	typeCount := map[string]map[precision.Type]int{"pfp": {}, "prescaler": {}}
+	convCount := map[string]map[string]int{"pfp": {}, "prescaler": {}}
+	for _, w := range r.Suite {
+		c, err := r.Compare(sys, w, opts)
+		if err != nil {
+			return nil, err
+		}
+		for tech, cfg := range map[string]*prog.Config{
+			"pfp":       c.PFP.Config,
+			"prescaler": c.PreScaler.Config,
+		} {
+			for name, oc := range cfg.Objects {
+				typeCount[tech][oc.Target]++
+				spec := w.Object(name)
+				if spec == nil {
+					continue
+				}
+				storage := oc.Target
+				if oc.InKernel {
+					storage = w.Original
+				}
+				for _, p := range oc.Plans {
+					convCount[tech][p.Class(w.Original, storage)]++
+				}
+			}
+		}
+	}
+	for _, tech := range []string{"pfp", "prescaler"} {
+		t.Rows = append(t.Rows, []string{
+			tech,
+			fmt.Sprintf("%d", typeCount[tech][precision.Double]),
+			fmt.Sprintf("%d", typeCount[tech][precision.Single]),
+			fmt.Sprintf("%d", typeCount[tech][precision.Half]),
+			fmt.Sprintf("%d", convCount[tech]["none"]),
+			fmt.Sprintf("%d", convCount[tech]["host"]),
+			fmt.Sprintf("%d", convCount[tech]["device"]),
+			fmt.Sprintf("%d", convCount[tech]["transient"]),
+			fmt.Sprintf("%d", convCount[tech]["pipelined"]),
+		})
+	}
+	return t, nil
+}
+
+// Fig10a reproduces Figure 10 (a): per-benchmark kernel and transfer time
+// of Baseline / In-Kernel / PFP / PreScaler on one system, normalized to
+// the baseline total.
+func (r *Runner) Fig10a(sys *hw.System, opts scaler.Options) (*Table, error) {
+	t := &Table{
+		ID:    "fig10a",
+		Title: "Execution time breakdown on " + sys.Name + " (normalized to baseline; K=kernel, T=transfer)",
+		Header: []string{
+			"benchmark", "B.K", "B.T", "K.K", "K.T", "F.K", "F.T", "P.K", "P.T",
+		},
+	}
+	for _, w := range r.Suite {
+		c, err := r.Compare(sys, w, opts)
+		if err != nil {
+			return nil, err
+		}
+		base := c.Baseline.Final.Total
+		row := []string{w.Name}
+		for _, res := range []*prog.Result{
+			c.Baseline.Final, c.InKernel.Final, c.PFP.Final, c.PreScaler.Final,
+		} {
+			row = append(row, f3(res.KernelTime/base), f3(res.TransferTime()/base))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig10b reproduces Figure 10 (b): the number of execution trials per
+// technique against the entire configuration space (Equation 1).
+func (r *Runner) Fig10b(sys *hw.System, opts scaler.Options) (*Table, error) {
+	t := &Table{
+		ID:    "fig10b",
+		Title: "Execution trials to find the configuration on " + sys.Name,
+		Header: []string{
+			"benchmark", "entire(eq1)", "tree(eq2)", "predicted(eq3)",
+			"in-kernel", "pfp", "prescaler", "tested fraction",
+		},
+	}
+	for _, w := range r.Suite {
+		c, err := r.Compare(sys, w, opts)
+		if err != nil {
+			return nil, err
+		}
+		ps := c.PreScaler
+		frac := float64(ps.Trials) / ps.SearchSpace
+		t.Rows = append(t.Rows, []string{
+			w.Name,
+			sci(ps.SearchSpace), sci(ps.TreeSpace), sci(ps.PredictedSpace),
+			fmt.Sprintf("%d", c.InKernel.Trials),
+			fmt.Sprintf("%d", c.PFP.Trials),
+			fmt.Sprintf("%d", ps.Trials),
+			sci(frac),
+		})
+	}
+	return t, nil
+}
+
+// Fig11 reproduces Figure 11: PFP and PreScaler speedups plus the
+// PreScaler type and conversion distributions at PCIe x16 vs x8.
+func (r *Runner) Fig11(opts scaler.Options) (*Table, error) {
+	t := &Table{
+		ID:    "fig11",
+		Title: "System adaptivity with different PCIe bandwidths",
+		Header: []string{
+			"bus", "pfp speedup", "prescaler speedup",
+			"FP64", "FP32", "FP16", "none", "host", "device", "transient", "pipelined",
+		},
+	}
+	for _, sys := range []*hw.System{hw.System1(), hw.System1x8()} {
+		var pfp, ps []float64
+		types := map[precision.Type]int{}
+		convs := map[string]int{}
+		for _, w := range r.Suite {
+			c, err := r.Compare(sys, w, opts)
+			if err != nil {
+				return nil, err
+			}
+			pfp = append(pfp, c.PFP.Speedup)
+			ps = append(ps, c.PreScaler.Speedup)
+			for t2, n := range c.PreScaler.TypeDist() {
+				types[t2] += n
+			}
+			for cl, n := range c.PreScaler.ConvDist(w) {
+				convs[cl] += n
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("x%d", sys.Bus.Lanes),
+			f2(geomean(pfp)), f2(geomean(ps)),
+			fmt.Sprintf("%d", types[precision.Double]),
+			fmt.Sprintf("%d", types[precision.Single]),
+			fmt.Sprintf("%d", types[precision.Half]),
+			fmt.Sprintf("%d", convs["none"]),
+			fmt.Sprintf("%d", convs["host"]),
+			fmt.Sprintf("%d", convs["device"]),
+			fmt.Sprintf("%d", convs["transient"]),
+			fmt.Sprintf("%d", convs["pipelined"]),
+		})
+	}
+	return t, nil
+}
+
+// Fig12 reproduces Figure 12: PreScaler speedup and type distribution per
+// input set, plus the TOQ sweep on the default set, on system 1.
+func (r *Runner) Fig12() (*Table, error) {
+	sys := hw.System1()
+	t := &Table{
+		ID:    "fig12",
+		Title: "Application adaptivity: input sets and TOQ on " + sys.Name,
+		Header: []string{
+			"configuration", "prescaler speedup", "FP64", "FP32", "FP16",
+		},
+	}
+	addRow := func(label string, opts scaler.Options) error {
+		var ps []float64
+		types := map[precision.Type]int{}
+		for _, w := range r.Suite {
+			res, err := r.scale(sys, w, opts)
+			if err != nil {
+				return err
+			}
+			ps = append(ps, res.Speedup)
+			for t2, n := range res.TypeDist() {
+				types[t2] += n
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			label, f2(geomean(ps)),
+			fmt.Sprintf("%d", types[precision.Double]),
+			fmt.Sprintf("%d", types[precision.Single]),
+			fmt.Sprintf("%d", types[precision.Half]),
+		})
+		return nil
+	}
+	for _, set := range prog.InputSets {
+		if err := addRow("set="+set.String(), scaler.Options{TOQ: 0.90, InputSet: set}); err != nil {
+			return nil, err
+		}
+	}
+	for _, toq := range []float64{0.95, 0.99} {
+		if err := addRow(fmt.Sprintf("toq=%.2f", toq), scaler.Options{TOQ: toq, InputSet: prog.InputDefault}); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// All runs every experiment at the paper's settings and returns the
+// tables in presentation order.
+func (r *Runner) All() ([]*Table, error) {
+	opts := scaler.DefaultOptions()
+	var out []*Table
+	out = append(out, Table1(), Table3(), r.Table4())
+
+	sys1 := hw.System1()
+	fig4, err := r.Fig4(sys1)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, fig4)
+	fig5, err := r.Fig5(sys1)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, fig5)
+	fig6, err := r.Fig6(sys1)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, fig6)
+
+	for _, sys := range hw.Systems() {
+		fig9, err := r.Fig9(sys, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fig9)
+		dist, err := r.Fig9Dist(sys, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, dist)
+	}
+
+	fig10a, err := r.Fig10a(sys1, opts)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, fig10a)
+	fig10b, err := r.Fig10b(sys1, opts)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, fig10b)
+
+	fig11, err := r.Fig11(opts)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, fig11)
+
+	fig12, err := r.Fig12()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, fig12)
+	return out, nil
+}
+
+// fig5Method describes one conversion technique probed by Fig5.
+type fig5Method struct {
+	name      string
+	dir       ocl.Dir
+	host, dev precision.Type
+	p         convert.Plan
+	transient bool
+}
+
+// fig5Methods returns the five techniques of the paper's Figure 5 for a
+// double -> single host-to-device transfer: single loop, multithreaded,
+// device-side, pipelined, and the transient conversion through half
+// (excluded from the "best" column, as in the figure).
+func fig5Methods(sys *hw.System) []fig5Method {
+	d, s, h := precision.Double, precision.Single, precision.Half
+	th := sys.CPU.Threads
+	return []fig5Method{
+		{"loop", ocl.DirHtoD, d, s, convert.Plan{Host: convert.MethodLoop, Mid: s}, false},
+		{"multithread", ocl.DirHtoD, d, s, convert.Plan{Host: convert.MethodMT, Threads: th, Mid: s}, false},
+		{"device", ocl.DirHtoD, d, s, convert.Direct(d), false},
+		{"pipelined", ocl.DirHtoD, d, s, convert.Plan{Host: convert.MethodPipelined, Threads: th, Mid: s}, false},
+		{"transient(half)", ocl.DirHtoD, d, s, convert.Plan{Host: convert.MethodMT, Threads: th, Mid: h}, true},
+	}
+}

@@ -1,0 +1,32 @@
+package fp16_test
+
+import (
+	"fmt"
+
+	"repro/internal/fp16"
+)
+
+// Example demonstrates the three behaviours of binary16 that drive
+// precision-scaling decisions: rounding to 11 significand bits, value
+// absorption near the top of the range, and overflow past 65504.
+func Example() {
+	fmt.Println(fp16.Round(3.14159265358979)) // rounded to the nearest half
+	fmt.Println(fp16.Round(2048 + 1))         // 1 is below the ULP at 2048
+	fmt.Println(fp16.Round(70000))            // above MaxValue: +Inf
+	fmt.Println(fp16.FromFloat64(1.0).Float64() == 1.0)
+	// Output:
+	// 3.140625
+	// 2048
+	// +Inf
+	// true
+}
+
+// ExampleAdd shows arithmetic evaluated at half precision: 0.1 and 0.2
+// both round on input, and the sum rounds again.
+func ExampleAdd() {
+	a := fp16.FromFloat64(0.1)
+	b := fp16.FromFloat64(0.2)
+	fmt.Printf("%.6f\n", fp16.Add(a, b).Float64())
+	// Output:
+	// 0.299805
+}

@@ -1,0 +1,372 @@
+// Package hw models the heterogeneous hardware that PreScaler targets: a
+// host CPU (cores, threads, SIMD extensions), a discrete GPU described by
+// its CUDA compute capability (per-precision arithmetic throughput, SM
+// count, clock, memory bandwidth), and the PCI-Express link between them.
+//
+// The per-capability FP16/FP32/FP64 throughput numbers reproduce Table 1
+// of the paper (results per cycle per SM, from the CUDA C programming
+// guide); the three evaluation systems reproduce Table 3. All timing in
+// the framework derives from these specs, so experiments are deterministic
+// and system behaviour (e.g. capability 6.1's pathological FP16 rate) is
+// explicit data rather than measurement noise.
+package hw
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/precision"
+)
+
+// Capability identifies a CUDA compute capability generation, e.g. "6.1".
+type Capability string
+
+// Throughput is the native arithmetic throughput of one capability in
+// results per cycle per SM, per precision. A zero entry means the
+// precision is not natively supported (pre-5.3 FP16).
+type Throughput map[precision.Type]float64
+
+// ThroughputTable reproduces Table 1 of the paper: throughput of native
+// arithmetic operations across NVIDIA GPU generations. Capability 7.5
+// (Turing, the paper's System 3) is listed separately with its documented
+// FP64 rate of 2; the paper's "7.x" column shows the Volta (7.0) figures.
+var ThroughputTable = map[Capability]Throughput{
+	"3.0": {precision.Half: 0, precision.Single: 192, precision.Double: 8},
+	"3.2": {precision.Half: 0, precision.Single: 192, precision.Double: 8},
+	"3.5": {precision.Half: 0, precision.Single: 192, precision.Double: 64},
+	"3.7": {precision.Half: 0, precision.Single: 192, precision.Double: 64},
+	"5.0": {precision.Half: 0, precision.Single: 128, precision.Double: 4},
+	"5.2": {precision.Half: 0, precision.Single: 128, precision.Double: 4},
+	"5.3": {precision.Half: 256, precision.Single: 128, precision.Double: 4},
+	"6.0": {precision.Half: 128, precision.Single: 64, precision.Double: 32},
+	"6.1": {precision.Half: 2, precision.Single: 128, precision.Double: 4},
+	"6.2": {precision.Half: 256, precision.Single: 128, precision.Double: 4},
+	"7.0": {precision.Half: 128, precision.Single: 64, precision.Double: 32},
+	"7.5": {precision.Half: 128, precision.Single: 64, precision.Double: 2},
+}
+
+// Capabilities returns the known capabilities in ascending order.
+func Capabilities() []Capability {
+	out := make([]Capability, 0, len(ThroughputTable))
+	for c := range ThroughputTable {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// GPU describes a discrete GPU device.
+type GPU struct {
+	Name       string
+	Capability Capability
+	SMs        int
+	ClockMHz   float64
+	// MemBandwidthGBps is the global-memory bandwidth.
+	MemBandwidthGBps float64
+	GlobalMemGB      float64
+	// LaunchLatencyUs is the fixed host-side cost of enqueueing one kernel.
+	LaunchLatencyUs float64
+	// ConvPerCycleSM is the throughput of type-conversion instructions in
+	// results per cycle per SM (conversions are cheap integer-pipe-adjacent
+	// ops on all generations).
+	ConvPerCycleSM float64
+}
+
+// Supports reports whether the GPU natively executes arithmetic at t.
+func (g *GPU) Supports(t precision.Type) bool {
+	return g.Throughput(t) > 0
+}
+
+// Throughput returns results per cycle per SM at precision t, or 0 when
+// unsupported.
+func (g *GPU) Throughput(t precision.Type) float64 {
+	tab, ok := ThroughputTable[g.Capability]
+	if !ok {
+		return 0
+	}
+	return tab[t]
+}
+
+// ComputeTime returns the seconds needed to retire the given number of
+// arithmetic results per precision, plus convOps conversion instructions,
+// assuming full SM occupancy.
+func (g *GPU) ComputeTime(ops map[precision.Type]float64, convOps float64) float64 {
+	cycles := 0.0
+	for t, n := range ops {
+		if n == 0 {
+			continue
+		}
+		thr := g.Throughput(t)
+		if thr <= 0 {
+			// Unsupported precision is emulated with a heavy penalty; the
+			// framework never chooses it, but the model must stay defined.
+			thr = 0.5
+		}
+		cycles += n / (thr * float64(g.SMs))
+	}
+	if convOps > 0 {
+		cycles += convOps / (g.ConvPerCycleSM * float64(g.SMs))
+	}
+	return cycles / (g.ClockMHz * 1e6)
+}
+
+// MemoryTime returns the seconds needed to move the given number of bytes
+// through global memory.
+func (g *GPU) MemoryTime(bytes float64) float64 {
+	return bytes / (g.MemBandwidthGBps * 1e9)
+}
+
+// LaunchLatency returns the fixed kernel-launch cost in seconds.
+func (g *GPU) LaunchLatency() float64 { return g.LaunchLatencyUs * 1e-6 }
+
+// SIMD identifies the widest vector extension of a CPU.
+type SIMD string
+
+// Vector extensions in ascending width.
+const (
+	SIMDNone   SIMD = "scalar"
+	SIMDSSE42  SIMD = "SSE4.2"
+	SIMDAVX    SIMD = "AVX"
+	SIMDAVX2   SIMD = "AVX2"
+	SIMDAVX512 SIMD = "AVX-512"
+)
+
+// Bits returns the vector register width.
+func (s SIMD) Bits() int {
+	switch s {
+	case SIMDSSE42:
+		return 128
+	case SIMDAVX, SIMDAVX2:
+		return 256
+	case SIMDAVX512:
+		return 512
+	default:
+		return 64
+	}
+}
+
+// CPU describes the host processor.
+type CPU struct {
+	Name     string
+	Cores    int
+	Threads  int
+	ClockGHz float64
+	// SIMD is the widest supported vector extension, used by the optimized
+	// host-side conversion paths.
+	SIMD SIMD
+	// MemBandwidthGBps caps multithreaded conversion throughput.
+	MemBandwidthGBps float64
+	// CoreBandwidthGBps caps the streaming throughput of a single core;
+	// one core cannot saturate the socket's memory controllers, which is
+	// why multithreaded conversion wins on large arrays.
+	CoreBandwidthGBps float64
+	// ThreadSpawnUs is the per-thread cost of dispatching work to a worker,
+	// which makes multithreaded conversion lose on small arrays.
+	ThreadSpawnUs float64
+}
+
+// scalarConvCycles returns the per-element cost in cycles of a scalar
+// (single-loop) conversion between two precisions. Conversions involving
+// half precision go through a software half library (the paper links
+// half.sourceforge.net) and cost several times more than the native
+// cvtss2sd-style instructions.
+func scalarConvCycles(src, dst precision.Type) float64 {
+	if src == precision.Half || dst == precision.Half {
+		if src == precision.Half && dst == precision.Half {
+			return 2
+		}
+		return 14 // software half pack/unpack
+	}
+	if src == dst {
+		return 2 // plain copy loop
+	}
+	return 4 // native float<->double conversion
+}
+
+// simdConvCycles returns the per-vector-op cost in cycles of a vectorized
+// conversion. Half conversions use F16C-style instructions when any AVX
+// flavour is present.
+func simdConvCycles(src, dst precision.Type) float64 {
+	if src == precision.Half || dst == precision.Half {
+		return 3
+	}
+	return 2
+}
+
+// ScalarConvertRate returns elements per second for a single-threaded,
+// non-vectorized conversion loop.
+func (c *CPU) ScalarConvertRate(src, dst precision.Type) float64 {
+	return c.ClockGHz * 1e9 / scalarConvCycles(src, dst)
+}
+
+// SIMDConvertRate returns elements per second for one thread using the
+// widest vector extension. Lanes are limited by the wider of the two
+// element types (the conversion must widen in registers).
+func (c *CPU) SIMDConvertRate(src, dst precision.Type) float64 {
+	wide := src.Size()
+	if dst.Size() > wide {
+		wide = dst.Size()
+	}
+	lanes := float64(c.SIMD.Bits() / (8 * wide))
+	if lanes < 1 {
+		lanes = 1
+	}
+	return c.ClockGHz * 1e9 * lanes / simdConvCycles(src, dst)
+}
+
+// MTConvertTime returns the seconds for a conversion of n elements using
+// the given number of threads with SIMD inner loops, including thread
+// dispatch overhead and the host memory-bandwidth ceiling.
+func (c *CPU) MTConvertTime(n int, src, dst precision.Type, threads int) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > c.Threads {
+		threads = c.Threads
+	}
+	// Bandwidth ceilings: the conversion streams src and dst once each, so
+	// each thread is bounded by its core's streaming bandwidth and the
+	// aggregate by the socket bandwidth.
+	bytesPerElem := float64(src.Size() + dst.Size())
+	perThread := c.SIMDConvertRate(src, dst)
+	if coreBW := c.CoreBandwidthGBps * 1e9 / bytesPerElem; coreBW > 0 && perThread > coreBW {
+		perThread = coreBW
+	}
+	rate := perThread * float64(threads)
+	if bwRate := c.MemBandwidthGBps * 1e9 / bytesPerElem; rate > bwRate {
+		rate = bwRate
+	}
+	t := float64(n) / rate
+	if threads > 1 {
+		t += float64(threads) * c.ThreadSpawnUs * 1e-6
+	}
+	return t
+}
+
+// PCIe describes the host-device interconnect.
+type PCIe struct {
+	Gen   int
+	Lanes int
+	// EffBandwidthGBps is the achievable (not theoretical) bandwidth.
+	EffBandwidthGBps float64
+	// LatencyUs is the fixed per-transfer API and DMA-setup latency.
+	LatencyUs float64
+}
+
+// TransferTime returns the seconds to move the given number of bytes over
+// the link, including the fixed per-call latency.
+func (p *PCIe) TransferTime(bytes float64) float64 {
+	if bytes <= 0 {
+		return p.LatencyUs * 1e-6
+	}
+	return bytes/(p.EffBandwidthGBps*1e9) + p.LatencyUs*1e-6
+}
+
+// Latency returns the fixed per-transfer cost in seconds.
+func (p *PCIe) Latency() float64 { return p.LatencyUs * 1e-6 }
+
+// String formats the link like "PCIe 3.0 x16".
+func (p *PCIe) String() string { return fmt.Sprintf("PCIe %d.0 x%d", p.Gen, p.Lanes) }
+
+// System is a complete evaluation platform.
+type System struct {
+	Name string
+	CPU  CPU
+	GPU  GPU
+	Bus  PCIe
+	// TimingJitter, when positive, applies deterministic multiplicative
+	// noise of the given relative amplitude to every simulated event
+	// duration (seeded by JitterSeed). Zero keeps timing exact. Used to
+	// test that the decision maker's choices are robust to measurement
+	// noise.
+	TimingJitter float64
+	JitterSeed   int64
+}
+
+// System1 reproduces the paper's System 1: Xeon E5-2640 v4 + Titan Xp
+// (Pascal, capability 6.1 — the generation whose FP16 arithmetic rate of
+// 2 results/cycle/SM is lower than FP64's).
+func System1() *System {
+	return &System{
+		Name: "system1",
+		CPU: CPU{
+			Name: "Xeon E5-2640 v4", Cores: 10, Threads: 20, ClockGHz: 3.4,
+			SIMD: SIMDAVX2, MemBandwidthGBps: 55, CoreBandwidthGBps: 11, ThreadSpawnUs: 3,
+		},
+		GPU: GPU{
+			Name: "Titan Xp", Capability: "6.1", SMs: 30, ClockMHz: 1582,
+			MemBandwidthGBps: 547, GlobalMemGB: 12, LaunchLatencyUs: 5,
+			ConvPerCycleSM: 32,
+		},
+		Bus: PCIe{Gen: 3, Lanes: 16, EffBandwidthGBps: 12.0, LatencyUs: 10},
+	}
+}
+
+// System1x8 is System 1 with the PCIe link limited to x8, the bandwidth
+// -adaptivity configuration of Figure 11.
+func System1x8() *System {
+	s := System1()
+	s.Name = "system1-x8"
+	s.Bus.Lanes = 8
+	s.Bus.EffBandwidthGBps = 6.0
+	return s
+}
+
+// System2 reproduces the paper's System 2: Xeon E5-2698 v4 + Tesla V100
+// (the DGX Station; Volta, capability 7.0).
+func System2() *System {
+	return &System{
+		Name: "system2",
+		CPU: CPU{
+			Name: "Xeon E5-2698 v4", Cores: 20, Threads: 40, ClockGHz: 3.6,
+			SIMD: SIMDAVX2, MemBandwidthGBps: 68, CoreBandwidthGBps: 11, ThreadSpawnUs: 3,
+		},
+		GPU: GPU{
+			Name: "Tesla V100", Capability: "7.0", SMs: 80, ClockMHz: 1380,
+			MemBandwidthGBps: 900, GlobalMemGB: 16, LaunchLatencyUs: 5,
+			ConvPerCycleSM: 64,
+		},
+		Bus: PCIe{Gen: 3, Lanes: 16, EffBandwidthGBps: 12.0, LatencyUs: 10},
+	}
+}
+
+// System3 reproduces the paper's System 3: Xeon Gold 5115 + RTX 2080 Ti
+// (Turing, capability 7.5, whose FP64 rate of 2 makes double precision
+// very expensive and precision scaling most profitable).
+func System3() *System {
+	return &System{
+		Name: "system3",
+		CPU: CPU{
+			Name: "Xeon Gold 5115", Cores: 10, Threads: 20, ClockGHz: 3.4,
+			SIMD: SIMDAVX512, MemBandwidthGBps: 60, CoreBandwidthGBps: 13, ThreadSpawnUs: 3,
+		},
+		GPU: GPU{
+			Name: "RTX 2080 Ti", Capability: "7.5", SMs: 68, ClockMHz: 1545,
+			MemBandwidthGBps: 616, GlobalMemGB: 11, LaunchLatencyUs: 5,
+			ConvPerCycleSM: 64,
+		},
+		Bus: PCIe{Gen: 3, Lanes: 16, EffBandwidthGBps: 12.0, LatencyUs: 10},
+	}
+}
+
+// Systems returns the three paper systems in order.
+func Systems() []*System {
+	return []*System{System1(), System2(), System3()}
+}
+
+// ByName returns the named system preset, or nil if unknown. Recognized
+// names: system1, system1-x8, system2, system3.
+func ByName(name string) *System {
+	switch name {
+	case "system1":
+		return System1()
+	case "system1-x8":
+		return System1x8()
+	case "system2":
+		return System2()
+	case "system3":
+		return System3()
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,240 @@
+package hw
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/precision"
+)
+
+func TestThroughputTableMatchesPaper(t *testing.T) {
+	// Spot-check the values of Table 1 of the paper.
+	cases := []struct {
+		cap  Capability
+		typ  precision.Type
+		want float64
+	}{
+		{"3.0", precision.Half, 0},
+		{"3.0", precision.Single, 192},
+		{"3.0", precision.Double, 8},
+		{"3.5", precision.Double, 64},
+		{"5.0", precision.Single, 128},
+		{"5.3", precision.Half, 256},
+		{"6.0", precision.Half, 128},
+		{"6.0", precision.Double, 32},
+		{"6.1", precision.Half, 2},
+		{"6.1", precision.Single, 128},
+		{"6.1", precision.Double, 4},
+		{"6.2", precision.Half, 256},
+		{"7.0", precision.Half, 128},
+		{"7.0", precision.Single, 64},
+		{"7.0", precision.Double, 32},
+	}
+	for _, c := range cases {
+		if got := ThroughputTable[c.cap][c.typ]; got != c.want {
+			t.Errorf("Table1[%s][%v] = %v, want %v", c.cap, c.typ, got, c.want)
+		}
+	}
+}
+
+func TestCapability61Anomaly(t *testing.T) {
+	// The central motivation of Section 3.2.1: on capability 6.1, FP16 is
+	// slower than both FP32 and FP64.
+	g := System1().GPU
+	if g.Throughput(precision.Half) >= g.Throughput(precision.Double) {
+		t.Error("6.1 FP16 should be below FP64")
+	}
+	if g.Throughput(precision.Half) >= g.Throughput(precision.Single) {
+		t.Error("6.1 FP16 should be below FP32")
+	}
+}
+
+func TestCapabilitiesSorted(t *testing.T) {
+	caps := Capabilities()
+	if len(caps) != len(ThroughputTable) {
+		t.Fatalf("Capabilities() returned %d entries, want %d", len(caps), len(ThroughputTable))
+	}
+	for i := 1; i < len(caps); i++ {
+		if caps[i-1] >= caps[i] {
+			t.Fatalf("not sorted: %s >= %s", caps[i-1], caps[i])
+		}
+	}
+}
+
+func TestGPUSupports(t *testing.T) {
+	kepler := GPU{Capability: "3.0"}
+	if kepler.Supports(precision.Half) {
+		t.Error("3.0 must not support FP16")
+	}
+	if !kepler.Supports(precision.Double) {
+		t.Error("3.0 supports FP64")
+	}
+	unknown := GPU{Capability: "9.9"}
+	if unknown.Supports(precision.Single) {
+		t.Error("unknown capability should report unsupported")
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	g := System2().GPU // V100: FP64 32/cycle/SM, 80 SMs, 1380 MHz
+	ops := map[precision.Type]float64{precision.Double: 32 * 80 * 1380e6}
+	got := g.ComputeTime(ops, 0)
+	if diff := got - 1.0; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("one second of FP64 work = %v s", got)
+	}
+	// Halving precision to FP32 (64/cycle/SM) should halve the time.
+	ops32 := map[precision.Type]float64{precision.Single: 32 * 80 * 1380e6}
+	if got32 := g.ComputeTime(ops32, 0); got32 >= got {
+		t.Errorf("FP32 time %v not below FP64 time %v", got32, got)
+	}
+}
+
+func TestComputeTimeConversions(t *testing.T) {
+	g := System1().GPU
+	base := g.ComputeTime(map[precision.Type]float64{precision.Single: 1e6}, 0)
+	withConv := g.ComputeTime(map[precision.Type]float64{precision.Single: 1e6}, 1e6)
+	if withConv <= base {
+		t.Error("conversion instructions must add time")
+	}
+}
+
+func TestMemoryTime(t *testing.T) {
+	g := System1().GPU
+	if got := g.MemoryTime(547e9); got < 0.999 || got > 1.001 {
+		t.Errorf("547 GB at 547 GB/s = %v s, want ~1", got)
+	}
+}
+
+func TestPCIeTransferTime(t *testing.T) {
+	b := System1().Bus
+	small := b.TransferTime(1)
+	if small < b.Latency() {
+		t.Error("latency floor missing")
+	}
+	big := b.TransferTime(12e9)
+	if big < 1.0 || big > 1.01 {
+		t.Errorf("12 GB at 12 GB/s = %v s", big)
+	}
+	if b.TransferTime(0) != b.Latency() {
+		t.Error("zero-byte transfer should cost exactly the latency")
+	}
+}
+
+func TestPCIeX8HalvesBandwidth(t *testing.T) {
+	x16 := System1().Bus
+	x8 := System1x8().Bus
+	t16 := x16.TransferTime(1e9) - x16.Latency()
+	t8 := x8.TransferTime(1e9) - x8.Latency()
+	if ratio := t8 / t16; ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("x8/x16 transfer ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestSIMDBits(t *testing.T) {
+	if SIMDSSE42.Bits() != 128 || SIMDAVX2.Bits() != 256 || SIMDAVX512.Bits() != 512 {
+		t.Error("SIMD widths wrong")
+	}
+	if SIMDNone.Bits() != 64 {
+		t.Error("scalar width should be 64")
+	}
+}
+
+func TestConvertRates(t *testing.T) {
+	c := System1().CPU
+	scalar := c.ScalarConvertRate(precision.Double, precision.Single)
+	simd := c.SIMDConvertRate(precision.Double, precision.Single)
+	if simd <= scalar {
+		t.Errorf("SIMD rate %v should beat scalar %v", simd, scalar)
+	}
+	// Half conversions are slower per element than float<->double in the
+	// scalar path (software half library).
+	if c.ScalarConvertRate(precision.Double, precision.Half) >= scalar {
+		t.Error("scalar half conversion should be slower")
+	}
+}
+
+func TestMTConvertTime(t *testing.T) {
+	c := System1().CPU
+	n := 1 << 22
+	one := c.MTConvertTime(n, precision.Double, precision.Single, 1)
+	many := c.MTConvertTime(n, precision.Double, precision.Single, c.Threads)
+	if many >= one {
+		t.Errorf("MT with %d threads (%v) should beat 1 thread (%v) on %d elems", c.Threads, many, one, n)
+	}
+	// On tiny arrays the spawn overhead dominates and MT loses.
+	tinyOne := c.MTConvertTime(64, precision.Double, precision.Single, 1)
+	tinyMany := c.MTConvertTime(64, precision.Double, precision.Single, c.Threads)
+	if tinyMany <= tinyOne {
+		t.Errorf("MT should lose on tiny arrays: 1thr=%v mt=%v", tinyOne, tinyMany)
+	}
+	// Thread counts are clamped.
+	if c.MTConvertTime(n, precision.Double, precision.Single, 10000) <= 0 {
+		t.Error("clamped thread count should still give positive time")
+	}
+	if c.MTConvertTime(n, precision.Double, precision.Single, -3) <= 0 {
+		t.Error("negative thread count should clamp to 1")
+	}
+}
+
+func TestPropertyTimesMonotonicInSize(t *testing.T) {
+	s := System1()
+	f := func(a, b uint32) bool {
+		x, y := int(a%1<<24), int(b%1<<24)
+		if x > y {
+			x, y = y, x
+		}
+		if s.Bus.TransferTime(float64(x)) > s.Bus.TransferTime(float64(y)) {
+			return false
+		}
+		return s.CPU.MTConvertTime(x, precision.Double, precision.Half, 8) <=
+			s.CPU.MTConvertTime(y, precision.Double, precision.Half, 8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemPresets(t *testing.T) {
+	sys := Systems()
+	if len(sys) != 3 {
+		t.Fatalf("want 3 systems, got %d", len(sys))
+	}
+	wantGPU := []string{"Titan Xp", "Tesla V100", "RTX 2080 Ti"}
+	wantCap := []Capability{"6.1", "7.0", "7.5"}
+	wantSMs := []int{30, 80, 68}
+	for i, s := range sys {
+		if s.GPU.Name != wantGPU[i] || s.GPU.Capability != wantCap[i] || s.GPU.SMs != wantSMs[i] {
+			t.Errorf("system %d = %s/%s/%d SMs", i+1, s.GPU.Name, s.GPU.Capability, s.GPU.SMs)
+		}
+	}
+	if s := Systems()[0]; s.CPU.Cores != 10 || s.CPU.Threads != 20 {
+		t.Error("system1 CPU core counts wrong")
+	}
+	if Systems()[1].CPU.Threads != 40 {
+		t.Error("system2 CPU thread count wrong")
+	}
+	if Systems()[2].CPU.SIMD != SIMDAVX512 {
+		t.Error("system3 should have AVX-512")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"system1", "system1-x8", "system2", "system3"} {
+		if ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("unknown name should return nil")
+	}
+	if ByName("system1-x8").Bus.Lanes != 8 {
+		t.Error("x8 variant lanes")
+	}
+}
+
+func TestBusString(t *testing.T) {
+	b := System1().Bus
+	if b.String() != "PCIe 3.0 x16" {
+		t.Errorf("String() = %q", b.String())
+	}
+}

@@ -1,0 +1,182 @@
+package kir
+
+// This file provides a small fluent construction layer over the raw AST so
+// kernels read close to their OpenCL sources. All constructors return
+// plain AST values; verification happens separately in Verify.
+
+// B is a namespace of expression constructors. Use the package-level
+// functions directly; B exists so call sites can write kir.Add(...) etc.
+
+// I returns an integer literal.
+func I(v int64) Expr { return Int{V: v} }
+
+// F returns an untyped floating-point literal.
+func F(v float64) Expr { return Float{V: v} }
+
+// P references a scalar int kernel parameter.
+func P(name string) Expr { return Param{Name: name} }
+
+// Gid returns the work-item global id for dimension dim.
+func Gid(dim int) Expr { return GID{Dim: dim} }
+
+// V references a local variable.
+func V(name string) Expr { return Var{Name: name} }
+
+// At loads buf[index].
+func At(buf string, index Expr) Expr { return Load{Buf: buf, Index: index} }
+
+// Add returns a+b.
+func Add(a, b Expr) Expr { return Binary{Op: OpAdd, A: a, B: b} }
+
+// Sub returns a-b.
+func Sub(a, b Expr) Expr { return Binary{Op: OpSub, A: a, B: b} }
+
+// Mul returns a*b.
+func Mul(a, b Expr) Expr { return Binary{Op: OpMul, A: a, B: b} }
+
+// Div returns a/b.
+func Div(a, b Expr) Expr { return Binary{Op: OpDiv, A: a, B: b} }
+
+// Mod returns a%b (integers only).
+func Mod(a, b Expr) Expr { return Binary{Op: OpMod, A: a, B: b} }
+
+// Min returns min(a,b).
+func Min(a, b Expr) Expr { return Binary{Op: OpMin, A: a, B: b} }
+
+// Max returns max(a,b).
+func Max(a, b Expr) Expr { return Binary{Op: OpMax, A: a, B: b} }
+
+// Neg returns -a.
+func Neg(a Expr) Expr { return Unary{Op: OpNeg, A: a} }
+
+// Abs returns |a|.
+func Abs(a Expr) Expr { return Unary{Op: OpAbs, A: a} }
+
+// Sqrt returns sqrt(a).
+func Sqrt(a Expr) Expr { return Unary{Op: OpSqrt, A: a} }
+
+// Exp returns e^a.
+func Exp(a Expr) Expr { return Unary{Op: OpExp, A: a} }
+
+// Log returns ln(a).
+func Log(a Expr) Expr { return Unary{Op: OpLog, A: a} }
+
+// ItoF converts an int expression to float.
+func ItoF(a Expr) Expr { return Unary{Op: OpItoF, A: a} }
+
+// Lt returns a<b.
+func Lt(a, b Expr) Expr { return Compare{Op: CmpLT, A: a, B: b} }
+
+// Le returns a<=b.
+func Le(a, b Expr) Expr { return Compare{Op: CmpLE, A: a, B: b} }
+
+// Gt returns a>b.
+func Gt(a, b Expr) Expr { return Compare{Op: CmpGT, A: a, B: b} }
+
+// Ge returns a>=b.
+func Ge(a, b Expr) Expr { return Compare{Op: CmpGE, A: a, B: b} }
+
+// Eq returns a==b.
+func Eq(a, b Expr) Expr { return Compare{Op: CmpEQ, A: a, B: b} }
+
+// Ne returns a!=b.
+func Ne(a, b Expr) Expr { return Compare{Op: CmpNE, A: a, B: b} }
+
+// And returns a&&b.
+func And(a, b Expr) Expr { return Logic{Op: LogicAnd, A: a, B: b} }
+
+// Or returns a||b.
+func Or(a, b Expr) Expr { return Logic{Op: LogicOr, A: a, B: b} }
+
+// Cond returns cond ? a : b.
+func Cond(cond, a, b Expr) Expr { return Select{Cond: cond, A: a, B: b} }
+
+// Idx2 flattens a row-major 2D index: row*stride + col.
+func Idx2(row Expr, stride Expr, col Expr) Expr {
+	return Add(Mul(row, stride), col)
+}
+
+// Statement constructors.
+
+// LetF declares a float local.
+func LetF(name string, init Expr) Stmt { return Let{Name: name, Kind: KindFloat, Init: init} }
+
+// LetI declares an int local.
+func LetI(name string, init Expr) Stmt { return Let{Name: name, Kind: KindInt, Init: init} }
+
+// Set assigns to an existing local.
+func Set(name string, v Expr) Stmt { return Assign{Name: name, Value: v} }
+
+// Put stores v into buf[index].
+func Put(buf string, index, v Expr) Stmt { return Store{Buf: buf, Index: index, Value: v} }
+
+// Loop builds a counted loop for v in [start, end).
+func Loop(v string, start, end Expr, body ...Stmt) Stmt {
+	return For{Var: v, Start: start, End: end, Body: body}
+}
+
+// When builds an if without else.
+func When(cond Expr, then ...Stmt) Stmt { return If{Cond: cond, Then: then} }
+
+// WhenElse builds an if/else.
+func WhenElse(cond Expr, then, els []Stmt) Stmt { return If{Cond: cond, Then: then, Else: els} }
+
+// KernelBuilder accumulates a kernel definition.
+type KernelBuilder struct {
+	k Kernel
+}
+
+// NewKernel starts a kernel with the given name and NDRange
+// dimensionality (1 or 2).
+func NewKernel(name string, dims int) *KernelBuilder {
+	return &KernelBuilder{k: Kernel{Name: name, Dims: dims}}
+}
+
+// In declares a read-only buffer parameter.
+func (b *KernelBuilder) In(name string) *KernelBuilder {
+	b.k.Bufs = append(b.k.Bufs, BufParam{Name: name, Access: ReadOnly})
+	return b
+}
+
+// Out declares a write-only buffer parameter.
+func (b *KernelBuilder) Out(name string) *KernelBuilder {
+	b.k.Bufs = append(b.k.Bufs, BufParam{Name: name, Access: WriteOnly})
+	return b
+}
+
+// InOut declares a read-write buffer parameter.
+func (b *KernelBuilder) InOut(name string) *KernelBuilder {
+	b.k.Bufs = append(b.k.Bufs, BufParam{Name: name, Access: ReadWrite})
+	return b
+}
+
+// Ints declares scalar integer parameters.
+func (b *KernelBuilder) Ints(names ...string) *KernelBuilder {
+	b.k.IntParams = append(b.k.IntParams, names...)
+	return b
+}
+
+// Body sets the kernel body.
+func (b *KernelBuilder) Body(stmts ...Stmt) *KernelBuilder {
+	b.k.Body = stmts
+	return b
+}
+
+// Build verifies and returns the kernel.
+func (b *KernelBuilder) Build() (*Kernel, error) {
+	k := b.k
+	if err := Verify(&k); err != nil {
+		return nil, err
+	}
+	return &k, nil
+}
+
+// MustBuild is Build that panics on verification failure; intended for
+// statically-known-good kernels such as the benchmark suite.
+func (b *KernelBuilder) MustBuild() *Kernel {
+	k, err := b.Build()
+	if err != nil {
+		panic("kir: " + err.Error())
+	}
+	return k
+}

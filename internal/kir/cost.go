@@ -1,0 +1,43 @@
+package kir
+
+import (
+	"repro/internal/hw"
+	"repro/internal/precision"
+)
+
+// intOpFraction is the fraction of integer/index operations charged
+// against the FP32 pipeline. Index arithmetic dual-issues with
+// floating-point work on real SMs, so only part of it costs time.
+const intOpFraction = 0.3
+
+// KernelTime converts dynamic operation counts into simulated seconds on
+// the given GPU using a roofline model: the kernel is bound by the larger
+// of its compute time (per-precision throughput from the capability
+// table, plus conversion instructions) and its global-memory time, plus
+// the fixed launch latency.
+func KernelTime(g *hw.GPU, c Counts) float64 {
+	ops := make(map[precision.Type]float64, len(c.Flops)+1)
+	for t, n := range c.Flops {
+		ops[t] += n
+	}
+	ops[precision.Single] += c.IntOps * intOpFraction
+	compute := g.ComputeTime(ops, c.ConvOps)
+	mem := g.MemoryTime(c.LoadBytes + c.StoreBytes)
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	return t + g.LaunchLatency()
+}
+
+// ComputeBound reports whether the kernel's compute time exceeds its
+// memory time on g — the paper's distinction between computation-
+// intensive and data-intensive applications.
+func ComputeBound(g *hw.GPU, c Counts) bool {
+	ops := make(map[precision.Type]float64, len(c.Flops)+1)
+	for t, n := range c.Flops {
+		ops[t] += n
+	}
+	ops[precision.Single] += c.IntOps * intOpFraction
+	return g.ComputeTime(ops, c.ConvOps) > g.MemoryTime(c.LoadBytes+c.StoreBytes)
+}

@@ -1,0 +1,375 @@
+package kir
+
+import "math"
+
+// Fold returns a copy of k with constant subexpressions folded and
+// statically-decided control flow simplified: integer and double-literal
+// arithmetic, comparisons of literals, boolean connectives with literal
+// sides, selects and ifs with constant conditions, and the int identities
+// x+0, x-0, x*1, x*0. Float identities other than literal-literal folding
+// are left alone (x+0.0 is not an identity under IEEE signed zero).
+//
+// Folding float literals happens in float64; this is sound because
+// untyped literals evaluate at double precision in the interpreter too.
+func Fold(k *Kernel) *Kernel {
+	out := *k
+	out.Body = foldBlock(k.Body)
+	return &out
+}
+
+func foldBlock(stmts []Stmt) []Stmt {
+	var out []Stmt
+	for _, s := range stmts {
+		out = append(out, foldStmt(s)...)
+	}
+	return out
+}
+
+// foldStmt returns the folded replacement statements for s (possibly
+// empty when the statement is statically dead, possibly the inlined body
+// of an if with a constant condition).
+func foldStmt(s Stmt) []Stmt {
+	switch s := s.(type) {
+	case Let:
+		return []Stmt{Let{Name: s.Name, Kind: s.Kind, Init: foldExpr(s.Init)}}
+	case Assign:
+		return []Stmt{Assign{Name: s.Name, Value: foldExpr(s.Value)}}
+	case Store:
+		return []Stmt{Store{Buf: s.Buf, Index: foldExpr(s.Index), Value: foldExpr(s.Value)}}
+	case For:
+		start, end := foldExpr(s.Start), foldExpr(s.End)
+		if si, ok := start.(Int); ok {
+			if ei, ok := end.(Int); ok && ei.V <= si.V {
+				return nil // statically empty loop
+			}
+		}
+		return []Stmt{For{Var: s.Var, Start: start, End: end, Body: foldBlock(s.Body)}}
+	case If:
+		cond := foldExpr(s.Cond)
+		if b, ok := constBool(cond); ok {
+			if b {
+				return foldBlock(s.Then)
+			}
+			return foldBlock(s.Else)
+		}
+		return []Stmt{If{Cond: cond, Then: foldBlock(s.Then), Else: foldBlock(s.Else)}}
+	default:
+		return []Stmt{s}
+	}
+}
+
+// constBool extracts a literal boolean produced by folding. Folded
+// comparisons are represented as Int 0/1 wrapped in a boolLit marker; we
+// reuse Compare of two equal Int literals instead to stay within the
+// existing node set, so constBool recognizes comparisons of literals.
+func constBool(e Expr) (bool, bool) {
+	c, ok := e.(Compare)
+	if !ok {
+		return false, false
+	}
+	a, okA := c.A.(Int)
+	b, okB := c.B.(Int)
+	if !okA || !okB {
+		return false, false
+	}
+	switch c.Op {
+	case CmpLT:
+		return a.V < b.V, true
+	case CmpLE:
+		return a.V <= b.V, true
+	case CmpGT:
+		return a.V > b.V, true
+	case CmpGE:
+		return a.V >= b.V, true
+	case CmpEQ:
+		return a.V == b.V, true
+	case CmpNE:
+		return a.V != b.V, true
+	}
+	return false, false
+}
+
+func foldExpr(e Expr) Expr {
+	switch e := e.(type) {
+	case Binary:
+		a, b := foldExpr(e.A), foldExpr(e.B)
+		if ia, ok := a.(Int); ok {
+			if ib, ok := b.(Int); ok {
+				if v, ok := foldIntBin(e.Op, ia.V, ib.V); ok {
+					return Int{V: v}
+				}
+			}
+		}
+		if fa, ok := a.(Float); ok {
+			if fb, ok := b.(Float); ok {
+				if v, ok := foldFloatBin(e.Op, fa.V, fb.V); ok {
+					return Float{V: v}
+				}
+			}
+		}
+		// Integer identities (safe: no IEEE subtleties).
+		if ib, ok := b.(Int); ok && isIntKindLiteralSafe(a) {
+			switch {
+			case ib.V == 0 && (e.Op == OpAdd || e.Op == OpSub):
+				return a
+			case ib.V == 1 && e.Op == OpMul:
+				return a
+			case ib.V == 0 && e.Op == OpMul:
+				return Int{V: 0}
+			}
+		}
+		if ia, ok := a.(Int); ok && isIntKindLiteralSafe(b) {
+			switch {
+			case ia.V == 0 && e.Op == OpAdd:
+				return b
+			case ia.V == 1 && e.Op == OpMul:
+				return b
+			case ia.V == 0 && e.Op == OpMul:
+				return Int{V: 0}
+			}
+		}
+		return Binary{Op: e.Op, A: a, B: b}
+	case Unary:
+		a := foldExpr(e.A)
+		if ia, ok := a.(Int); ok {
+			switch e.Op {
+			case OpNeg:
+				return Int{V: -ia.V}
+			case OpAbs:
+				if ia.V < 0 {
+					return Int{V: -ia.V}
+				}
+				return ia
+			case OpItoF:
+				return Float{V: float64(ia.V)}
+			}
+		}
+		if fa, ok := a.(Float); ok {
+			switch e.Op {
+			case OpNeg:
+				return Float{V: -fa.V}
+			case OpAbs:
+				return Float{V: math.Abs(fa.V)}
+			case OpSqrt:
+				return Float{V: math.Sqrt(fa.V)}
+			case OpExp:
+				return Float{V: math.Exp(fa.V)}
+			case OpLog:
+				return Float{V: math.Log(fa.V)}
+			}
+		}
+		return Unary{Op: e.Op, A: a}
+	case Compare:
+		return Compare{Op: e.Op, A: foldExpr(e.A), B: foldExpr(e.B)}
+	case Logic:
+		a, b := foldExpr(e.A), foldExpr(e.B)
+		if v, ok := constBool(a); ok {
+			if e.Op == LogicAnd {
+				if !v {
+					return falseExpr()
+				}
+				return b
+			}
+			if v {
+				return trueExpr()
+			}
+			return b
+		}
+		if v, ok := constBool(b); ok {
+			if e.Op == LogicAnd {
+				if !v {
+					return falseExpr()
+				}
+				return a
+			}
+			if v {
+				return trueExpr()
+			}
+			return a
+		}
+		return Logic{Op: e.Op, A: a, B: b}
+	case Select:
+		cond := foldExpr(e.Cond)
+		a, b := foldExpr(e.A), foldExpr(e.B)
+		if v, ok := constBool(cond); ok {
+			if v {
+				return a
+			}
+			return b
+		}
+		return Select{Cond: cond, A: a, B: b}
+	case Load:
+		return Load{Buf: e.Buf, Index: foldExpr(e.Index)}
+	default:
+		return e
+	}
+}
+
+// trueExpr and falseExpr are canonical literal conditions (comparisons of
+// int literals, recognized by constBool).
+func trueExpr() Expr  { return Compare{Op: CmpEQ, A: Int{V: 0}, B: Int{V: 0}} }
+func falseExpr() Expr { return Compare{Op: CmpNE, A: Int{V: 0}, B: Int{V: 0}} }
+
+// isIntKindLiteralSafe conservatively reports that e is int-kind, so the
+// int identities may apply. Only structurally obvious cases are accepted.
+func isIntKindLiteralSafe(e Expr) bool {
+	switch e := e.(type) {
+	case Int, Param, GID:
+		return true
+	case Binary:
+		return isIntKindLiteralSafe(e.A) && isIntKindLiteralSafe(e.B)
+	default:
+		return false // Vars could be float; stay conservative
+	}
+}
+
+func foldIntBin(op BinOp, a, b int64) (int64, bool) {
+	switch op {
+	case OpAdd:
+		return a + b, true
+	case OpSub:
+		return a - b, true
+	case OpMul:
+		return a * b, true
+	case OpDiv:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case OpMod:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case OpMin:
+		if a < b {
+			return a, true
+		}
+		return b, true
+	case OpMax:
+		if a > b {
+			return a, true
+		}
+		return b, true
+	}
+	return 0, false
+}
+
+func foldFloatBin(op BinOp, a, b float64) (float64, bool) {
+	switch op {
+	case OpAdd:
+		return a + b, true
+	case OpSub:
+		return a - b, true
+	case OpMul:
+		return a * b, true
+	case OpDiv:
+		return a / b, true
+	case OpMin:
+		return math.Min(a, b), true
+	case OpMax:
+		return math.Max(a, b), true
+	}
+	return 0, false
+}
+
+// EliminateDeadLets returns a copy of k with Let statements whose
+// variables are never read removed. Assignments to dead variables are
+// removed with them. Expressions are pure, so dropping an unused Let
+// cannot change behaviour. The pass iterates to a fixed point so chains
+// of dead lets disappear.
+func EliminateDeadLets(k *Kernel) *Kernel {
+	out := *k
+	body := k.Body
+	for {
+		used := map[string]bool{}
+		collectUses(body, used)
+		next, changed := dropDead(body, used)
+		body = next
+		if !changed {
+			break
+		}
+	}
+	out.Body = body
+	return &out
+}
+
+func collectUses(stmts []Stmt, used map[string]bool) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case Let:
+			collectExprUses(s.Init, used)
+		case Assign:
+			// The assigned name itself is not a use; its value is.
+			collectExprUses(s.Value, used)
+		case Store:
+			collectExprUses(s.Index, used)
+			collectExprUses(s.Value, used)
+		case For:
+			collectExprUses(s.Start, used)
+			collectExprUses(s.End, used)
+			collectUses(s.Body, used)
+		case If:
+			collectExprUses(s.Cond, used)
+			collectUses(s.Then, used)
+			collectUses(s.Else, used)
+		}
+	}
+}
+
+func collectExprUses(e Expr, used map[string]bool) {
+	switch e := e.(type) {
+	case Var:
+		used[e.Name] = true
+	case Load:
+		collectExprUses(e.Index, used)
+	case Binary:
+		collectExprUses(e.A, used)
+		collectExprUses(e.B, used)
+	case Unary:
+		collectExprUses(e.A, used)
+	case Compare:
+		collectExprUses(e.A, used)
+		collectExprUses(e.B, used)
+	case Logic:
+		collectExprUses(e.A, used)
+		collectExprUses(e.B, used)
+	case Select:
+		collectExprUses(e.Cond, used)
+		collectExprUses(e.A, used)
+		collectExprUses(e.B, used)
+	}
+}
+
+func dropDead(stmts []Stmt, used map[string]bool) ([]Stmt, bool) {
+	var out []Stmt
+	changed := false
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case Let:
+			if !used[s.Name] {
+				changed = true
+				continue
+			}
+			out = append(out, s)
+		case Assign:
+			if !used[s.Name] {
+				changed = true
+				continue
+			}
+			out = append(out, s)
+		case For:
+			body, c := dropDead(s.Body, used)
+			changed = changed || c
+			out = append(out, For{Var: s.Var, Start: s.Start, End: s.End, Body: body})
+		case If:
+			then, c1 := dropDead(s.Then, used)
+			els, c2 := dropDead(s.Else, used)
+			changed = changed || c1 || c2
+			out = append(out, If{Cond: s.Cond, Then: then, Else: els})
+		default:
+			out = append(out, s)
+		}
+	}
+	return out, changed
+}

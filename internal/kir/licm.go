@@ -1,0 +1,244 @@
+package kir
+
+import "fmt"
+
+// LICM hoists loop-invariant subexpressions out of loop bodies into
+// fresh Let bindings in front of the loop: the inner-loop index
+// arithmetic of matrix kernels (row*stride and friends) then executes
+// once per loop instead of once per iteration.
+//
+// An expression is hoistable when it
+//   - references no variable assigned inside the loop body (including
+//     the loop variable),
+//   - contains no Load (stores in the body may alias) and no integer
+//     division or modulo (hoisting must not introduce a fault on a loop
+//     that would not have executed), and
+//   - is not the multiply operand of an add (that shape fuses to an FMA
+//     during lowering; hoisting it would change rounding).
+//
+// The pass runs bottom-up so inner-loop hoists can cascade outward, and
+// deduplicates identical hoisted expressions per loop.
+func LICM(k *Kernel) *Kernel {
+	h := &hoister{kinds: map[string]Kind{}}
+	out := *k
+	out.Body = h.block(k.Body)
+	return &out
+}
+
+type hoister struct {
+	kinds map[string]Kind
+	next  int
+}
+
+// block processes statements, maintaining variable kinds for kind
+// inference of hoisted expressions.
+func (h *hoister) block(stmts []Stmt) []Stmt {
+	out := make([]Stmt, 0, len(stmts))
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case Let:
+			h.kinds[s.Name] = s.Kind
+			out = append(out, s)
+		case For:
+			h.kinds[s.Var] = KindInt
+			body := h.block(s.Body)
+			loop := For{Var: s.Var, Start: s.Start, End: s.End, Body: body}
+			hoisted, rewritten := h.hoistLoop(loop)
+			out = append(out, hoisted...)
+			out = append(out, rewritten)
+		case If:
+			out = append(out, If{Cond: s.Cond, Then: h.block(s.Then), Else: h.block(s.Else)})
+		default:
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// hoistLoop extracts invariant subexpressions from one loop.
+func (h *hoister) hoistLoop(loop For) ([]Stmt, Stmt) {
+	assigned := map[string]bool{loop.Var: true}
+	collectAssigned(loop.Body, assigned)
+
+	hx := &loopHoist{
+		h:        h,
+		assigned: assigned,
+		seen:     map[string]string{},
+	}
+	body := make([]Stmt, len(loop.Body))
+	for i, s := range loop.Body {
+		body[i] = hx.stmt(s)
+	}
+	return hx.lets, For{Var: loop.Var, Start: loop.Start, End: loop.End, Body: body}
+}
+
+func collectAssigned(stmts []Stmt, out map[string]bool) {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case Let:
+			out[s.Name] = true
+		case Assign:
+			out[s.Name] = true
+		case For:
+			out[s.Var] = true
+			collectAssigned(s.Body, out)
+		case If:
+			collectAssigned(s.Then, out)
+			collectAssigned(s.Else, out)
+		}
+	}
+}
+
+// loopHoist rewrites the statements of one loop body.
+type loopHoist struct {
+	h        *hoister
+	assigned map[string]bool
+	lets     []Stmt
+	seen     map[string]string // canonical expr -> hoisted var name
+}
+
+func (x *loopHoist) stmt(s Stmt) Stmt {
+	switch s := s.(type) {
+	case Let:
+		return Let{Name: s.Name, Kind: s.Kind, Init: x.expr(s.Init, false)}
+	case Assign:
+		return Assign{Name: s.Name, Value: x.expr(s.Value, false)}
+	case Store:
+		return Store{Buf: s.Buf, Index: x.expr(s.Index, false), Value: x.expr(s.Value, false)}
+	case For:
+		// Nested loops were already processed bottom-up; only their bounds
+		// remain candidates here.
+		return For{Var: s.Var, Start: x.expr(s.Start, false), End: x.expr(s.End, false), Body: s.Body}
+	case If:
+		then := make([]Stmt, len(s.Then))
+		for i, t := range s.Then {
+			then[i] = x.stmt(t)
+		}
+		els := make([]Stmt, len(s.Else))
+		for i, t := range s.Else {
+			els[i] = x.stmt(t)
+		}
+		return If{Cond: x.expr(s.Cond, false), Then: then, Else: els}
+	default:
+		return s
+	}
+}
+
+// expr rewrites one expression, hoisting maximal invariant subtrees.
+// fmaGuard marks a multiply that would fuse with its parent add.
+func (x *loopHoist) expr(e Expr, fmaGuard bool) Expr {
+	if !fmaGuard && x.hoistable(e) && !trivial(e) {
+		kind := x.kindOf(e)
+		if kind == KindInt || kind == KindFloat {
+			key := ExprString(e)
+			if name, ok := x.seen[key]; ok {
+				return Var{Name: name}
+			}
+			name := fmt.Sprintf("%%licm%d", x.h.next) // % avoids collisions with user names
+			x.h.next++
+			x.h.kinds[name] = kind
+			x.seen[key] = name
+			x.lets = append(x.lets, Let{Name: name, Kind: kind, Init: e})
+			return Var{Name: name}
+		}
+	}
+	switch e := e.(type) {
+	case Binary:
+		ga := false
+		gb := false
+		if e.Op == OpAdd && x.kindOf(e) == KindFloat {
+			// Only float multiply-adds fuse to FMAs during lowering; the
+			// guard must not block hoisting of integer index arithmetic.
+			if m, ok := e.A.(Binary); ok && m.Op == OpMul {
+				ga = true
+			}
+			if m, ok := e.B.(Binary); ok && m.Op == OpMul {
+				gb = true
+			}
+		}
+		return Binary{Op: e.Op, A: x.expr(e.A, ga), B: x.expr(e.B, gb)}
+	case Unary:
+		return Unary{Op: e.Op, A: x.expr(e.A, false)}
+	case Compare:
+		return Compare{Op: e.Op, A: x.expr(e.A, false), B: x.expr(e.B, false)}
+	case Logic:
+		return Logic{Op: e.Op, A: x.expr(e.A, false), B: x.expr(e.B, false)}
+	case Select:
+		return Select{Cond: x.expr(e.Cond, false), A: x.expr(e.A, false), B: x.expr(e.B, false)}
+	case Load:
+		return Load{Buf: e.Buf, Index: x.expr(e.Index, false)}
+	default:
+		return e
+	}
+}
+
+// trivial reports whether hoisting e would not save work.
+func trivial(e Expr) bool {
+	switch e.(type) {
+	case Int, Float, Var, Param, GID:
+		return true
+	default:
+		return false
+	}
+}
+
+// hoistable reports whether e is invariant and safe to evaluate before
+// the loop.
+func (x *loopHoist) hoistable(e Expr) bool {
+	switch e := e.(type) {
+	case Int, Float, Param, GID:
+		return true
+	case Var:
+		return !x.assigned[e.Name]
+	case Load:
+		return false // stores in the body may alias
+	case Binary:
+		if e.Op == OpDiv || e.Op == OpMod {
+			// Integer division faults on zero; float division is safe but
+			// the kind is not known here, so stay conservative for both.
+			if x.kindOf(e) == KindInt {
+				return false
+			}
+		}
+		return x.hoistable(e.A) && x.hoistable(e.B)
+	case Unary:
+		return x.hoistable(e.A)
+	case Compare:
+		return x.hoistable(e.A) && x.hoistable(e.B)
+	case Logic:
+		return x.hoistable(e.A) && x.hoistable(e.B)
+	case Select:
+		return x.hoistable(e.Cond) && x.hoistable(e.A) && x.hoistable(e.B)
+	default:
+		return false
+	}
+}
+
+// kindOf infers the kind of a verified expression using the hoister's
+// variable environment.
+func (x *loopHoist) kindOf(e Expr) Kind {
+	switch e := e.(type) {
+	case Int, Param, GID:
+		return KindInt
+	case Float, Load:
+		return KindFloat
+	case Var:
+		if k, ok := x.h.kinds[e.Name]; ok {
+			return k
+		}
+		return KindInvalid
+	case Binary:
+		return x.kindOf(e.A)
+	case Unary:
+		if e.Op == OpItoF {
+			return KindFloat
+		}
+		return x.kindOf(e.A)
+	case Compare, Logic:
+		return KindBool
+	case Select:
+		return x.kindOf(e.A)
+	default:
+		return KindInvalid
+	}
+}

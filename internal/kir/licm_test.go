@@ -1,0 +1,187 @@
+package kir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/precision"
+)
+
+// gemmLikeKernel has the canonical LICM target: row*stride recomputed in
+// the inner loop.
+func gemmLikeKernel(t testing.TB) *Kernel {
+	t.Helper()
+	k, err := NewKernel("gemmish", 2).In("a").In("b").Out("c").Ints("n").
+		Body(
+			LetF("acc", F(0)),
+			Loop("k", I(0), P("n"),
+				Set("acc", Add(
+					Mul(
+						At("a", Add(Mul(Gid(0), P("n")), V("k"))),
+						At("b", Add(Mul(V("k"), P("n")), Gid(1))),
+					),
+					V("acc"),
+				)),
+			),
+			Put("c", Add(Mul(Gid(0), P("n")), Gid(1)), V("acc")),
+		).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestLICMHoistsRowBase(t *testing.T) {
+	k := gemmLikeKernel(t)
+	out := LICM(Fold(k))
+	s := out.String()
+	if !strings.Contains(s, "%licm") {
+		t.Fatalf("no hoisted lets in:\n%s", s)
+	}
+	// The hoisted let must appear before the loop and compute gid0*n.
+	idxLet := strings.Index(s, "%licm0")
+	idxFor := strings.Index(s, "for k")
+	if idxLet < 0 || idxFor < 0 || idxLet > idxFor {
+		t.Errorf("hoisted let should precede the loop:\n%s", s)
+	}
+	if !strings.Contains(s, "(gid0 * n)") {
+		t.Errorf("expected hoisted (gid0 * n):\n%s", s)
+	}
+}
+
+func TestLICMReducesDynamicIntOps(t *testing.T) {
+	k := gemmLikeKernel(t)
+	n := 16
+	mk := func() *ExecEnv {
+		a := precision.NewArray(precision.Double, n*n)
+		b := precision.NewArray(precision.Double, n*n)
+		for i := 0; i < n*n; i++ {
+			a.Set(i, float64(i%9)*0.5)
+			b.Set(i, float64(i%7)*0.25)
+		}
+		return &ExecEnv{
+			Bufs:    []*precision.Array{a, b, precision.NewArray(precision.Double, n*n)},
+			IntArgs: []int64{int64(n)},
+			Global:  [2]int{n, n},
+		}
+	}
+	oc, rc, oe, re := runBoth(t, k, mk)
+	if err := sameOutputs(oe, re); err != nil {
+		t.Fatal(err)
+	}
+	// Each inner iteration loses at least the gid0*n multiply.
+	if oc.IntOps >= rc.IntOps {
+		t.Errorf("LICM+LVN should cut int ops: %v >= %v", oc.IntOps, rc.IntOps)
+	}
+	if oc.Flops[precision.Double] != rc.Flops[precision.Double] {
+		t.Errorf("flops must not change: %v != %v", oc.Flops, rc.Flops)
+	}
+}
+
+func TestLICMDoesNotHoistLoads(t *testing.T) {
+	// b[0] is invariant-looking but the body stores to b: it must stay in
+	// the loop.
+	k, err := NewKernel("aliased", 1).InOut("b").Ints("n").
+		Body(
+			Loop("i", I(0), P("n"),
+				Put("b", V("i"), Add(At("b", I(0)), F(1))),
+			),
+		).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MustCompile(k)
+	b := precision.FromSlice(precision.Double, []float64{1, 0, 0, 0})
+	if _, err := p.Run(&ExecEnv{Bufs: []*precision.Array{b}, IntArgs: []int64{4}, Global: [2]int{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// b[0]=1+1=2 on i=0; afterwards b[0] stays 2, so every later element
+	// reads 2+1=3. Had the load been hoisted, every element including
+	// b[1] would be 1+1=2.
+	want := []float64{2, 3, 3, 3}
+	for i, wv := range want {
+		if b.Get(i) != wv {
+			t.Fatalf("b = %v, want %v (load must not be hoisted past stores)", b.Data(), want)
+		}
+	}
+}
+
+func TestLICMDoesNotHoistIntDivision(t *testing.T) {
+	// n/m with m possibly zero: hoisting would fault on an empty loop.
+	k, err := NewKernel("divguard", 1).Out("b").Ints("n", "m").
+		Body(
+			Loop("i", I(0), P("n"),
+				Put("b", V("i"), ItoF(Div(P("n"), P("m")))),
+			),
+			Put("b", I(0), F(7)),
+		).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MustCompile(k)
+	b := precision.NewArray(precision.Double, 4)
+	// m = 0 but the loop body never runs (n = 0): must not fault.
+	if _, err := p.Run(&ExecEnv{Bufs: []*precision.Array{b}, IntArgs: []int64{0, 0}, Global: [2]int{1, 1}}); err != nil {
+		t.Fatalf("hoisted division faulted on empty loop: %v", err)
+	}
+	if b.Get(0) != 7 {
+		t.Error("trailing store missing")
+	}
+}
+
+func TestLICMPreservesFMAFusion(t *testing.T) {
+	// x*y is invariant but feeds an add with the accumulator: hoisting it
+	// would break FMA fusion and change rounding. Verify outputs are
+	// bit-identical with the unoptimized pipeline on half data, where a
+	// fusion difference would show.
+	k, err := NewKernel("fma", 1).In("a").Out("c").Ints("n").
+		Body(
+			LetF("x", At("a", I(0))),
+			LetF("y", At("a", I(1))),
+			LetF("acc", F(0)),
+			Loop("i", I(0), P("n"),
+				Set("acc", Add(Mul(V("x"), V("y")), V("acc"))),
+			),
+			Put("c", Gid(0), V("acc")),
+		).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *ExecEnv {
+		a := precision.FromSlice(precision.Half, []float64{1.2421875, 3.3339843})
+		return &ExecEnv{
+			Bufs:    []*precision.Array{a, precision.NewArray(precision.Half, 1)},
+			IntArgs: []int64{9},
+			Global:  [2]int{1, 1},
+		}
+	}
+	_, _, oe, re := runBoth(t, k, mk)
+	if err := sameOutputs(oe, re); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLICMNestedLoops(t *testing.T) {
+	// gid0*n is invariant in both loops and should cascade out of both.
+	k, err := NewKernel("nested", 1).In("a").Out("c").Ints("n").
+		Body(
+			LetF("acc", F(0)),
+			Loop("i", I(0), P("n"),
+				Loop("j", I(0), P("n"),
+					Set("acc", Add(V("acc"), At("a", Add(Mul(Gid(0), P("n")), V("j"))))),
+				),
+			),
+			Put("c", Gid(0), V("acc")),
+		).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := LICM(Fold(k))
+	s := out.String()
+	// The hoisted binding should sit before the outer loop.
+	letIdx := strings.Index(s, "%licm")
+	outerIdx := strings.Index(s, "for i")
+	if letIdx < 0 || letIdx > outerIdx {
+		t.Errorf("hoist should cascade out of the outer loop:\n%s", s)
+	}
+}

@@ -1,0 +1,394 @@
+package kir
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/precision"
+)
+
+// stencilKernel has heavy index-arithmetic redundancy: (i+di)*stride is
+// recomputed for several taps, which LVN should collapse.
+func stencilKernel(t testing.TB) *Kernel {
+	t.Helper()
+	at := func(d int64) Expr { return At("a", Add(Mul(Gid(0), P("s")), I(d))) }
+	k, err := NewKernel("stencil", 1).In("a").Out("b").Ints("s").
+		Body(
+			Put("b", Mul(Gid(0), P("s")),
+				Add(Add(Mul(F(0.25), at(0)), Mul(F(0.5), at(1))), Mul(F(0.25), at(2))),
+			),
+		).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// dualLoadKernel loads the same element twice (like GESUMMV's x[j]).
+func dualLoadKernel(t testing.TB) *Kernel {
+	t.Helper()
+	k, err := NewKernel("dual", 1).In("a").In("x").Out("y").Ints("n").
+		Body(
+			LetF("sa", F(0)),
+			LetF("sb", F(0)),
+			Loop("j", I(0), P("n"),
+				Set("sa", Add(Mul(At("a", V("j")), At("x", V("j"))), V("sa"))),
+				Set("sb", Add(Mul(At("a", V("j")), At("x", V("j"))), V("sb"))),
+			),
+			Put("y", Gid(0), Add(V("sa"), V("sb"))),
+		).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func runBoth(t testing.TB, k *Kernel, mkEnv func() *ExecEnv) (optCounts, rawCounts Counts, optEnv, rawEnv *ExecEnv) {
+	t.Helper()
+	opt, err := Compile(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := CompileUnoptimized(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optEnv, rawEnv = mkEnv(), mkEnv()
+	optCounts, err = opt.Run(optEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawCounts, err = raw.Run(rawEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return optCounts, rawCounts, optEnv, rawEnv
+}
+
+func sameOutputs(a, b *ExecEnv) error {
+	for i := range a.Bufs {
+		x, y := a.Bufs[i].Data(), b.Bufs[i].Data()
+		for j := range x {
+			if x[j] != y[j] && !(math.IsNaN(x[j]) && math.IsNaN(y[j])) {
+				return fmt.Errorf("buffer %d elem %d: %v != %v", i, j, x[j], y[j])
+			}
+		}
+	}
+	return nil
+}
+
+func TestLVNStencilSavesIntOps(t *testing.T) {
+	k := stencilKernel(t)
+	n := 32
+	mk := func() *ExecEnv {
+		a := precision.NewArray(precision.Double, n*4)
+		for i := 0; i < a.Len(); i++ {
+			a.Set(i, float64(i)*0.5)
+		}
+		return &ExecEnv{
+			Bufs:    []*precision.Array{a, precision.NewArray(precision.Double, n*4)},
+			IntArgs: []int64{3},
+			Global:  [2]int{n, 1},
+		}
+	}
+	oc, rc, oe, re := runBoth(t, k, mk)
+	if err := sameOutputs(oe, re); err != nil {
+		t.Fatal(err)
+	}
+	if oc.IntOps >= rc.IntOps {
+		t.Errorf("LVN should cut index ops: %v >= %v", oc.IntOps, rc.IntOps)
+	}
+	if oc.TotalFlops() != rc.TotalFlops() {
+		t.Errorf("flops changed: %v != %v", oc.TotalFlops(), rc.TotalFlops())
+	}
+}
+
+func TestLVNDualLoadSavesTraffic(t *testing.T) {
+	k := dualLoadKernel(t)
+	n := 16
+	mk := func() *ExecEnv {
+		a := precision.NewArray(precision.Single, n)
+		x := precision.NewArray(precision.Single, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, float64(i)+0.5)
+			x.Set(i, 2-float64(i)*0.1)
+		}
+		return &ExecEnv{
+			Bufs:    []*precision.Array{a, x, precision.NewArray(precision.Single, 4)},
+			IntArgs: []int64{int64(n)},
+			Global:  [2]int{4, 1},
+		}
+	}
+	oc, rc, oe, re := runBoth(t, k, mk)
+	if err := sameOutputs(oe, re); err != nil {
+		t.Fatal(err)
+	}
+	// The duplicate a[j] and x[j] loads collapse: half the load traffic.
+	if oc.LoadBytes*1.9 > rc.LoadBytes {
+		t.Errorf("LVN should halve load traffic: opt %v vs raw %v", oc.LoadBytes, rc.LoadBytes)
+	}
+	// The multiplies fuse into FMAs with distinct accumulators, so flops
+	// stay equal; only the memory traffic shrinks.
+	if oc.TotalFlops() != rc.TotalFlops() {
+		t.Errorf("flops changed: %v != %v", oc.TotalFlops(), rc.TotalFlops())
+	}
+}
+
+func TestLVNRespectsStores(t *testing.T) {
+	// b[0] is loaded, stored to, and loaded again: the second load must
+	// NOT be merged with the first.
+	k, err := NewKernel("alias", 1).InOut("b").
+		Body(
+			LetF("before", At("b", I(0))),
+			Put("b", I(0), Add(V("before"), F(1))),
+			LetF("after", At("b", I(0))),
+			Put("b", I(1), V("after")),
+		).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := MustCompile(k)
+	b := precision.FromSlice(precision.Double, []float64{10, 0})
+	if _, err := p.Run(&ExecEnv{Bufs: []*precision.Array{b}, Global: [2]int{1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Get(1) != 11 {
+		t.Fatalf("b[1] = %v, want 11 (load after store must see new value)", b.Get(1))
+	}
+}
+
+func TestLVNPolybenchKernelsEquivalent(t *testing.T) {
+	// The redundancy-heavy kernels used by the real suite must agree
+	// between optimized and unoptimized pipelines on real data.
+	k := stencilKernel(t)
+	mk := func() *ExecEnv {
+		a := precision.NewArray(precision.Half, 256)
+		for i := 0; i < 256; i++ {
+			a.Set(i, float64(i%50)*0.25)
+		}
+		return &ExecEnv{
+			Bufs:    []*precision.Array{a, precision.NewArray(precision.Half, 256)},
+			IntArgs: []int64{4},
+			Global:  [2]int{63, 1},
+		}
+	}
+	_, _, oe, re := runBoth(t, k, mk)
+	if err := sameOutputs(oe, re); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomKernel generates a well-typed random kernel with bounded loops,
+// safe (mod-clamped) indices and no integer division, for differential
+// fuzzing of the optimizer.
+func randomKernel(rng *rand.Rand, bufLen int) *Kernel {
+	g := &kgen{rng: rng, bufLen: bufLen}
+	body := []Stmt{
+		Let{Name: "f0", Kind: KindFloat, Init: g.floatExpr(2)},
+		Let{Name: "i0", Kind: KindInt, Init: g.intExpr(2)},
+	}
+	g.floats = append(g.floats, "f0")
+	g.ints = append(g.ints, "i0")
+	for i := 0; i < 2+rng.Intn(3); i++ {
+		body = append(body, g.stmt(2))
+	}
+	// Guarantee at least one observable store.
+	body = append(body, Store{Buf: "out", Index: g.index(), Value: g.floatExpr(2)})
+	k := &Kernel{
+		Name:      "fuzz",
+		Dims:      1,
+		Bufs:      []BufParam{{Name: "in", Access: ReadOnly}, {Name: "out", Access: ReadWrite}},
+		IntParams: []string{"n"},
+		Body:      body,
+	}
+	return k
+}
+
+type kgen struct {
+	rng    *rand.Rand
+	bufLen int
+	floats []string
+	ints   []string
+	nvar   int
+}
+
+// index produces an always-in-bounds index expression.
+func (g *kgen) index() Expr {
+	return Unary{Op: OpAbs, A: Binary{Op: OpMod, A: g.intExpr(2), B: Int{V: int64(g.bufLen)}}}
+}
+
+func (g *kgen) intExpr(depth int) Expr {
+	if depth == 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return Int{V: int64(g.rng.Intn(7))}
+		case 1:
+			return GID{Dim: 0}
+		case 2:
+			if len(g.ints) > 0 {
+				return Var{Name: g.ints[g.rng.Intn(len(g.ints))]}
+			}
+			return Param{Name: "n"}
+		default:
+			return Param{Name: "n"}
+		}
+	}
+	ops := []BinOp{OpAdd, OpSub, OpMul, OpMin, OpMax}
+	return Binary{Op: ops[g.rng.Intn(len(ops))], A: g.intExpr(depth - 1), B: g.intExpr(depth - 1)}
+}
+
+func (g *kgen) floatExpr(depth int) Expr {
+	if depth == 0 || g.rng.Intn(3) == 0 {
+		switch g.rng.Intn(4) {
+		case 0:
+			return Float{V: math.Round(g.rng.Float64()*8) / 4}
+		case 1:
+			return Load{Buf: "in", Index: g.index()}
+		case 2:
+			if len(g.floats) > 0 {
+				return Var{Name: g.floats[g.rng.Intn(len(g.floats))]}
+			}
+			return Float{V: 1}
+		default:
+			return Unary{Op: OpItoF, A: g.intExpr(1)}
+		}
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		return Unary{Op: OpAbs, A: g.floatExpr(depth - 1)}
+	case 1:
+		return Select{
+			Cond: Compare{Op: CmpLT, A: g.floatExpr(depth - 1), B: g.floatExpr(depth - 1)},
+			A:    g.floatExpr(depth - 1),
+			B:    g.floatExpr(depth - 1),
+		}
+	default:
+		ops := []BinOp{OpAdd, OpSub, OpMul, OpMul, OpMax, OpMin}
+		return Binary{Op: ops[g.rng.Intn(len(ops))], A: g.floatExpr(depth - 1), B: g.floatExpr(depth - 1)}
+	}
+}
+
+func (g *kgen) stmt(depth int) Stmt {
+	switch g.rng.Intn(5) {
+	case 0:
+		name := fmt.Sprintf("v%d", g.nvar)
+		g.nvar++
+		init := g.floatExpr(depth) // generated before the name is visible
+		g.floats = append(g.floats, name)
+		return Let{Name: name, Kind: KindFloat, Init: init}
+	case 1:
+		if len(g.floats) > 0 {
+			return Assign{Name: g.floats[g.rng.Intn(len(g.floats))], Value: g.floatExpr(depth)}
+		}
+		return Store{Buf: "out", Index: g.index(), Value: g.floatExpr(depth)}
+	case 2:
+		v := fmt.Sprintf("l%d", g.nvar)
+		g.nvar++
+		inner := []Stmt{Store{Buf: "out", Index: g.index(), Value: g.floatExpr(depth)}}
+		if len(g.floats) > 0 {
+			inner = append(inner, Assign{Name: g.floats[0], Value: g.floatExpr(depth)})
+		}
+		return For{Var: v, Start: Int{V: 0}, End: Int{V: int64(1 + g.rng.Intn(4))}, Body: inner}
+	case 3:
+		return If{
+			Cond: Compare{Op: CmpLE, A: g.intExpr(depth), B: g.intExpr(depth)},
+			Then: []Stmt{Store{Buf: "out", Index: g.index(), Value: g.floatExpr(depth)}},
+			Else: []Stmt{Store{Buf: "out", Index: g.index(), Value: g.floatExpr(depth)}},
+		}
+	default:
+		return Store{Buf: "out", Index: g.index(), Value: g.floatExpr(depth)}
+	}
+}
+
+func TestDifferentialFuzzOptimizer(t *testing.T) {
+	const cases = 300
+	bufLen := 16
+	for seed := int64(0); seed < cases; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		k := randomKernel(rng, bufLen)
+		if err := Verify(k); err != nil {
+			t.Fatalf("seed %d: generated kernel fails verification: %v\n%s", seed, err, k)
+		}
+		opt, err := Compile(k)
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		raw, err := CompileUnoptimized(k)
+		if err != nil {
+			t.Fatalf("seed %d: compile unopt: %v", seed, err)
+		}
+		mk := func() *ExecEnv {
+			in := precision.NewArray(precision.Single, bufLen)
+			out := precision.NewArray(precision.Single, bufLen)
+			vr := rand.New(rand.NewSource(seed + 7919))
+			for i := 0; i < bufLen; i++ {
+				in.Set(i, vr.Float64()*4-2)
+				out.Set(i, vr.Float64())
+			}
+			return &ExecEnv{
+				Bufs:    []*precision.Array{in, out},
+				IntArgs: []int64{int64(bufLen)},
+				Global:  [2]int{5, 1},
+			}
+		}
+		oe, re := mk(), mk()
+		oc, err := opt.Run(oe)
+		if err != nil {
+			t.Fatalf("seed %d: run opt: %v", seed, err)
+		}
+		rc, err := raw.Run(re)
+		if err != nil {
+			t.Fatalf("seed %d: run raw: %v", seed, err)
+		}
+		if err := sameOutputs(oe, re); err != nil {
+			t.Fatalf("seed %d: %v\nkernel:\n%s\nopt:\n%s", seed, err, k, opt.Disassemble())
+		}
+		if oc.TotalFlops() > rc.TotalFlops() || oc.IntOps > rc.IntOps || oc.LoadBytes > rc.LoadBytes {
+			t.Fatalf("seed %d: optimizer increased cost: %+v vs %+v", seed, oc, rc)
+		}
+		if oc.StoreBytes != rc.StoreBytes {
+			t.Fatalf("seed %d: stores changed: %v != %v", seed, oc.StoreBytes, rc.StoreBytes)
+		}
+	}
+}
+
+func BenchmarkLVNStencil(b *testing.B) {
+	k := stencilKernel(b)
+	p := MustCompile(k)
+	n := 1024
+	a := precision.NewArray(precision.Double, n*4)
+	env := &ExecEnv{
+		Bufs:    []*precision.Array{a, precision.NewArray(precision.Double, n*4)},
+		IntArgs: []int64{3},
+		Global:  [2]int{n, 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNoLVNStencil(b *testing.B) {
+	k := stencilKernel(b)
+	p, err := CompileUnoptimized(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 1024
+	a := precision.NewArray(precision.Double, n*4)
+	env := &ExecEnv{
+		Bufs:    []*precision.Array{a, precision.NewArray(precision.Double, n*4)},
+		IntArgs: []int64{3},
+		Global:  [2]int{n, 1},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package kir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the kernel as pseudo-OpenCL source, used in diagnostics
+// and documentation. The output round-trips conceptually, not textually:
+// there is no parser, the IR is built programmatically.
+func (k *Kernel) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s(", k.Name)
+	for i, p := range k.Bufs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s float* %s", p.Access, p.Name)
+	}
+	for _, p := range k.IntParams {
+		fmt.Fprintf(&b, ", int %s", p)
+	}
+	fmt.Fprintf(&b, ") dims=%d {\n", k.Dims)
+	printBlock(&b, k.Body, 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func printBlock(b *strings.Builder, stmts []Stmt, depth int) {
+	for _, s := range stmts {
+		printStmt(b, s, depth)
+	}
+}
+
+func printStmt(b *strings.Builder, s Stmt, depth int) {
+	indent(b, depth)
+	switch s := s.(type) {
+	case Let:
+		fmt.Fprintf(b, "%s %s = %s\n", s.Kind, s.Name, ExprString(s.Init))
+	case Assign:
+		fmt.Fprintf(b, "%s = %s\n", s.Name, ExprString(s.Value))
+	case Store:
+		fmt.Fprintf(b, "%s[%s] = %s\n", s.Buf, ExprString(s.Index), ExprString(s.Value))
+	case For:
+		fmt.Fprintf(b, "for %s in [%s, %s) {\n", s.Var, ExprString(s.Start), ExprString(s.End))
+		printBlock(b, s.Body, depth+1)
+		indent(b, depth)
+		b.WriteString("}\n")
+	case If:
+		fmt.Fprintf(b, "if %s {\n", ExprString(s.Cond))
+		printBlock(b, s.Then, depth+1)
+		if len(s.Else) > 0 {
+			indent(b, depth)
+			b.WriteString("} else {\n")
+			printBlock(b, s.Else, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+	default:
+		fmt.Fprintf(b, "<unknown stmt %T>\n", s)
+	}
+}
+
+// ExprString renders an expression as infix pseudo-source.
+func ExprString(e Expr) string {
+	switch e := e.(type) {
+	case Int:
+		return fmt.Sprintf("%d", e.V)
+	case Float:
+		return fmt.Sprintf("%g", e.V)
+	case Param:
+		return e.Name
+	case GID:
+		return fmt.Sprintf("gid%d", e.Dim)
+	case Var:
+		return e.Name
+	case Load:
+		return fmt.Sprintf("%s[%s]", e.Buf, ExprString(e.Index))
+	case Binary:
+		switch e.Op {
+		case OpMin, OpMax:
+			return fmt.Sprintf("%s(%s, %s)", e.Op, ExprString(e.A), ExprString(e.B))
+		default:
+			return fmt.Sprintf("(%s %s %s)", ExprString(e.A), e.Op, ExprString(e.B))
+		}
+	case Unary:
+		return fmt.Sprintf("%s(%s)", e.Op, ExprString(e.A))
+	case Compare:
+		return fmt.Sprintf("(%s %s %s)", ExprString(e.A), e.Op, ExprString(e.B))
+	case Logic:
+		op := "&&"
+		if e.Op == LogicOr {
+			op = "||"
+		}
+		return fmt.Sprintf("(%s %s %s)", ExprString(e.A), op, ExprString(e.B))
+	case Select:
+		return fmt.Sprintf("(%s ? %s : %s)", ExprString(e.Cond), ExprString(e.A), ExprString(e.B))
+	default:
+		return fmt.Sprintf("<unknown expr %T>", e)
+	}
+}
+
+// opcodeNames maps bytecode opcodes to mnemonics for the disassembler.
+var opcodeNames = map[opcode]string{
+	opNop:    "nop",
+	opIConst: "iconst", opIMov: "imov", opIAdd: "iadd", opIAddImm: "iaddi",
+	opISub: "isub", opIMul: "imul", opIDiv: "idiv", opIMod: "imod",
+	opIMin: "imin", opIMax: "imax", opINeg: "ineg", opIAbs: "iabs",
+	opIParam: "iparam", opGID: "gid",
+	opFConst: "fconst", opFMov: "fmov", opFAdd: "fadd", opFSub: "fsub",
+	opFMul: "fmul", opFDiv: "fdiv", opFMin: "fmin", opFMax: "fmax",
+	opFNeg: "fneg", opFAbs: "fabs", opFSqrt: "fsqrt", opFExp: "fexp",
+	opFLog: "flog", opFFMA: "ffma", opItoF: "itof",
+	opLoad: "load", opStore: "store",
+	opICmp: "icmp", opFCmp: "fcmp", opBAnd: "band", opBOr: "bor",
+	opJump: "jmp", opJumpIfZ: "jz",
+	opSelI: "seli", opSelF: "self",
+}
+
+// Disassemble renders the lowered bytecode with one instruction per line,
+// for debugging lowering and for tests that pin instruction selection.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; %s: %d instructions, %d int regs, %d float regs\n",
+		p.Kernel.Name, len(p.code), p.nIReg, p.nFReg)
+	for i, in := range p.code {
+		name := opcodeNames[in.op]
+		if name == "" {
+			name = fmt.Sprintf("op%d", in.op)
+		}
+		fmt.Fprintf(&b, "%4d  %-7s", i, name)
+		switch in.op {
+		case opIConst:
+			fmt.Fprintf(&b, " i%d <- %d", in.dst, in.imm)
+		case opFConst:
+			fmt.Fprintf(&b, " f%d <- %g", in.dst, in.fimm)
+		case opIParam:
+			fmt.Fprintf(&b, " i%d <- arg[%d]", in.dst, in.imm)
+		case opGID:
+			fmt.Fprintf(&b, " i%d <- gid[%d]", in.dst, in.imm)
+		case opIAddImm:
+			fmt.Fprintf(&b, " i%d <- i%d + %d", in.dst, in.a, in.imm)
+		case opIMov:
+			fmt.Fprintf(&b, " i%d <- i%d", in.dst, in.a)
+		case opFMov:
+			fmt.Fprintf(&b, " f%d <- f%d", in.dst, in.a)
+		case opLoad:
+			fmt.Fprintf(&b, " f%d <- %s[i%d]", in.dst, p.Kernel.Bufs[in.imm].Name, in.a)
+		case opStore:
+			fmt.Fprintf(&b, " %s[i%d] <- f%d", p.Kernel.Bufs[in.imm].Name, in.a, in.b)
+		case opJump:
+			fmt.Fprintf(&b, " -> %d", in.imm)
+		case opJumpIfZ:
+			fmt.Fprintf(&b, " i%d -> %d", in.a, in.imm)
+		case opICmp, opFCmp:
+			fmt.Fprintf(&b, " i%d <- (%d %s %d)", in.dst, in.a, in.cmp, in.b)
+		case opFFMA:
+			fmt.Fprintf(&b, " f%d <- f%d*f%d + f%d", in.dst, in.a, in.b, in.c)
+		case opSelI:
+			fmt.Fprintf(&b, " i%d <- i%d ? i%d : i%d", in.dst, in.a, in.b, in.c)
+		case opSelF:
+			fmt.Fprintf(&b, " f%d <- i%d ? f%d : f%d", in.dst, in.a, in.b, in.c)
+		case opItoF:
+			fmt.Fprintf(&b, " f%d <- i%d", in.dst, in.a)
+		default:
+			fmt.Fprintf(&b, " r%d <- r%d, r%d", in.dst, in.a, in.b)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package kir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKernelString(t *testing.T) {
+	k := NewKernel("saxpy", 1).In("x").InOut("y").Ints("n").
+		Body(
+			When(Lt(Gid(0), P("n")),
+				Put("y", Gid(0), Add(Mul(F(2.5), At("x", Gid(0))), At("y", Gid(0)))),
+			),
+		).MustBuild()
+	s := k.String()
+	for _, want := range []string{
+		"kernel saxpy(",
+		"ro float* x",
+		"rw float* y",
+		"int n",
+		"if (gid0 < n)",
+		"y[gid0] = ((2.5 * x[gid0]) + y[gid0])",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestKernelStringControlFlow(t *testing.T) {
+	k := NewKernel("k", 1).Out("b").Ints("n").
+		Body(
+			LetF("acc", F(0)),
+			Loop("i", I(0), P("n"),
+				Set("acc", Add(V("acc"), F(1))),
+			),
+			WhenElse(Gt(V("acc"), F(3)),
+				[]Stmt{Put("b", Gid(0), V("acc"))},
+				[]Stmt{Put("b", Gid(0), Neg(V("acc")))},
+			),
+		).MustBuild()
+	s := k.String()
+	for _, want := range []string{
+		"float acc = 0",
+		"for i in [0, n)",
+		"} else {",
+		"neg(acc)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestExprStringForms(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Min(I(1), I(2)), "min(1, 2)"},
+		{Max(F(1), F(2)), "max(1, 2)"},
+		{Cond(Lt(I(1), I(2)), F(3), F(4)), "((1 < 2) ? 3 : 4)"},
+		{Or(Eq(I(1), I(1)), Ne(I(2), I(3))), "((1 == 1) || (2 != 3))"},
+		{And(Le(I(1), I(1)), Ge(I(2), I(2))), "((1 <= 1) && (2 >= 2))"},
+		{ItoF(P("n")), "itof(n)"},
+		{Mod(Gid(0), I(4)), "(gid0 % 4)"},
+		{Sqrt(Abs(F(-2))), "sqrt(abs(-2))"},
+	}
+	for _, c := range cases {
+		if got := ExprString(c.e); got != c.want {
+			t.Errorf("ExprString = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	k := NewKernel("dis", 1).In("a").Out("b").Ints("n").
+		Body(
+			LetF("acc", F(0)),
+			Loop("i", I(0), P("n"),
+				Set("acc", Add(Mul(At("a", V("i")), At("a", V("i"))), V("acc"))),
+			),
+			Put("b", Gid(0), V("acc")),
+		).MustBuild()
+	p := MustCompile(k)
+	d := p.Disassemble()
+	for _, want := range []string{
+		"; dis:",
+		"fconst",
+		"ffma", // a[i]*a[i] + acc fuses
+		"load",
+		"store",
+		"jz",
+		"jmp",
+		"iaddi", // loop increment
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, d)
+		}
+	}
+	lines := strings.Count(d, "\n")
+	if lines != p.Len()+1 { // header + one line per instruction
+		t.Errorf("disassembly has %d lines, program has %d instructions", lines, p.Len())
+	}
+}

@@ -1,0 +1,364 @@
+// Package ocl is a simulated OpenCL-like runtime for a single CPU+GPU
+// system. It provides contexts, device buffers, and an in-order command
+// queue whose clock advances according to the hardware model in
+// internal/hw: host-device transfers are charged PCIe time, kernel
+// launches execute functionally through the kir interpreter and are
+// charged roofline time from their dynamic operation counts, and
+// device-side conversion kernels are charged conversion-throughput time.
+//
+// Every operation appends a profiling Event to the queue trace; the
+// application profiler attaches via the Hook interface, mirroring the
+// link-time interposition wrappers of the paper (Table 2).
+package ocl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/hw"
+	"repro/internal/kir"
+	"repro/internal/precision"
+)
+
+// EventKind classifies trace events.
+type EventKind uint8
+
+const (
+	// EvWrite is a host-to-device buffer write (clEnqueueWriteBuffer).
+	EvWrite EventKind = iota
+	// EvRead is a device-to-host buffer read (clEnqueueReadBuffer).
+	EvRead
+	// EvKernel is a kernel execution (clEnqueueNDRangeKernel).
+	EvKernel
+	// EvHostConvert is host-side type conversion time (outside the
+	// device, but on the program's critical path).
+	EvHostConvert
+	// EvDeviceConvert is a device-side conversion kernel.
+	EvDeviceConvert
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvWrite:
+		return "write"
+	case EvRead:
+		return "read"
+	case EvKernel:
+		return "kernel"
+	case EvHostConvert:
+		return "host-convert"
+	case EvDeviceConvert:
+		return "device-convert"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Dir is the transfer direction an event belongs to.
+type Dir uint8
+
+const (
+	// DirNone marks kernel events.
+	DirNone Dir = iota
+	// DirHtoD marks host-to-device traffic and its conversions.
+	DirHtoD
+	// DirDtoH marks device-to-host traffic and its conversions.
+	DirDtoH
+)
+
+func (d Dir) String() string {
+	switch d {
+	case DirHtoD:
+		return "HtoD"
+	case DirDtoH:
+		return "DtoH"
+	default:
+		return "-"
+	}
+}
+
+// Event is one entry of the queue profiling trace.
+type Event struct {
+	Kind     EventKind
+	Dir      Dir
+	Start    float64 // simulated seconds since queue creation
+	Duration float64
+	// Buffer is the id of the buffer involved (transfers/conversions), or
+	// -1 for kernels.
+	Buffer int
+	Bytes  int
+	Elems  int
+	// Src and Dst are the conversion endpoint precisions (conversions and
+	// transfers; for plain transfers Src == Dst).
+	Src, Dst precision.Type
+	// Kernel is the kernel name for EvKernel events.
+	Kernel string
+	// ArgBuffers lists buffer ids bound to the kernel, in argument order.
+	ArgBuffers []int
+	// Counts holds the dynamic op counts for EvKernel events.
+	Counts kir.Counts
+}
+
+// Hook observes runtime activity; used by the application profiler.
+type Hook interface {
+	// BufferCreated fires when a device buffer is allocated.
+	BufferCreated(b *Buffer)
+	// EventRecorded fires after each queue event completes.
+	EventRecorded(e Event)
+}
+
+// Context owns device buffers for one system.
+type Context struct {
+	sys       *hw.System
+	hooks     []Hook
+	nextID    int
+	allocated int
+}
+
+// NewContext creates a context for the given system.
+func NewContext(sys *hw.System) *Context {
+	return &Context{sys: sys}
+}
+
+// System returns the hardware model behind the context.
+func (c *Context) System() *hw.System { return c.sys }
+
+// AddHook registers a profiling hook.
+func (c *Context) AddHook(h Hook) { c.hooks = append(c.hooks, h) }
+
+// Buffer is a device-resident memory object. Data is held at the buffer's
+// element precision: every store rounds, so kernels observe genuine
+// reduced-precision values.
+type Buffer struct {
+	id   int
+	name string
+	arr  *precision.Array
+	ctx  *Context
+}
+
+// CreateBuffer allocates a device buffer of n elements at precision t.
+// The name is a debugging label (typically the memory object name).
+// Allocations beyond the device's global memory panic: the simulated
+// workloads are sized orders of magnitude below it, so exceeding it is a
+// programming error, not a runtime condition.
+func (c *Context) CreateBuffer(name string, t precision.Type, n int) *Buffer {
+	c.allocated += n * t.Size()
+	if limit := int(c.sys.GPU.GlobalMemGB * 1e9); limit > 0 && c.allocated > limit {
+		panic(fmt.Sprintf("ocl: device memory exhausted allocating %q: %d bytes > %.0f GB", name, c.allocated, c.sys.GPU.GlobalMemGB))
+	}
+	b := &Buffer{id: c.nextID, name: name, arr: precision.NewArray(t, n), ctx: c}
+	c.nextID++
+	for _, h := range c.hooks {
+		h.BufferCreated(b)
+	}
+	return b
+}
+
+// AllocatedBytes returns the total device memory allocated through the
+// context, including conversion staging buffers.
+func (c *Context) AllocatedBytes() int { return c.allocated }
+
+// ID returns the buffer's unique id within its context.
+func (b *Buffer) ID() int { return b.id }
+
+// Name returns the buffer's label.
+func (b *Buffer) Name() string { return b.name }
+
+// Elem returns the buffer's element precision.
+func (b *Buffer) Elem() precision.Type { return b.arr.Elem() }
+
+// Len returns the element count.
+func (b *Buffer) Len() int { return b.arr.Len() }
+
+// Bytes returns the device memory footprint.
+func (b *Buffer) Bytes() int { return b.arr.Bytes() }
+
+// Array exposes the device-resident data. Direct mutation bypasses the
+// simulated clock; runtime-internal code and tests only.
+func (b *Buffer) Array() *precision.Array { return b.arr }
+
+// Queue is an in-order command queue with a simulated clock.
+type Queue struct {
+	ctx    *Context
+	now    float64
+	events []Event
+	jitter *rand.Rand
+	jAmp   float64
+}
+
+// NewQueue creates a queue on the context with the clock at zero. When
+// the system specifies a TimingJitter, every event duration is perturbed
+// by deterministic multiplicative noise.
+func NewQueue(ctx *Context) *Queue {
+	q := &Queue{ctx: ctx}
+	if a := ctx.sys.TimingJitter; a > 0 {
+		q.jAmp = a
+		q.jitter = rand.New(rand.NewSource(ctx.sys.JitterSeed))
+	}
+	return q
+}
+
+// Context returns the owning context.
+func (q *Queue) Context() *Context { return q.ctx }
+
+// Now returns the simulated time in seconds.
+func (q *Queue) Now() float64 { return q.now }
+
+// Events returns the trace so far. The returned slice is owned by the
+// queue; callers must not mutate it.
+func (q *Queue) Events() []Event { return q.events }
+
+// record advances the clock and appends an event.
+func (q *Queue) record(e Event) {
+	if q.jitter != nil {
+		e.Duration *= 1 + q.jAmp*(2*q.jitter.Float64()-1)
+	}
+	e.Start = q.now
+	q.now += e.Duration
+	q.events = append(q.events, e)
+	for _, h := range q.ctx.hooks {
+		h.EventRecorded(e)
+	}
+}
+
+// AddHostTime charges host-side conversion work to the program timeline
+// and records it with the given direction and conversion endpoints. The
+// convert package uses this for its host-side engines.
+func (q *Queue) AddHostTime(seconds float64, dir Dir, buf *Buffer, elems int, src, dst precision.Type) {
+	q.record(Event{
+		Kind: EvHostConvert, Dir: dir, Duration: seconds,
+		Buffer: bufID(buf), Elems: elems, Src: src, Dst: dst,
+	})
+}
+
+func bufID(b *Buffer) int {
+	if b == nil {
+		return -1
+	}
+	return b.id
+}
+
+// WriteBuffer transfers src from the host into dst on the device. The
+// element precisions must match: conversions are explicit, separate steps
+// in this runtime (the convert package composes them).
+func (q *Queue) WriteBuffer(dst *Buffer, src *precision.Array) error {
+	if src.Elem() != dst.Elem() {
+		return fmt.Errorf("ocl: write to %s: host data is %v, buffer is %v", dst.name, src.Elem(), dst.Elem())
+	}
+	if src.Len() != dst.Len() {
+		return fmt.Errorf("ocl: write to %s: host has %d elements, buffer %d", dst.name, src.Len(), dst.Len())
+	}
+	dst.arr.CopyFrom(src)
+	bytes := src.Bytes()
+	q.record(Event{
+		Kind: EvWrite, Dir: DirHtoD,
+		Duration: q.ctx.sys.Bus.TransferTime(float64(bytes)),
+		Buffer:   dst.id, Bytes: bytes, Elems: src.Len(),
+		Src: src.Elem(), Dst: dst.Elem(),
+	})
+	return nil
+}
+
+// ReadBuffer transfers the device buffer back to a host array of the same
+// precision.
+func (q *Queue) ReadBuffer(src *Buffer) *precision.Array {
+	out := src.arr.Clone()
+	bytes := src.Bytes()
+	q.record(Event{
+		Kind: EvRead, Dir: DirDtoH,
+		Duration: q.ctx.sys.Bus.TransferTime(float64(bytes)),
+		Buffer:   src.id, Bytes: bytes, Elems: src.Len(),
+		Src: src.Elem(), Dst: src.Elem(),
+	})
+	return out
+}
+
+// DeviceConvert runs a conversion kernel on the device, producing a new
+// buffer of the same length at precision dst. Cost is the larger of
+// conversion-instruction throughput and memory traffic, plus a kernel
+// launch. The source buffer is unchanged.
+func (q *Queue) DeviceConvert(src *Buffer, dst precision.Type) *Buffer {
+	out := q.ctx.CreateBuffer(src.name, dst, src.Len())
+	out.arr.CopyFrom(src.arr)
+	q.record(Event{
+		Kind: EvDeviceConvert, Dir: DirNone,
+		Duration: DeviceConvertTime(q.ctx.sys, src.Len(), src.Elem(), dst),
+		Buffer:   out.id, Elems: src.Len(),
+		Bytes: src.Bytes() + out.Bytes(),
+		Src:   src.Elem(), Dst: dst,
+	})
+	return out
+}
+
+// DeviceConvertDirected is DeviceConvert but tags the event with the
+// transfer direction it serves, for trace attribution.
+func (q *Queue) DeviceConvertDirected(src *Buffer, dst precision.Type, dir Dir) *Buffer {
+	out := q.DeviceConvert(src, dst)
+	q.events[len(q.events)-1].Dir = dir
+	return out
+}
+
+// DeviceConvertTime is the pure timing model behind DeviceConvert,
+// exposed so the system inspector and expected-time queries share the
+// exact cost the runtime charges.
+func DeviceConvertTime(sys *hw.System, n int, src, dst precision.Type) float64 {
+	g := &sys.GPU
+	compute := float64(n) / (g.ConvPerCycleSM * float64(g.SMs) * g.ClockMHz * 1e6)
+	mem := g.MemoryTime(float64(n * (src.Size() + dst.Size())))
+	t := compute
+	if mem > t {
+		t = mem
+	}
+	return t + g.LaunchLatency()
+}
+
+// Launch executes a kernel program over the NDRange, charging roofline
+// time derived from its dynamic counts. computeAs optionally supplies the
+// In-Kernel scaling view (see kir.ExecEnv.ComputeAs); pass nil for plain
+// execution at buffer precision.
+func (q *Queue) Launch(p *kir.Program, global [2]int, bufs []*Buffer, intArgs []int64, computeAs []precision.Type) error {
+	arrs := make([]*precision.Array, len(bufs))
+	ids := make([]int, len(bufs))
+	for i, b := range bufs {
+		arrs[i] = b.arr
+		ids[i] = b.id
+	}
+	counts, err := p.Run(&kir.ExecEnv{
+		Bufs:      arrs,
+		ComputeAs: computeAs,
+		IntArgs:   intArgs,
+		Global:    global,
+	})
+	if err != nil {
+		return fmt.Errorf("ocl: launch %s: %w", p.Kernel.Name, err)
+	}
+	q.record(Event{
+		Kind: EvKernel, Dir: DirNone,
+		Duration:   kir.KernelTime(&q.ctx.sys.GPU, counts),
+		Buffer:     -1,
+		Kernel:     p.Kernel.Name,
+		ArgBuffers: ids,
+		Counts:     counts,
+	})
+	return nil
+}
+
+// Breakdown sums the trace into the paper's three phases: host-to-device
+// time (transfers plus conversions serving HtoD), kernel time, and
+// device-to-host time.
+func (q *Queue) Breakdown() (htod, kernel, dtoh float64) {
+	for _, e := range q.events {
+		switch {
+		case e.Kind == EvKernel:
+			kernel += e.Duration
+		case e.Dir == DirHtoD:
+			htod += e.Duration
+		case e.Dir == DirDtoH:
+			dtoh += e.Duration
+		default:
+			// Undirected conversions count toward HtoD by convention.
+			htod += e.Duration
+		}
+	}
+	return htod, kernel, dtoh
+}

@@ -1,0 +1,293 @@
+package ocl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/kir"
+	"repro/internal/precision"
+)
+
+func newCtx() *Context { return NewContext(hw.System1()) }
+
+func TestCreateBuffer(t *testing.T) {
+	ctx := newCtx()
+	b := ctx.CreateBuffer("A", precision.Single, 128)
+	if b.Name() != "A" || b.Elem() != precision.Single || b.Len() != 128 {
+		t.Fatalf("buffer fields: %s %v %d", b.Name(), b.Elem(), b.Len())
+	}
+	if b.Bytes() != 128*4 {
+		t.Errorf("Bytes = %d", b.Bytes())
+	}
+	b2 := ctx.CreateBuffer("B", precision.Half, 1)
+	if b2.ID() == b.ID() {
+		t.Error("buffer ids must be unique")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	ctx := newCtx()
+	q := NewQueue(ctx)
+	b := ctx.CreateBuffer("A", precision.Double, 4)
+	src := precision.FromSlice(precision.Double, []float64{1, 2, 3, 4})
+	if err := q.WriteBuffer(b, src); err != nil {
+		t.Fatal(err)
+	}
+	got := q.ReadBuffer(b)
+	for i := 0; i < 4; i++ {
+		if got.Get(i) != src.Get(i) {
+			t.Fatalf("elem %d: %v != %v", i, got.Get(i), src.Get(i))
+		}
+	}
+	if len(q.Events()) != 2 {
+		t.Fatalf("want 2 events, got %d", len(q.Events()))
+	}
+	w, r := q.Events()[0], q.Events()[1]
+	if w.Kind != EvWrite || w.Dir != DirHtoD || w.Bytes != 32 {
+		t.Errorf("write event: %+v", w)
+	}
+	if r.Kind != EvRead || r.Dir != DirDtoH {
+		t.Errorf("read event: %+v", r)
+	}
+	if q.Now() != w.Duration+r.Duration {
+		t.Error("clock must accumulate event durations")
+	}
+	if w.Start != 0 || r.Start != w.Duration {
+		t.Error("event start times wrong")
+	}
+}
+
+func TestWriteMismatches(t *testing.T) {
+	ctx := newCtx()
+	q := NewQueue(ctx)
+	b := ctx.CreateBuffer("A", precision.Single, 4)
+	if err := q.WriteBuffer(b, precision.NewArray(precision.Double, 4)); err == nil {
+		t.Error("type mismatch should error")
+	}
+	if err := q.WriteBuffer(b, precision.NewArray(precision.Single, 5)); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestTransferTimeScalesWithType(t *testing.T) {
+	ctx := newCtx()
+	n := 1 << 20
+	qd := NewQueue(ctx)
+	bd := ctx.CreateBuffer("A", precision.Double, n)
+	if err := qd.WriteBuffer(bd, precision.NewArray(precision.Double, n)); err != nil {
+		t.Fatal(err)
+	}
+	qh := NewQueue(ctx)
+	bh := ctx.CreateBuffer("A", precision.Half, n)
+	if err := qh.WriteBuffer(bh, precision.NewArray(precision.Half, n)); err != nil {
+		t.Fatal(err)
+	}
+	// Half transfers a quarter of the bytes; with latency the ratio is a
+	// bit under 4.
+	ratio := (qd.Now() - ctx.System().Bus.Latency()) / (qh.Now() - ctx.System().Bus.Latency())
+	if ratio < 3.9 || ratio > 4.1 {
+		t.Errorf("double/half transfer ratio = %v, want ~4", ratio)
+	}
+}
+
+func TestDeviceConvert(t *testing.T) {
+	ctx := newCtx()
+	q := NewQueue(ctx)
+	b := ctx.CreateBuffer("A", precision.Double, 3)
+	if err := q.WriteBuffer(b, precision.FromSlice(precision.Double, []float64{1, math.Pi, 70000})); err != nil {
+		t.Fatal(err)
+	}
+	h := q.DeviceConvert(b, precision.Half)
+	if h.Elem() != precision.Half || h.Len() != 3 {
+		t.Fatal("converted buffer shape wrong")
+	}
+	if h.Array().Get(1) != precision.Round(math.Pi, precision.Half) {
+		t.Error("conversion should round")
+	}
+	if !math.IsInf(h.Array().Get(2), 1) {
+		t.Error("70000 should overflow half")
+	}
+	ev := q.Events()[len(q.Events())-1]
+	if ev.Kind != EvDeviceConvert || ev.Src != precision.Double || ev.Dst != precision.Half {
+		t.Errorf("device convert event: %+v", ev)
+	}
+	if ev.Duration < ctx.System().GPU.LaunchLatency() {
+		t.Error("device convert must include launch latency")
+	}
+	// Source buffer unchanged.
+	if b.Array().Get(2) != 70000 {
+		t.Error("source mutated")
+	}
+}
+
+func TestDeviceConvertDirected(t *testing.T) {
+	ctx := newCtx()
+	q := NewQueue(ctx)
+	b := ctx.CreateBuffer("A", precision.Double, 2)
+	q.DeviceConvertDirected(b, precision.Single, DirDtoH)
+	if ev := q.Events()[len(q.Events())-1]; ev.Dir != DirDtoH {
+		t.Errorf("directed convert dir = %v", ev.Dir)
+	}
+}
+
+func TestDeviceConvertTimeModel(t *testing.T) {
+	sys := hw.System1()
+	small := DeviceConvertTime(sys, 10, precision.Double, precision.Half)
+	big := DeviceConvertTime(sys, 1<<24, precision.Double, precision.Half)
+	if big <= small {
+		t.Error("device convert time must grow with n")
+	}
+	if small < sys.GPU.LaunchLatency() {
+		t.Error("launch latency floor missing")
+	}
+}
+
+func TestLaunchKernel(t *testing.T) {
+	ctx := newCtx()
+	q := NewQueue(ctx)
+	k := kir.NewKernel("scale", 1).In("a").Out("b").
+		Body(kir.Put("b", kir.Gid(0), kir.Mul(kir.At("a", kir.Gid(0)), kir.F(2)))).
+		MustBuild()
+	p := kir.MustCompile(k)
+
+	a := ctx.CreateBuffer("a", precision.Double, 8)
+	b := ctx.CreateBuffer("b", precision.Double, 8)
+	if err := q.WriteBuffer(a, precision.FromSlice(precision.Double, []float64{1, 2, 3, 4, 5, 6, 7, 8})); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Launch(p, [2]int{8, 1}, []*Buffer{a, b}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := q.ReadBuffer(b)
+	if out.Get(3) != 8 {
+		t.Fatalf("b[3] = %v, want 8", out.Get(3))
+	}
+	var kev *Event
+	for i := range q.Events() {
+		if q.Events()[i].Kind == EvKernel {
+			kev = &q.Events()[i]
+		}
+	}
+	if kev == nil {
+		t.Fatal("no kernel event")
+	}
+	if kev.Kernel != "scale" || len(kev.ArgBuffers) != 2 {
+		t.Errorf("kernel event: %+v", kev)
+	}
+	if kev.Counts.WorkItems != 8 {
+		t.Errorf("work items = %d", kev.Counts.WorkItems)
+	}
+	if kev.Duration < ctx.System().GPU.LaunchLatency() {
+		t.Error("kernel duration below launch latency")
+	}
+}
+
+func TestLaunchError(t *testing.T) {
+	ctx := newCtx()
+	q := NewQueue(ctx)
+	k := kir.NewKernel("oob", 1).Out("b").
+		Body(kir.Put("b", kir.I(99), kir.F(1))).
+		MustBuild()
+	p := kir.MustCompile(k)
+	b := ctx.CreateBuffer("b", precision.Double, 4)
+	if err := q.Launch(p, [2]int{1, 1}, []*Buffer{b}, nil, nil); err == nil {
+		t.Error("out-of-bounds store should surface as launch error")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	ctx := newCtx()
+	q := NewQueue(ctx)
+	b := ctx.CreateBuffer("a", precision.Double, 1024)
+	if err := q.WriteBuffer(b, precision.NewArray(precision.Double, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	q.AddHostTime(0.5, DirHtoD, b, 1024, precision.Double, precision.Single)
+	q.AddHostTime(0.25, DirDtoH, b, 1024, precision.Single, precision.Double)
+	k := kir.NewKernel("id", 1).InOut("b").
+		Body(kir.Put("b", kir.Gid(0), kir.At("b", kir.Gid(0)))).MustBuild()
+	if err := q.Launch(kir.MustCompile(k), [2]int{4, 1}, []*Buffer{b}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	q.ReadBuffer(b)
+	htod, kernel, dtoh := q.Breakdown()
+	if htod <= 0.5 || kernel <= 0 || dtoh <= 0.25 {
+		t.Errorf("breakdown = %v %v %v", htod, kernel, dtoh)
+	}
+	if total := htod + kernel + dtoh; math.Abs(total-q.Now()) > 1e-12 {
+		t.Errorf("breakdown sum %v != clock %v", total, q.Now())
+	}
+}
+
+type recordingHook struct {
+	buffers int
+	events  []EventKind
+}
+
+func (h *recordingHook) BufferCreated(*Buffer) { h.buffers++ }
+func (h *recordingHook) EventRecorded(e Event) { h.events = append(h.events, e.Kind) }
+
+func TestHooks(t *testing.T) {
+	ctx := newCtx()
+	h := &recordingHook{}
+	ctx.AddHook(h)
+	q := NewQueue(ctx)
+	b := ctx.CreateBuffer("a", precision.Single, 4)
+	if err := q.WriteBuffer(b, precision.NewArray(precision.Single, 4)); err != nil {
+		t.Fatal(err)
+	}
+	q.DeviceConvert(b, precision.Half) // creates a second buffer
+	if h.buffers != 2 {
+		t.Errorf("hook saw %d buffers, want 2", h.buffers)
+	}
+	if len(h.events) != 2 || h.events[0] != EvWrite || h.events[1] != EvDeviceConvert {
+		t.Errorf("hook events: %v", h.events)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EvWrite, EvRead, EvKernel, EvHostConvert, EvDeviceConvert}
+	want := []string{"write", "read", "kernel", "host-convert", "device-convert"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("kind %d = %q", i, k.String())
+		}
+	}
+	if DirHtoD.String() != "HtoD" || DirDtoH.String() != "DtoH" || DirNone.String() != "-" {
+		t.Error("dir strings")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	runOnce := func() float64 {
+		ctx := newCtx()
+		q := NewQueue(ctx)
+		b := ctx.CreateBuffer("a", precision.Double, 256)
+		if err := q.WriteBuffer(b, precision.NewArray(precision.Double, 256)); err != nil {
+			t.Fatal(err)
+		}
+		q.DeviceConvert(b, precision.Half)
+		q.ReadBuffer(b)
+		return q.Now()
+	}
+	if runOnce() != runOnce() {
+		t.Error("simulated timing must be deterministic")
+	}
+}
+
+func TestAllocationTracking(t *testing.T) {
+	ctx := newCtx()
+	ctx.CreateBuffer("a", precision.Double, 100)
+	ctx.CreateBuffer("b", precision.Half, 100)
+	if got := ctx.AllocatedBytes(); got != 100*8+100*2 {
+		t.Errorf("AllocatedBytes = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("exceeding device memory should panic")
+		}
+	}()
+	// Titan Xp has 12 GB: a 2G-element double buffer (16 GB) exceeds it.
+	ctx.CreateBuffer("huge", precision.Double, 2<<30)
+}

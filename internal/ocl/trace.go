@@ -1,0 +1,74 @@
+package ocl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto). Timestamps are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// trace rows: host activity, PCIe transfers, and device execution get
+// separate "threads" so the timeline shows the program phases stacked.
+const (
+	traceRowHost   = 1
+	traceRowBus    = 2
+	traceRowDevice = 3
+)
+
+// WriteChromeTrace renders a queue trace in the Chrome trace-event JSON
+// format so a simulated program timeline can be inspected in
+// chrome://tracing or Perfetto. Host conversions, bus transfers and
+// device work (kernels, device-side conversions) appear as three rows.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := make([]chromeEvent, 0, len(events))
+	for _, e := range events {
+		ce := chromeEvent{
+			Cat:   e.Dir.String(),
+			Phase: "X",
+			TS:    e.Start * 1e6,
+			Dur:   e.Duration * 1e6,
+			PID:   1,
+		}
+		switch e.Kind {
+		case EvKernel:
+			ce.Name = "kernel " + e.Kernel
+			ce.TID = traceRowDevice
+			ce.Args = map[string]any{
+				"work_items": e.Counts.WorkItems,
+				"flops":      e.Counts.TotalFlops(),
+				"conv_ops":   e.Counts.ConvOps,
+			}
+		case EvDeviceConvert:
+			ce.Name = fmt.Sprintf("device convert %s->%s", e.Src, e.Dst)
+			ce.TID = traceRowDevice
+			ce.Args = map[string]any{"elems": e.Elems}
+		case EvHostConvert:
+			ce.Name = fmt.Sprintf("host convert %s->%s", e.Src, e.Dst)
+			ce.TID = traceRowHost
+			ce.Args = map[string]any{"elems": e.Elems}
+		case EvWrite:
+			ce.Name = fmt.Sprintf("HtoD %s (%d B)", e.Dst, e.Bytes)
+			ce.TID = traceRowBus
+			ce.Args = map[string]any{"bytes": e.Bytes, "buffer": e.Buffer}
+		case EvRead:
+			ce.Name = fmt.Sprintf("DtoH %s (%d B)", e.Src, e.Bytes)
+			ce.TID = traceRowBus
+			ce.Args = map[string]any{"bytes": e.Bytes, "buffer": e.Buffer}
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}

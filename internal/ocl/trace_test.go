@@ -1,0 +1,72 @@
+package ocl
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/kir"
+	"repro/internal/precision"
+)
+
+func TestWriteChromeTrace(t *testing.T) {
+	ctx := newCtx()
+	q := NewQueue(ctx)
+	b := ctx.CreateBuffer("a", precision.Double, 64)
+	if err := q.WriteBuffer(b, precision.NewArray(precision.Double, 64)); err != nil {
+		t.Fatal(err)
+	}
+	q.AddHostTime(1e-6, DirHtoD, b, 64, precision.Double, precision.Single)
+	q.DeviceConvert(b, precision.Half)
+	k := kir.NewKernel("noopish", 1).InOut("b").
+		Body(kir.Put("b", kir.Gid(0), kir.At("b", kir.Gid(0)))).MustBuild()
+	if err := q.Launch(kir.MustCompile(k), [2]int{4, 1}, []*Buffer{b}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	q.ReadBuffer(b)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, q.Events()); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(decoded.TraceEvents) != len(q.Events()) {
+		t.Fatalf("trace has %d events, queue has %d", len(decoded.TraceEvents), len(q.Events()))
+	}
+	var sawKernel, sawHost, sawBus bool
+	var prevEnd float64
+	for _, e := range decoded.TraceEvents {
+		if e.Phase != "X" {
+			t.Errorf("phase %q, want X", e.Phase)
+		}
+		if e.TS < prevEnd-1e-9 {
+			t.Error("events overlap: the simulated queue is in-order")
+		}
+		prevEnd = e.TS + e.Dur
+		switch e.TID {
+		case traceRowDevice:
+			if strings.HasPrefix(e.Name, "kernel ") {
+				sawKernel = true
+			}
+		case traceRowHost:
+			sawHost = true
+		case traceRowBus:
+			sawBus = true
+		}
+	}
+	if !sawKernel || !sawHost || !sawBus {
+		t.Errorf("rows missing: kernel=%v host=%v bus=%v", sawKernel, sawHost, sawBus)
+	}
+}

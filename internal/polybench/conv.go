@@ -1,0 +1,132 @@
+package polybench
+
+import (
+	"repro/internal/kir"
+	"repro/internal/precision"
+	"repro/internal/prog"
+)
+
+// Stencil coefficients shared by the convolution benchmarks (from the
+// Polybench GPU sources).
+const (
+	c11, c12, c13 = +0.2, -0.3, +0.4
+	c21, c22, c23 = +0.5, +0.6, +0.7
+	c31, c32, c33 = -0.8, -0.9, +0.10
+)
+
+// TwoDConv builds the 2DCONV benchmark: a 3x3 convolution of an ni x nj
+// array. The paper's evaluation size is 16 MB (1448 x 1448 doubles).
+func TwoDConv(ni, nj int) *prog.Workload {
+	at := func(di, dj int64) kir.Expr {
+		return kir.At("A", kir.Idx2(kir.Add(kir.Gid(0), kir.I(di)), kir.P("nj"), kir.Add(kir.Gid(1), kir.I(dj))))
+	}
+	k := kir.NewKernel("conv2d", 2).In("A").Out("B").Ints("ni", "nj").
+		Body(
+			kir.When(kir.And(
+				kir.And(kir.Ge(kir.Gid(0), kir.I(1)), kir.Lt(kir.Gid(0), kir.Sub(kir.P("ni"), kir.I(1)))),
+				kir.And(kir.Ge(kir.Gid(1), kir.I(1)), kir.Lt(kir.Gid(1), kir.Sub(kir.P("nj"), kir.I(1)))),
+			),
+				kir.Put("B", kir.Idx2(kir.Gid(0), kir.P("nj"), kir.Gid(1)),
+					kir.Add(
+						kir.Add(
+							kir.Add(kir.Mul(kir.F(c11), at(-1, -1)), kir.Mul(kir.F(c12), at(0, -1))),
+							kir.Add(kir.Mul(kir.F(c13), at(1, -1)), kir.Mul(kir.F(c21), at(-1, 0))),
+						),
+						kir.Add(
+							kir.Add(kir.Mul(kir.F(c22), at(0, 0)), kir.Mul(kir.F(c23), at(1, 0))),
+							kir.Add(
+								kir.Add(kir.Mul(kir.F(c31), at(-1, 1)), kir.Mul(kir.F(c32), at(0, 1))),
+								kir.Mul(kir.F(c33), at(1, 1)),
+							),
+						),
+					),
+				),
+			),
+		).MustBuild()
+
+	n := ni * nj
+	return &prog.Workload{
+		Name:         "2DCONV",
+		Original:     precision.Double,
+		InputBytes:   n * 8,
+		DefaultRange: [2]float64{0, 1},
+		Objects: []prog.ObjectSpec{
+			{Name: "A", Len: n, Kind: prog.ObjInput},
+			{Name: "B", Len: n, Kind: prog.ObjOutput},
+		},
+		Kernels:    map[string]*kir.Program{"conv2d": kir.MustCompile(k)},
+		MakeInputs: inputGen("2DCONV", 0, 1, map[string]int{"A": n}),
+		Script: func(x *prog.Exec) error {
+			if err := writeAll(x, "A"); err != nil {
+				return err
+			}
+			if err := x.Launch("conv2d", [2]int{ni, nj}, []string{"A", "B"}, int64(ni), int64(nj)); err != nil {
+				return err
+			}
+			return readAll(x, "B")
+		},
+	}
+}
+
+// ThreeDConv builds the 3DCONV benchmark: a 3x3x3 convolution of an
+// n x n x n volume. The NDRange covers (i, j); each work item loops over
+// the k dimension, as in the Polybench GPU kernel. The paper's size is
+// 16 MB (128^3 doubles).
+func ThreeDConv(n int) *prog.Workload {
+	at := func(di, dj int64, dk kir.Expr) kir.Expr {
+		// A[(i+di)*n*n + (j+dj)*n + k+dk]
+		return kir.At("A", kir.Add(
+			kir.Mul(kir.Add(kir.Gid(0), kir.I(di)), kir.Mul(kir.P("n"), kir.P("n"))),
+			kir.Add(kir.Mul(kir.Add(kir.Gid(1), kir.I(dj)), kir.P("n")), dk),
+		))
+	}
+	k := kir.NewKernel("conv3d", 2).In("A").Out("B").Ints("n").
+		Body(
+			kir.When(kir.And(
+				kir.And(kir.Ge(kir.Gid(0), kir.I(1)), kir.Lt(kir.Gid(0), kir.Sub(kir.P("n"), kir.I(1)))),
+				kir.And(kir.Ge(kir.Gid(1), kir.I(1)), kir.Lt(kir.Gid(1), kir.Sub(kir.P("n"), kir.I(1)))),
+			),
+				kir.Loop("k", kir.I(1), kir.Sub(kir.P("n"), kir.I(1)),
+					kir.Put("B",
+						kir.Add(kir.Mul(kir.Gid(0), kir.Mul(kir.P("n"), kir.P("n"))), kir.Add(kir.Mul(kir.Gid(1), kir.P("n")), kir.V("k"))),
+						kir.Add(
+							kir.Add(
+								kir.Add(kir.Mul(kir.F(c11), at(-1, -1, kir.Sub(kir.V("k"), kir.I(1)))), kir.Mul(kir.F(c13), at(1, -1, kir.Sub(kir.V("k"), kir.I(1))))),
+								kir.Add(kir.Mul(kir.F(c21), at(-1, -1, kir.V("k"))), kir.Mul(kir.F(c23), at(1, -1, kir.V("k")))),
+							),
+							kir.Add(
+								kir.Add(kir.Mul(kir.F(c31), at(-1, -1, kir.Add(kir.V("k"), kir.I(1)))), kir.Mul(kir.F(c33), at(1, -1, kir.Add(kir.V("k"), kir.I(1))))),
+								kir.Add(
+									kir.Mul(kir.F(c22), at(0, 0, kir.V("k"))),
+									kir.Add(kir.Mul(kir.F(c12), at(0, -1, kir.Sub(kir.V("k"), kir.I(1)))), kir.Mul(kir.F(c32), at(0, 1, kir.Add(kir.V("k"), kir.I(1))))),
+								),
+							),
+						),
+					),
+				),
+			),
+		).MustBuild()
+
+	total := n * n * n
+	return &prog.Workload{
+		Name:         "3DCONV",
+		Original:     precision.Double,
+		InputBytes:   total * 8,
+		DefaultRange: [2]float64{0, 59},
+		Objects: []prog.ObjectSpec{
+			{Name: "A", Len: total, Kind: prog.ObjInput},
+			{Name: "B", Len: total, Kind: prog.ObjOutput},
+		},
+		Kernels:    map[string]*kir.Program{"conv3d": kir.MustCompile(k)},
+		MakeInputs: inputGen("3DCONV", 0, 59, map[string]int{"A": total}),
+		Script: func(x *prog.Exec) error {
+			if err := writeAll(x, "A"); err != nil {
+				return err
+			}
+			if err := x.Launch("conv3d", [2]int{n, n}, []string{"A", "B"}, int64(n)); err != nil {
+				return err
+			}
+			return readAll(x, "B")
+		},
+	}
+}

@@ -1,0 +1,183 @@
+package polybench
+
+import (
+	"repro/internal/kir"
+	"repro/internal/precision"
+	"repro/internal/prog"
+)
+
+// corrEps guards against zero standard deviation, as in the Polybench
+// correlation source.
+const corrEps = 0.005
+
+// Corr builds the CORR benchmark (correlation matrix of an n x m data
+// set): column means, column standard deviations, in-place
+// standardization, then symmat = data^T * data over the standardized
+// data. The paper's size is 4 MB; this reproduction runs 96 x 96.
+func Corr(n, m int) *prog.Workload {
+	fn := kir.ItoF(kir.P("n"))
+
+	mean := kir.NewKernel("corr_mean", 1).In("data").Out("mean").Ints("n", "m").
+		Body(
+			kir.LetF("acc", kir.F(0)),
+			kir.Loop("i", kir.I(0), kir.P("n"),
+				kir.Set("acc", kir.Add(kir.At("data", kir.Idx2(kir.V("i"), kir.P("m"), kir.Gid(0))), kir.V("acc"))),
+			),
+			kir.Put("mean", kir.Gid(0), kir.Div(kir.V("acc"), fn)),
+		).MustBuild()
+
+	std := kir.NewKernel("corr_std", 1).In("data").In("mean").Out("std").Ints("n", "m").
+		Body(
+			kir.LetF("acc", kir.F(0)),
+			kir.Loop("i", kir.I(0), kir.P("n"),
+				kir.LetF("d", kir.Sub(kir.At("data", kir.Idx2(kir.V("i"), kir.P("m"), kir.Gid(0))), kir.At("mean", kir.Gid(0)))),
+				kir.Set("acc", kir.Add(kir.Mul(kir.V("d"), kir.V("d")), kir.V("acc"))),
+			),
+			kir.LetF("s", kir.Sqrt(kir.Div(kir.V("acc"), fn))),
+			kir.Put("std", kir.Gid(0), kir.Cond(kir.Le(kir.V("s"), kir.F(corrEps)), kir.F(1), kir.V("s"))),
+		).MustBuild()
+
+	center := kir.NewKernel("corr_center", 2).InOut("data").In("mean").In("std").Ints("n", "m").
+		Body(
+			kir.Put("data", kir.Idx2(kir.Gid(0), kir.P("m"), kir.Gid(1)),
+				kir.Div(
+					kir.Sub(kir.At("data", kir.Idx2(kir.Gid(0), kir.P("m"), kir.Gid(1))), kir.At("mean", kir.Gid(1))),
+					kir.Mul(kir.Sqrt(fn), kir.At("std", kir.Gid(1))),
+				),
+			),
+		).MustBuild()
+
+	corr := kir.NewKernel("corr_mat", 1).In("data").Out("symmat").Ints("n", "m").
+		Body(
+			kir.Put("symmat", kir.Idx2(kir.Gid(0), kir.P("m"), kir.Gid(0)), kir.F(1)),
+			kir.Loop("j2", kir.Add(kir.Gid(0), kir.I(1)), kir.P("m"),
+				kir.LetF("acc", kir.F(0)),
+				kir.Loop("i", kir.I(0), kir.P("n"),
+					kir.Set("acc", kir.Add(
+						kir.Mul(
+							kir.At("data", kir.Idx2(kir.V("i"), kir.P("m"), kir.Gid(0))),
+							kir.At("data", kir.Idx2(kir.V("i"), kir.P("m"), kir.V("j2"))),
+						),
+						kir.V("acc"),
+					)),
+				),
+				kir.Put("symmat", kir.Idx2(kir.Gid(0), kir.P("m"), kir.V("j2")), kir.V("acc")),
+				kir.Put("symmat", kir.Idx2(kir.V("j2"), kir.P("m"), kir.Gid(0)), kir.V("acc")),
+			),
+		).MustBuild()
+
+	return &prog.Workload{
+		Name:         "CORR",
+		Original:     precision.Double,
+		InputBytes:   n * m * 8,
+		DefaultRange: [2]float64{0, 2047},
+		Objects: []prog.ObjectSpec{
+			{Name: "data", Len: n * m, Kind: prog.ObjInput},
+			{Name: "mean", Len: m, Kind: prog.ObjTemp},
+			{Name: "std", Len: m, Kind: prog.ObjTemp},
+			{Name: "symmat", Len: m * m, Kind: prog.ObjOutput},
+		},
+		Kernels: map[string]*kir.Program{
+			"corr_mean":   kir.MustCompile(mean),
+			"corr_std":    kir.MustCompile(std),
+			"corr_center": kir.MustCompile(center),
+			"corr_mat":    kir.MustCompile(corr),
+		},
+		MakeInputs: inputGen("CORR", 0, 2047, map[string]int{"data": n * m}),
+		Script: func(x *prog.Exec) error {
+			if err := writeAll(x, "data"); err != nil {
+				return err
+			}
+			dims := []int64{int64(n), int64(m)}
+			if err := x.Launch("corr_mean", [2]int{m, 1}, []string{"data", "mean"}, dims...); err != nil {
+				return err
+			}
+			if err := x.Launch("corr_std", [2]int{m, 1}, []string{"data", "mean", "std"}, dims...); err != nil {
+				return err
+			}
+			if err := x.Launch("corr_center", [2]int{n, m}, []string{"data", "mean", "std"}, dims...); err != nil {
+				return err
+			}
+			if err := x.Launch("corr_mat", [2]int{m, 1}, []string{"data", "symmat"}, dims...); err != nil {
+				return err
+			}
+			return readAll(x, "symmat")
+		},
+	}
+}
+
+// Covar builds the COVAR benchmark (covariance matrix of an n x m data
+// set): column means, in-place centering, then symmat[j1][j2] =
+// sum_i data[i][j1]*data[i][j2] / (n-1). The paper's size is 4 MB; this
+// reproduction runs 96 x 96.
+func Covar(n, m int) *prog.Workload {
+	fn := kir.ItoF(kir.P("n"))
+
+	mean := kir.NewKernel("covar_mean", 1).In("data").Out("mean").Ints("n", "m").
+		Body(
+			kir.LetF("acc", kir.F(0)),
+			kir.Loop("i", kir.I(0), kir.P("n"),
+				kir.Set("acc", kir.Add(kir.At("data", kir.Idx2(kir.V("i"), kir.P("m"), kir.Gid(0))), kir.V("acc"))),
+			),
+			kir.Put("mean", kir.Gid(0), kir.Div(kir.V("acc"), fn)),
+		).MustBuild()
+
+	center := kir.NewKernel("covar_center", 2).InOut("data").In("mean").Ints("n", "m").
+		Body(
+			kir.Put("data", kir.Idx2(kir.Gid(0), kir.P("m"), kir.Gid(1)),
+				kir.Sub(kir.At("data", kir.Idx2(kir.Gid(0), kir.P("m"), kir.Gid(1))), kir.At("mean", kir.Gid(1)))),
+		).MustBuild()
+
+	covar := kir.NewKernel("covar_mat", 1).In("data").Out("symmat").Ints("n", "m").
+		Body(
+			kir.Loop("j2", kir.Gid(0), kir.P("m"),
+				kir.LetF("acc", kir.F(0)),
+				kir.Loop("i", kir.I(0), kir.P("n"),
+					kir.Set("acc", kir.Add(
+						kir.Mul(
+							kir.At("data", kir.Idx2(kir.V("i"), kir.P("m"), kir.Gid(0))),
+							kir.At("data", kir.Idx2(kir.V("i"), kir.P("m"), kir.V("j2"))),
+						),
+						kir.V("acc"),
+					)),
+				),
+				kir.LetF("cv", kir.Div(kir.V("acc"), kir.Sub(fn, kir.F(1)))),
+				kir.Put("symmat", kir.Idx2(kir.Gid(0), kir.P("m"), kir.V("j2")), kir.V("cv")),
+				kir.Put("symmat", kir.Idx2(kir.V("j2"), kir.P("m"), kir.Gid(0)), kir.V("cv")),
+			),
+		).MustBuild()
+
+	return &prog.Workload{
+		Name:         "COVAR",
+		Original:     precision.Double,
+		InputBytes:   n * m * 8,
+		DefaultRange: [2]float64{0, 2048},
+		Objects: []prog.ObjectSpec{
+			{Name: "data", Len: n * m, Kind: prog.ObjInput},
+			{Name: "mean", Len: m, Kind: prog.ObjTemp},
+			{Name: "symmat", Len: m * m, Kind: prog.ObjOutput},
+		},
+		Kernels: map[string]*kir.Program{
+			"covar_mean":   kir.MustCompile(mean),
+			"covar_center": kir.MustCompile(center),
+			"covar_mat":    kir.MustCompile(covar),
+		},
+		MakeInputs: inputGen("COVAR", 0, 2048, map[string]int{"data": n * m}),
+		Script: func(x *prog.Exec) error {
+			if err := writeAll(x, "data"); err != nil {
+				return err
+			}
+			dims := []int64{int64(n), int64(m)}
+			if err := x.Launch("covar_mean", [2]int{m, 1}, []string{"data", "mean"}, dims...); err != nil {
+				return err
+			}
+			if err := x.Launch("covar_center", [2]int{n, m}, []string{"data", "mean"}, dims...); err != nil {
+				return err
+			}
+			if err := x.Launch("covar_mat", [2]int{m, 1}, []string{"data", "symmat"}, dims...); err != nil {
+				return err
+			}
+			return readAll(x, "symmat")
+		},
+	}
+}

@@ -1,0 +1,99 @@
+package polybench
+
+import (
+	"repro/internal/kir"
+	"repro/internal/precision"
+	"repro/internal/prog"
+)
+
+// Fdtd2D builds the FDTD-2D benchmark: tmax time steps of the 2D
+// finite-difference time-domain method over n x n field grids ex, ey, hz
+// with a fictitious source array. Each step launches the three Polybench
+// GPU kernels in order. The paper's size is 4 MB; this reproduction runs
+// a 192 x 192 grid for 8 steps.
+func Fdtd2D(n, tmax int) *prog.Workload {
+	idx := kir.Idx2(kir.Gid(0), kir.P("n"), kir.Gid(1))
+
+	// step1: ey[0][j] = fict[t]; ey[i][j] -= 0.5*(hz[i][j]-hz[i-1][j]).
+	step1 := kir.NewKernel("fdtd_step1", 2).In("fict").In("hz").InOut("ey").Ints("n", "t").
+		Body(
+			kir.WhenElse(kir.Eq(kir.Gid(0), kir.I(0)),
+				[]kir.Stmt{kir.Put("ey", idx, kir.At("fict", kir.P("t")))},
+				[]kir.Stmt{
+					kir.Put("ey", idx,
+						kir.Sub(kir.At("ey", idx),
+							kir.Mul(kir.F(0.5),
+								kir.Sub(kir.At("hz", idx),
+									kir.At("hz", kir.Idx2(kir.Sub(kir.Gid(0), kir.I(1)), kir.P("n"), kir.Gid(1))))))),
+				},
+			),
+		).MustBuild()
+
+	// step2: ex[i][j] -= 0.5*(hz[i][j]-hz[i][j-1]) for j > 0.
+	step2 := kir.NewKernel("fdtd_step2", 2).In("hz").InOut("ex").Ints("n").
+		Body(
+			kir.When(kir.Gt(kir.Gid(1), kir.I(0)),
+				kir.Put("ex", idx,
+					kir.Sub(kir.At("ex", idx),
+						kir.Mul(kir.F(0.5),
+							kir.Sub(kir.At("hz", idx),
+								kir.At("hz", kir.Idx2(kir.Gid(0), kir.P("n"), kir.Sub(kir.Gid(1), kir.I(1)))))))),
+			),
+		).MustBuild()
+
+	// step3: hz[i][j] -= 0.7*(ex[i][j+1]-ex[i][j]+ey[i+1][j]-ey[i][j])
+	// for i, j < n-1.
+	step3 := kir.NewKernel("fdtd_step3", 2).In("ex").In("ey").InOut("hz").Ints("n").
+		Body(
+			kir.When(kir.And(
+				kir.Lt(kir.Gid(0), kir.Sub(kir.P("n"), kir.I(1))),
+				kir.Lt(kir.Gid(1), kir.Sub(kir.P("n"), kir.I(1))),
+			),
+				kir.Put("hz", idx,
+					kir.Sub(kir.At("hz", idx),
+						kir.Mul(kir.F(0.7),
+							kir.Add(
+								kir.Sub(kir.At("ex", kir.Idx2(kir.Gid(0), kir.P("n"), kir.Add(kir.Gid(1), kir.I(1)))), kir.At("ex", idx)),
+								kir.Sub(kir.At("ey", kir.Idx2(kir.Add(kir.Gid(0), kir.I(1)), kir.P("n"), kir.Gid(1))), kir.At("ey", idx)),
+							)))),
+			),
+		).MustBuild()
+
+	sz := n * n
+	return &prog.Workload{
+		Name:         "FDTD-2D",
+		Original:     precision.Double,
+		InputBytes:   (3*sz + tmax) * 8,
+		DefaultRange: [2]float64{-9.01, 2041},
+		Objects: []prog.ObjectSpec{
+			{Name: "fict", Len: tmax, Kind: prog.ObjInput},
+			{Name: "ex", Len: sz, Kind: prog.ObjInput},
+			{Name: "ey", Len: sz, Kind: prog.ObjInput},
+			{Name: "hz", Len: sz, Kind: prog.ObjInOut},
+		},
+		Kernels: map[string]*kir.Program{
+			"fdtd_step1": kir.MustCompile(step1),
+			"fdtd_step2": kir.MustCompile(step2),
+			"fdtd_step3": kir.MustCompile(step3),
+		},
+		MakeInputs: inputGen("FDTD-2D", -9.01, 2041,
+			map[string]int{"fict": tmax, "ex": sz, "ey": sz, "hz": sz}),
+		Script: func(x *prog.Exec) error {
+			if err := writeAll(x, "fict", "ex", "ey", "hz"); err != nil {
+				return err
+			}
+			for t := 0; t < tmax; t++ {
+				if err := x.Launch("fdtd_step1", [2]int{n, n}, []string{"fict", "hz", "ey"}, int64(n), int64(t)); err != nil {
+					return err
+				}
+				if err := x.Launch("fdtd_step2", [2]int{n, n}, []string{"hz", "ex"}, int64(n)); err != nil {
+					return err
+				}
+				if err := x.Launch("fdtd_step3", [2]int{n, n}, []string{"ex", "ey", "hz"}, int64(n)); err != nil {
+					return err
+				}
+			}
+			return readAll(x, "hz")
+		},
+	}
+}

@@ -1,0 +1,287 @@
+package polybench
+
+import (
+	"repro/internal/kir"
+	"repro/internal/precision"
+	"repro/internal/prog"
+)
+
+// Polybench scalar constants.
+const (
+	gemmAlpha, gemmBeta   = 32412.0, 2123.0
+	syrkAlpha, syrkBeta   = 12435.0, 4546.0
+	syr2kAlpha, syr2kBeta = 12435.0, 4546.0
+)
+
+// matmulKernel builds out[i,j] = sum_k a[i,k]*b[k,j] over ni x nj with
+// inner dimension nk, optionally scaled by alpha.
+func matmulKernel(name, a, b, out string, alpha float64) *kir.Kernel {
+	prod := kir.Mul(
+		kir.At(a, kir.Idx2(kir.Gid(0), kir.P("nk"), kir.V("k"))),
+		kir.At(b, kir.Idx2(kir.V("k"), kir.P("nj"), kir.Gid(1))),
+	)
+	body := []kir.Stmt{
+		kir.LetF("acc", kir.F(0)),
+		kir.Loop("k", kir.I(0), kir.P("nk"),
+			kir.Set("acc", kir.Add(prod, kir.V("acc"))),
+		),
+	}
+	result := kir.Expr(kir.V("acc"))
+	if alpha != 1 {
+		result = kir.Mul(kir.F(alpha), kir.V("acc"))
+	}
+	body = append(body, kir.Put(out, kir.Idx2(kir.Gid(0), kir.P("nj"), kir.Gid(1)), result))
+	return kir.NewKernel(name, 2).In(a).In(b).Out(out).Ints("ni", "nj", "nk").
+		Body(body...).MustBuild()
+}
+
+// Gemm builds the GEMM benchmark: C = alpha*A*B + beta*C with square
+// dimension n. The paper's evaluation size is 0.25 MB (n = 104).
+func Gemm(n int) *prog.Workload {
+	k := kir.NewKernel("gemm", 2).In("A").In("B").InOut("C").Ints("ni", "nj", "nk").
+		Body(
+			kir.LetF("acc", kir.F(0)),
+			kir.Loop("k", kir.I(0), kir.P("nk"),
+				kir.Set("acc", kir.Add(
+					kir.Mul(
+						kir.At("A", kir.Idx2(kir.Gid(0), kir.P("nk"), kir.V("k"))),
+						kir.At("B", kir.Idx2(kir.V("k"), kir.P("nj"), kir.Gid(1))),
+					),
+					kir.V("acc"),
+				)),
+			),
+			kir.Put("C", kir.Idx2(kir.Gid(0), kir.P("nj"), kir.Gid(1)),
+				kir.Add(
+					kir.Mul(kir.F(gemmAlpha), kir.V("acc")),
+					kir.Mul(kir.F(gemmBeta), kir.At("C", kir.Idx2(kir.Gid(0), kir.P("nj"), kir.Gid(1)))),
+				),
+			),
+		).MustBuild()
+
+	sz := n * n
+	return &prog.Workload{
+		Name:         "GEMM",
+		Original:     precision.Double,
+		InputBytes:   3 * sz * 8,
+		DefaultRange: [2]float64{0, 513},
+		Objects: []prog.ObjectSpec{
+			{Name: "A", Len: sz, Kind: prog.ObjInput},
+			{Name: "B", Len: sz, Kind: prog.ObjInput},
+			{Name: "C", Len: sz, Kind: prog.ObjInOut},
+		},
+		Kernels:    map[string]*kir.Program{"gemm": kir.MustCompile(k)},
+		MakeInputs: inputGen("GEMM", 0, 513, map[string]int{"A": sz, "B": sz, "C": sz}),
+		Script: func(x *prog.Exec) error {
+			if err := writeAll(x, "A", "B", "C"); err != nil {
+				return err
+			}
+			if err := x.Launch("gemm", [2]int{n, n}, []string{"A", "B", "C"}, int64(n), int64(n), int64(n)); err != nil {
+				return err
+			}
+			return readAll(x, "C")
+		},
+	}
+}
+
+// TwoMM builds the 2MM benchmark: tmp = alpha*A*B; D = tmp*C + beta*D.
+// The paper's evaluation size is 16 MB; this reproduction runs n = 64
+// because the kernels do O(n^3) work (see package comment).
+func TwoMM(n int) *prog.Workload {
+	k1 := matmulKernel("mm2_k1", "A", "B", "tmp", gemmAlpha)
+	k2 := kir.NewKernel("mm2_k2", 2).In("tmp").In("C").InOut("D").Ints("ni", "nj", "nk").
+		Body(
+			kir.LetF("acc", kir.F(0)),
+			kir.Loop("k", kir.I(0), kir.P("nk"),
+				kir.Set("acc", kir.Add(
+					kir.Mul(
+						kir.At("tmp", kir.Idx2(kir.Gid(0), kir.P("nk"), kir.V("k"))),
+						kir.At("C", kir.Idx2(kir.V("k"), kir.P("nj"), kir.Gid(1))),
+					),
+					kir.V("acc"),
+				)),
+			),
+			kir.Put("D", kir.Idx2(kir.Gid(0), kir.P("nj"), kir.Gid(1)),
+				kir.Add(kir.V("acc"),
+					kir.Mul(kir.F(gemmBeta), kir.At("D", kir.Idx2(kir.Gid(0), kir.P("nj"), kir.Gid(1)))))),
+		).MustBuild()
+
+	sz := n * n
+	return &prog.Workload{
+		Name:         "2MM",
+		Original:     precision.Double,
+		InputBytes:   4 * sz * 8,
+		DefaultRange: [2]float64{0, 2051},
+		Objects: []prog.ObjectSpec{
+			{Name: "A", Len: sz, Kind: prog.ObjInput},
+			{Name: "B", Len: sz, Kind: prog.ObjInput},
+			{Name: "C", Len: sz, Kind: prog.ObjInput},
+			{Name: "tmp", Len: sz, Kind: prog.ObjTemp},
+			{Name: "D", Len: sz, Kind: prog.ObjInOut},
+		},
+		Kernels: map[string]*kir.Program{
+			"mm2_k1": kir.MustCompile(k1),
+			"mm2_k2": kir.MustCompile(k2),
+		},
+		MakeInputs: inputGen("2MM", 0, 2051, map[string]int{"A": sz, "B": sz, "C": sz, "D": sz}),
+		Script: func(x *prog.Exec) error {
+			if err := writeAll(x, "A", "B", "C", "D"); err != nil {
+				return err
+			}
+			dims := []int64{int64(n), int64(n), int64(n)}
+			if err := x.Launch("mm2_k1", [2]int{n, n}, []string{"A", "B", "tmp"}, dims...); err != nil {
+				return err
+			}
+			if err := x.Launch("mm2_k2", [2]int{n, n}, []string{"tmp", "C", "D"}, dims...); err != nil {
+				return err
+			}
+			return readAll(x, "D")
+		},
+	}
+}
+
+// ThreeMM builds the 3MM benchmark: E = A*B; F = C*D; G = E*F. The
+// paper's evaluation size is 1 MB; this reproduction runs n = 64.
+func ThreeMM(n int) *prog.Workload {
+	k1 := matmulKernel("mm3_k1", "A", "B", "E", 1)
+	k2 := matmulKernel("mm3_k2", "C", "D", "F", 1)
+	k3 := matmulKernel("mm3_k3", "E", "F", "G", 1)
+
+	sz := n * n
+	return &prog.Workload{
+		Name:         "3MM",
+		Original:     precision.Double,
+		InputBytes:   4 * sz * 8,
+		DefaultRange: [2]float64{0, 515},
+		Objects: []prog.ObjectSpec{
+			{Name: "A", Len: sz, Kind: prog.ObjInput},
+			{Name: "B", Len: sz, Kind: prog.ObjInput},
+			{Name: "C", Len: sz, Kind: prog.ObjInput},
+			{Name: "D", Len: sz, Kind: prog.ObjInput},
+			{Name: "E", Len: sz, Kind: prog.ObjTemp},
+			{Name: "F", Len: sz, Kind: prog.ObjTemp},
+			{Name: "G", Len: sz, Kind: prog.ObjOutput},
+		},
+		Kernels: map[string]*kir.Program{
+			"mm3_k1": kir.MustCompile(k1),
+			"mm3_k2": kir.MustCompile(k2),
+			"mm3_k3": kir.MustCompile(k3),
+		},
+		MakeInputs: inputGen("3MM", 0, 515, map[string]int{"A": sz, "B": sz, "C": sz, "D": sz}),
+		Script: func(x *prog.Exec) error {
+			if err := writeAll(x, "A", "B", "C", "D"); err != nil {
+				return err
+			}
+			dims := []int64{int64(n), int64(n), int64(n)}
+			if err := x.Launch("mm3_k1", [2]int{n, n}, []string{"A", "B", "E"}, dims...); err != nil {
+				return err
+			}
+			if err := x.Launch("mm3_k2", [2]int{n, n}, []string{"C", "D", "F"}, dims...); err != nil {
+				return err
+			}
+			if err := x.Launch("mm3_k3", [2]int{n, n}, []string{"E", "F", "G"}, dims...); err != nil {
+				return err
+			}
+			return readAll(x, "G")
+		},
+	}
+}
+
+// Syrk builds the SYRK benchmark: C = alpha*A*A^T + beta*C over an n x n
+// result with inner dimension m. The paper's size is 1 MB (n = m = 128
+// here).
+func Syrk(n, m int) *prog.Workload {
+	k := kir.NewKernel("syrk", 2).In("A").InOut("C").Ints("n", "m").
+		Body(
+			kir.LetF("acc", kir.F(0)),
+			kir.Loop("k", kir.I(0), kir.P("m"),
+				kir.Set("acc", kir.Add(
+					kir.Mul(
+						kir.At("A", kir.Idx2(kir.Gid(0), kir.P("m"), kir.V("k"))),
+						kir.At("A", kir.Idx2(kir.Gid(1), kir.P("m"), kir.V("k"))),
+					),
+					kir.V("acc"),
+				)),
+			),
+			kir.Put("C", kir.Idx2(kir.Gid(0), kir.P("n"), kir.Gid(1)),
+				kir.Add(
+					kir.Mul(kir.F(syrkAlpha), kir.V("acc")),
+					kir.Mul(kir.F(syrkBeta), kir.At("C", kir.Idx2(kir.Gid(0), kir.P("n"), kir.Gid(1)))),
+				),
+			),
+		).MustBuild()
+
+	return &prog.Workload{
+		Name:         "SYRK",
+		Original:     precision.Double,
+		InputBytes:   (n*m + n*n) * 8,
+		DefaultRange: [2]float64{0, 1026},
+		Objects: []prog.ObjectSpec{
+			{Name: "A", Len: n * m, Kind: prog.ObjInput},
+			{Name: "C", Len: n * n, Kind: prog.ObjInOut},
+		},
+		Kernels:    map[string]*kir.Program{"syrk": kir.MustCompile(k)},
+		MakeInputs: inputGen("SYRK", 0, 1026, map[string]int{"A": n * m, "C": n * n}),
+		Script: func(x *prog.Exec) error {
+			if err := writeAll(x, "A", "C"); err != nil {
+				return err
+			}
+			if err := x.Launch("syrk", [2]int{n, n}, []string{"A", "C"}, int64(n), int64(m)); err != nil {
+				return err
+			}
+			return readAll(x, "C")
+		},
+	}
+}
+
+// Syr2k builds the SYR2K benchmark: C = alpha*(A*B^T + B*A^T) + beta*C.
+// The paper's size is 4 MB; this reproduction runs n = m = 96.
+func Syr2k(n, m int) *prog.Workload {
+	k := kir.NewKernel("syr2k", 2).In("A").In("B").InOut("C").Ints("n", "m").
+		Body(
+			kir.LetF("acc", kir.F(0)),
+			kir.Loop("k", kir.I(0), kir.P("m"),
+				kir.Set("acc", kir.Add(
+					kir.Add(
+						kir.Mul(
+							kir.At("A", kir.Idx2(kir.Gid(0), kir.P("m"), kir.V("k"))),
+							kir.At("B", kir.Idx2(kir.Gid(1), kir.P("m"), kir.V("k"))),
+						),
+						kir.Mul(
+							kir.At("B", kir.Idx2(kir.Gid(0), kir.P("m"), kir.V("k"))),
+							kir.At("A", kir.Idx2(kir.Gid(1), kir.P("m"), kir.V("k"))),
+						),
+					),
+					kir.V("acc"),
+				)),
+			),
+			kir.Put("C", kir.Idx2(kir.Gid(0), kir.P("n"), kir.Gid(1)),
+				kir.Add(
+					kir.Mul(kir.F(syr2kAlpha), kir.V("acc")),
+					kir.Mul(kir.F(syr2kBeta), kir.At("C", kir.Idx2(kir.Gid(0), kir.P("n"), kir.Gid(1)))),
+				),
+			),
+		).MustBuild()
+
+	return &prog.Workload{
+		Name:         "SYR2K",
+		Original:     precision.Double,
+		InputBytes:   (2*n*m + n*n) * 8,
+		DefaultRange: [2]float64{0, 2050},
+		Objects: []prog.ObjectSpec{
+			{Name: "A", Len: n * m, Kind: prog.ObjInput},
+			{Name: "B", Len: n * m, Kind: prog.ObjInput},
+			{Name: "C", Len: n * n, Kind: prog.ObjInOut},
+		},
+		Kernels:    map[string]*kir.Program{"syr2k": kir.MustCompile(k)},
+		MakeInputs: inputGen("SYR2K", 0, 2050, map[string]int{"A": n * m, "B": n * m, "C": n * n}),
+		Script: func(x *prog.Exec) error {
+			if err := writeAll(x, "A", "B", "C"); err != nil {
+				return err
+			}
+			if err := x.Launch("syr2k", [2]int{n, n}, []string{"A", "B", "C"}, int64(n), int64(m)); err != nil {
+				return err
+			}
+			return readAll(x, "C")
+		},
+	}
+}

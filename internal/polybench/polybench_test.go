@@ -1,0 +1,496 @@
+package polybench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/prog"
+)
+
+func runBaseline(t *testing.T, w *prog.Workload) *prog.Result {
+	t.Helper()
+	res, err := prog.Run(hw.System1(), w, prog.InputDefault, nil)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	return res
+}
+
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale+1e-12
+}
+
+func TestSuiteComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 14 {
+		t.Fatalf("suite has %d benchmarks, want 14", len(names))
+	}
+	suite := Suite()
+	for i, w := range suite {
+		if w == nil {
+			t.Fatalf("benchmark %s is nil", names[i])
+		}
+		if w.Name != names[i] {
+			t.Errorf("benchmark %d name %q, want %q", i, w.Name, names[i])
+		}
+	}
+	if ByName("NOPE") != nil {
+		t.Error("unknown name should return nil")
+	}
+}
+
+func TestTable4InputSizes(t *testing.T) {
+	// The 16 MB-class benchmarks run at the paper's sizes; the O(n^3)
+	// family runs reduced (documented substitution).
+	mb := func(w *prog.Workload) float64 { return float64(w.InputBytes) / (1 << 20) }
+	for _, name := range []string{"2DCONV", "3DCONV", "ATAX", "MVT", "GESUMMV"} {
+		w := ByName(name)
+		if mb(w) < 15 || mb(w) > 17.5 {
+			t.Errorf("%s input = %.1f MB, want ~16 MB (Table 4)", name, mb(w))
+		}
+	}
+	if w := ByName("GEMM"); mb(w) < 0.2 || mb(w) > 0.3 {
+		t.Errorf("GEMM input = %.2f MB, want ~0.25 MB (Table 4)", mb(w))
+	}
+}
+
+func TestAllSmallBenchmarksRun(t *testing.T) {
+	for _, w := range SmallSuite() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			res := runBaseline(t, w)
+			if res.Total <= 0 {
+				t.Error("no simulated time")
+			}
+			if len(res.Outputs) == 0 {
+				t.Error("no outputs read back")
+			}
+			for name, arr := range res.Outputs {
+				finite := false
+				for i := 0; i < arr.Len(); i++ {
+					if !math.IsInf(arr.Get(i), 0) && !math.IsNaN(arr.Get(i)) {
+						finite = true
+						break
+					}
+				}
+				if !finite {
+					t.Errorf("output %s is entirely non-finite at double precision", name)
+				}
+			}
+		})
+	}
+}
+
+func TestDeterministicInputs(t *testing.T) {
+	w := Gemm(20)
+	a := w.MakeInputs(prog.InputDefault)
+	b := w.MakeInputs(prog.InputDefault)
+	for i := range a["A"] {
+		if a["A"][i] != b["A"][i] {
+			t.Fatal("inputs must be deterministic")
+		}
+	}
+	// Different sets differ.
+	c := w.MakeInputs(prog.InputRandom)
+	same := true
+	for i := range a["A"] {
+		if a["A"][i] != c["A"][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("random set should differ from default")
+	}
+}
+
+func TestInputRanges(t *testing.T) {
+	for _, w := range SmallSuite() {
+		lo, hi := w.DefaultRange[0], w.DefaultRange[1]
+		for set, want := range map[prog.InputSet][2]float64{
+			prog.InputDefault: {lo, hi},
+			prog.InputImage:   {0, 256},
+			prog.InputRandom:  {0, 1},
+		} {
+			for name, data := range w.MakeInputs(set) {
+				for _, v := range data {
+					if v < want[0] || v >= want[1] {
+						t.Fatalf("%s/%s[%v]: value %v outside [%v, %v)", w.Name, name, set, v, want[0], want[1])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGemmAgainstReference(t *testing.T) {
+	n := 20
+	w := Gemm(n)
+	res := runBaseline(t, w)
+	in := w.MakeInputs(prog.InputDefault)
+	A, B, C := in["A"], in["B"], in["C"]
+	got := res.Outputs["C"]
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			for k := 0; k < n; k++ {
+				acc = math.FMA(A[i*n+k], B[k*n+j], acc)
+			}
+			want := gemmAlpha*acc + gemmBeta*C[i*n+j]
+			if !almostEqual(got.Get(i*n+j), want) {
+				t.Fatalf("C[%d,%d] = %v, want %v", i, j, got.Get(i*n+j), want)
+			}
+		}
+	}
+}
+
+func TestAtaxAgainstReference(t *testing.T) {
+	nx, ny := 24, 24
+	w := Atax(nx, ny)
+	res := runBaseline(t, w)
+	in := w.MakeInputs(prog.InputDefault)
+	A, x := in["A"], in["x"]
+	tmp := make([]float64, nx)
+	for i := 0; i < nx; i++ {
+		acc := 0.0
+		for j := 0; j < ny; j++ {
+			acc = math.FMA(A[i*ny+j], x[j], acc)
+		}
+		tmp[i] = acc
+	}
+	got := res.Outputs["y"]
+	for j := 0; j < ny; j++ {
+		acc := 0.0
+		for i := 0; i < nx; i++ {
+			acc = math.FMA(A[i*ny+j], tmp[i], acc)
+		}
+		if !almostEqual(got.Get(j), acc) {
+			t.Fatalf("y[%d] = %v, want %v", j, got.Get(j), acc)
+		}
+	}
+}
+
+func TestTwoDConvAgainstReference(t *testing.T) {
+	ni, nj := 16, 18
+	w := TwoDConv(ni, nj)
+	res := runBaseline(t, w)
+	in := w.MakeInputs(prog.InputDefault)["A"]
+	got := res.Outputs["B"]
+	at := func(i, j int) float64 { return in[i*nj+j] }
+	for i := 1; i < ni-1; i++ {
+		for j := 1; j < nj-1; j++ {
+			want := c11*at(i-1, j-1) + c12*at(i, j-1) + c13*at(i+1, j-1) +
+				c21*at(i-1, j) + c22*at(i, j) + c23*at(i+1, j) +
+				c31*at(i-1, j+1) + c32*at(i, j+1) + c33*at(i+1, j+1)
+			if math.Abs(got.Get(i*nj+j)-want) > 1e-9 {
+				t.Fatalf("B[%d,%d] = %v, want %v", i, j, got.Get(i*nj+j), want)
+			}
+		}
+	}
+	// Border untouched (zero).
+	if got.Get(0) != 0 || got.Get(ni*nj-1) != 0 {
+		t.Error("border elements should stay zero")
+	}
+}
+
+func TestBicgAgainstReference(t *testing.T) {
+	nx, ny := 20, 22
+	w := Bicg(nx, ny)
+	res := runBaseline(t, w)
+	in := w.MakeInputs(prog.InputDefault)
+	A, p, r := in["A"], in["p"], in["r"]
+	q := res.Outputs["q"]
+	s := res.Outputs["s"]
+	for i := 0; i < nx; i++ {
+		acc := 0.0
+		for j := 0; j < ny; j++ {
+			acc = math.FMA(A[i*ny+j], p[j], acc)
+		}
+		if !almostEqual(q.Get(i), acc) {
+			t.Fatalf("q[%d] = %v, want %v", i, q.Get(i), acc)
+		}
+	}
+	for j := 0; j < ny; j++ {
+		acc := 0.0
+		for i := 0; i < nx; i++ {
+			acc = math.FMA(A[i*ny+j], r[i], acc)
+		}
+		if !almostEqual(s.Get(j), acc) {
+			t.Fatalf("s[%d] = %v, want %v", j, s.Get(j), acc)
+		}
+	}
+}
+
+func TestMvtAgainstReference(t *testing.T) {
+	n := 24
+	w := Mvt(n)
+	res := runBaseline(t, w)
+	in := w.MakeInputs(prog.InputDefault)
+	A, y1, y2, x1, x2 := in["A"], in["y1"], in["y2"], in["x1"], in["x2"]
+	g1, g2 := res.Outputs["x1"], res.Outputs["x2"]
+	for i := 0; i < n; i++ {
+		acc1 := x1[i]
+		acc2 := x2[i]
+		for j := 0; j < n; j++ {
+			acc1 = math.FMA(A[i*n+j], y1[j], acc1)
+			acc2 = math.FMA(A[j*n+i], y2[j], acc2)
+		}
+		if !almostEqual(g1.Get(i), acc1) {
+			t.Fatalf("x1[%d] = %v, want %v", i, g1.Get(i), acc1)
+		}
+		if !almostEqual(g2.Get(i), acc2) {
+			t.Fatalf("x2[%d] = %v, want %v", i, g2.Get(i), acc2)
+		}
+	}
+}
+
+func TestGesummvAgainstReference(t *testing.T) {
+	n := 24
+	w := Gesummv(n)
+	res := runBaseline(t, w)
+	in := w.MakeInputs(prog.InputDefault)
+	A, B, x := in["A"], in["B"], in["x"]
+	y := res.Outputs["y"]
+	for i := 0; i < n; i++ {
+		sa, sb := 0.0, 0.0
+		for j := 0; j < n; j++ {
+			sa = math.FMA(A[i*n+j], x[j], sa)
+			sb = math.FMA(B[i*n+j], x[j], sb)
+		}
+		want := gesummvAlpha*sa + gesummvBeta*sb
+		if !almostEqual(y.Get(i), want) {
+			t.Fatalf("y[%d] = %v, want %v", i, y.Get(i), want)
+		}
+	}
+}
+
+func TestSyrkAgainstReference(t *testing.T) {
+	n, m := 12, 14
+	w := Syrk(n, m)
+	res := runBaseline(t, w)
+	in := w.MakeInputs(prog.InputDefault)
+	A, C := in["A"], in["C"]
+	got := res.Outputs["C"]
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			for k := 0; k < m; k++ {
+				acc = math.FMA(A[i*m+k], A[j*m+k], acc)
+			}
+			want := syrkAlpha*acc + syrkBeta*C[i*n+j]
+			if !almostEqual(got.Get(i*n+j), want) {
+				t.Fatalf("C[%d,%d] = %v, want %v", i, j, got.Get(i*n+j), want)
+			}
+		}
+	}
+}
+
+func TestCorrSymmetricUnitDiagonal(t *testing.T) {
+	n, m := 24, 24
+	w := Corr(n, m)
+	res := runBaseline(t, w)
+	sym := res.Outputs["symmat"]
+	for j := 0; j < m; j++ {
+		if sym.Get(j*m+j) != 1 {
+			t.Fatalf("diagonal [%d] = %v, want 1", j, sym.Get(j*m+j))
+		}
+	}
+	for a := 0; a < m; a++ {
+		for b := a + 1; b < m; b++ {
+			if sym.Get(a*m+b) != sym.Get(b*m+a) {
+				t.Fatalf("symmat not symmetric at (%d,%d)", a, b)
+			}
+			// Correlations live in [-1, 1] up to rounding.
+			if v := sym.Get(a*m + b); math.Abs(v) > 1.0001 {
+				t.Fatalf("correlation (%d,%d) = %v outside [-1,1]", a, b, v)
+			}
+		}
+	}
+}
+
+func TestCovarSymmetric(t *testing.T) {
+	n, m := 20, 20
+	w := Covar(n, m)
+	res := runBaseline(t, w)
+	sym := res.Outputs["symmat"]
+	// Diagonal of a covariance matrix is nonnegative.
+	for j := 0; j < m; j++ {
+		if sym.Get(j*m+j) < 0 {
+			t.Fatalf("variance [%d] = %v < 0", j, sym.Get(j*m+j))
+		}
+	}
+	for a := 0; a < m; a++ {
+		for b := 0; b < m; b++ {
+			if sym.Get(a*m+b) != sym.Get(b*m+a) {
+				t.Fatalf("symmat not symmetric at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+func TestFdtdEvolves(t *testing.T) {
+	w := Fdtd2D(16, 4)
+	res := runBaseline(t, w)
+	hz := res.Outputs["hz"]
+	initial := w.MakeInputs(prog.InputDefault)["hz"]
+	changed := 0
+	for i := 0; i < hz.Len(); i++ {
+		if hz.Get(i) != initial[i] {
+			changed++
+		}
+	}
+	if changed < hz.Len()/2 {
+		t.Errorf("only %d/%d hz cells changed after 4 steps", changed, hz.Len())
+	}
+	// 4 steps x 3 kernels + 4 writes + 1 read = 17 ops.
+	if len(res.Ops) != 17 {
+		t.Errorf("ops = %d, want 17", len(res.Ops))
+	}
+}
+
+func TestThreeMMChains(t *testing.T) {
+	n := 8
+	w := ThreeMM(n)
+	res := runBaseline(t, w)
+	in := w.MakeInputs(prog.InputDefault)
+	mm := func(a, b []float64) []float64 {
+		out := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				acc := 0.0
+				for k := 0; k < n; k++ {
+					acc = math.FMA(a[i*n+k], b[k*n+j], acc)
+				}
+				out[i*n+j] = acc
+			}
+		}
+		return out
+	}
+	E := mm(in["A"], in["B"])
+	F := mm(in["C"], in["D"])
+	G := mm(E, F)
+	got := res.Outputs["G"]
+	for i := range G {
+		if !almostEqual(got.Get(i), G[i]) {
+			t.Fatalf("G[%d] = %v, want %v", i, got.Get(i), G[i])
+		}
+	}
+}
+
+func TestTwoMMAgainstReference(t *testing.T) {
+	n := 8
+	w := TwoMM(n)
+	res := runBaseline(t, w)
+	in := w.MakeInputs(prog.InputDefault)
+	tmp := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			for k := 0; k < n; k++ {
+				acc = math.FMA(in["A"][i*n+k], in["B"][k*n+j], acc)
+			}
+			tmp[i*n+j] = gemmAlpha * acc
+		}
+	}
+	got := res.Outputs["D"]
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			for k := 0; k < n; k++ {
+				acc = math.FMA(tmp[i*n+k], in["C"][k*n+j], acc)
+			}
+			want := acc + gemmBeta*in["D"][i*n+j]
+			if !almostEqual(got.Get(i*n+j), want) {
+				t.Fatalf("D[%d,%d] = %v, want %v", i, j, got.Get(i*n+j), want)
+			}
+		}
+	}
+}
+
+func TestSyr2kAgainstReference(t *testing.T) {
+	n, m := 10, 12
+	w := Syr2k(n, m)
+	res := runBaseline(t, w)
+	in := w.MakeInputs(prog.InputDefault)
+	A, B, C := in["A"], in["B"], in["C"]
+	got := res.Outputs["C"]
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			acc := 0.0
+			for k := 0; k < m; k++ {
+				acc = math.FMA(A[i*m+k], B[j*m+k], acc)
+				acc = math.FMA(B[i*m+k], A[j*m+k], acc)
+			}
+			want := syr2kAlpha*acc + syr2kBeta*C[i*n+j]
+			if !almostEqual(got.Get(i*n+j), want) {
+				t.Fatalf("C[%d,%d] = %v, want %v", i, j, got.Get(i*n+j), want)
+			}
+		}
+	}
+}
+
+func TestThreeDConvWritesInterior(t *testing.T) {
+	n := 10
+	w := ThreeDConv(n)
+	res := runBaseline(t, w)
+	got := res.Outputs["B"]
+	nonzero := 0
+	for i := 0; i < got.Len(); i++ {
+		if got.Get(i) != 0 {
+			nonzero++
+		}
+	}
+	interior := (n - 2) * (n - 2) * (n - 2)
+	if nonzero == 0 || nonzero > (n-2)*(n-2)*n {
+		t.Errorf("nonzero outputs = %d, interior = %d", nonzero, interior)
+	}
+}
+
+func TestHalfQualityDependsOnInputSet(t *testing.T) {
+	// The Figure 6 mechanism: ATAX with its default 0-4094 range
+	// overflows half in the dot products, while the 0-1 random range
+	// stays within binary16 at this size.
+	sys := hw.System1()
+	w := Atax(48, 48)
+	for _, tc := range []struct {
+		set  prog.InputSet
+		pass bool
+	}{
+		{prog.InputDefault, false},
+		{prog.InputRandom, true},
+	} {
+		ref, err := prog.Run(sys, w, tc.set, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := prog.NewConfig(w, 0)
+		for name := range cfg.Objects {
+			cfg.Objects[name] = prog.ObjectConfig{Target: 1} // precision.Half
+		}
+		res, err := prog.Run(sys, w, tc.set, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := prog.Quality(ref, res)
+		if tc.pass && q < 0.9 {
+			t.Errorf("set %v: quality %v, expected pass", tc.set, q)
+		}
+		if !tc.pass && q >= 0.9 {
+			t.Errorf("set %v: quality %v, expected failure", tc.set, q)
+		}
+	}
+}
+
+func TestSuiteValidates(t *testing.T) {
+	for _, w := range append(Suite(), SmallSuite()...) {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}

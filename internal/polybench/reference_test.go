@@ -1,0 +1,165 @@
+package polybench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/prog"
+)
+
+// These tests validate the multi-kernel pipelines against independent
+// plain-Go implementations of the full algorithm (not just structural
+// properties).
+
+func TestCorrAgainstReference(t *testing.T) {
+	n, m := 18, 18
+	w := Corr(n, m)
+	res := runBaseline(t, w)
+	data := append([]float64(nil), w.MakeInputs(prog.InputDefault)["data"]...)
+
+	// Column means.
+	mean := make([]float64, m)
+	for j := 0; j < m; j++ {
+		for i := 0; i < n; i++ {
+			mean[j] += data[i*m+j]
+		}
+		mean[j] /= float64(n)
+	}
+	// Column standard deviations with the epsilon guard.
+	std := make([]float64, m)
+	for j := 0; j < m; j++ {
+		acc := 0.0
+		for i := 0; i < n; i++ {
+			d := data[i*m+j] - mean[j]
+			acc = math.FMA(d, d, acc)
+		}
+		std[j] = math.Sqrt(acc / float64(n))
+		if std[j] <= corrEps {
+			std[j] = 1
+		}
+	}
+	// Standardize in place.
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			data[i*m+j] = (data[i*m+j] - mean[j]) / (math.Sqrt(float64(n)) * std[j])
+		}
+	}
+	// Correlation matrix.
+	want := make([]float64, m*m)
+	for j1 := 0; j1 < m; j1++ {
+		want[j1*m+j1] = 1
+		for j2 := j1 + 1; j2 < m; j2++ {
+			acc := 0.0
+			for i := 0; i < n; i++ {
+				acc = math.FMA(data[i*m+j1], data[i*m+j2], acc)
+			}
+			want[j1*m+j2] = acc
+			want[j2*m+j1] = acc
+		}
+	}
+
+	got := res.Outputs["symmat"]
+	for i := 0; i < m*m; i++ {
+		if !almostEqual(got.Get(i), want[i]) {
+			t.Fatalf("symmat[%d] = %v, want %v", i, got.Get(i), want[i])
+		}
+	}
+}
+
+func TestCovarAgainstReference(t *testing.T) {
+	n, m := 16, 16
+	w := Covar(n, m)
+	res := runBaseline(t, w)
+	data := append([]float64(nil), w.MakeInputs(prog.InputDefault)["data"]...)
+
+	mean := make([]float64, m)
+	for j := 0; j < m; j++ {
+		for i := 0; i < n; i++ {
+			mean[j] += data[i*m+j]
+		}
+		mean[j] /= float64(n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			data[i*m+j] -= mean[j]
+		}
+	}
+	got := res.Outputs["symmat"]
+	for j1 := 0; j1 < m; j1++ {
+		for j2 := j1; j2 < m; j2++ {
+			acc := 0.0
+			for i := 0; i < n; i++ {
+				acc = math.FMA(data[i*m+j1], data[i*m+j2], acc)
+			}
+			want := acc / float64(n-1)
+			if !almostEqual(got.Get(j1*m+j2), want) {
+				t.Fatalf("symmat[%d,%d] = %v, want %v", j1, j2, got.Get(j1*m+j2), want)
+			}
+		}
+	}
+}
+
+func TestFdtdAgainstReference(t *testing.T) {
+	n, tmax := 12, 3
+	w := Fdtd2D(n, tmax)
+	res := runBaseline(t, w)
+	in := w.MakeInputs(prog.InputDefault)
+	fict := in["fict"]
+	ex := append([]float64(nil), in["ex"]...)
+	ey := append([]float64(nil), in["ey"]...)
+	hz := append([]float64(nil), in["hz"]...)
+
+	for step := 0; step < tmax; step++ {
+		// step1: ey.
+		for j := 0; j < n; j++ {
+			ey[j] = fict[step]
+		}
+		for i := 1; i < n; i++ {
+			for j := 0; j < n; j++ {
+				ey[i*n+j] -= 0.5 * (hz[i*n+j] - hz[(i-1)*n+j])
+			}
+		}
+		// step2: ex.
+		for i := 0; i < n; i++ {
+			for j := 1; j < n; j++ {
+				ex[i*n+j] -= 0.5 * (hz[i*n+j] - hz[i*n+j-1])
+			}
+		}
+		// step3: hz.
+		for i := 0; i < n-1; i++ {
+			for j := 0; j < n-1; j++ {
+				hz[i*n+j] -= 0.7 * (ex[i*n+j+1] - ex[i*n+j] + ey[(i+1)*n+j] - ey[i*n+j])
+			}
+		}
+	}
+
+	got := res.Outputs["hz"]
+	for i := 0; i < n*n; i++ {
+		if math.Abs(got.Get(i)-hz[i]) > 1e-9*math.Max(1, math.Abs(hz[i])) {
+			t.Fatalf("hz[%d] = %v, want %v", i, got.Get(i), hz[i])
+		}
+	}
+}
+
+func TestThreeDConvAgainstReference(t *testing.T) {
+	n := 8
+	w := ThreeDConv(n)
+	res := runBaseline(t, w)
+	in := w.MakeInputs(prog.InputDefault)["A"]
+	got := res.Outputs["B"]
+	at := func(i, j, k int) float64 { return in[i*n*n+j*n+k] }
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < n-1; j++ {
+			for k := 1; k < n-1; k++ {
+				want := c11*at(i-1, j-1, k-1) + c13*at(i+1, j-1, k-1) +
+					c21*at(i-1, j-1, k) + c23*at(i+1, j-1, k) +
+					c31*at(i-1, j-1, k+1) + c33*at(i+1, j-1, k+1) +
+					c22*at(i, j, k) +
+					c12*at(i, j-1, k-1) + c32*at(i, j+1, k+1)
+				if math.Abs(got.Get(i*n*n+j*n+k)-want) > 1e-9 {
+					t.Fatalf("B[%d,%d,%d] = %v, want %v", i, j, k, got.Get(i*n*n+j*n+k), want)
+				}
+			}
+		}
+	}
+}

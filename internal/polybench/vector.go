@@ -1,0 +1,222 @@
+package polybench
+
+import (
+	"repro/internal/kir"
+	"repro/internal/precision"
+	"repro/internal/prog"
+)
+
+const (
+	gesummvAlpha, gesummvBeta = 43532.0, 12313.0
+	bicgPi                    = 3.14159265358979323846
+)
+
+// rowDotKernel builds out[i] = sum_j mat[i*nj+j] * vec[j] (1D over rows).
+func rowDotKernel(name, mat, vec, out string) *kir.Kernel {
+	return kir.NewKernel(name, 1).In(mat).In(vec).Out(out).Ints("ni", "nj").
+		Body(
+			kir.LetF("acc", kir.F(0)),
+			kir.Loop("j", kir.I(0), kir.P("nj"),
+				kir.Set("acc", kir.Add(
+					kir.Mul(kir.At(mat, kir.Idx2(kir.Gid(0), kir.P("nj"), kir.V("j"))), kir.At(vec, kir.V("j"))),
+					kir.V("acc"),
+				)),
+			),
+			kir.Put(out, kir.Gid(0), kir.V("acc")),
+		).MustBuild()
+}
+
+// colDotKernel builds out[j] = sum_i mat[i*nj+j] * vec[i] (1D over
+// columns — the transposed product).
+func colDotKernel(name, mat, vec, out string) *kir.Kernel {
+	return kir.NewKernel(name, 1).In(mat).In(vec).Out(out).Ints("ni", "nj").
+		Body(
+			kir.LetF("acc", kir.F(0)),
+			kir.Loop("i", kir.I(0), kir.P("ni"),
+				kir.Set("acc", kir.Add(
+					kir.Mul(kir.At(mat, kir.Idx2(kir.V("i"), kir.P("nj"), kir.Gid(0))), kir.At(vec, kir.V("i"))),
+					kir.V("acc"),
+				)),
+			),
+			kir.Put(out, kir.Gid(0), kir.V("acc")),
+		).MustBuild()
+}
+
+// Atax builds the ATAX benchmark: y = A^T (A x). The paper's size is
+// 16 MB (A is 1448 x 1448 doubles).
+func Atax(nx, ny int) *prog.Workload {
+	k1 := rowDotKernel("atax_k1", "A", "x", "tmp")
+	k2 := colDotKernel("atax_k2", "A", "tmp", "y")
+
+	return &prog.Workload{
+		Name:         "ATAX",
+		Original:     precision.Double,
+		InputBytes:   (nx*ny + ny) * 8,
+		DefaultRange: [2]float64{0, 4094},
+		Objects: []prog.ObjectSpec{
+			{Name: "A", Len: nx * ny, Kind: prog.ObjInput},
+			{Name: "x", Len: ny, Kind: prog.ObjInput},
+			{Name: "tmp", Len: nx, Kind: prog.ObjTemp},
+			{Name: "y", Len: ny, Kind: prog.ObjOutput},
+		},
+		Kernels: map[string]*kir.Program{
+			"atax_k1": kir.MustCompile(k1),
+			"atax_k2": kir.MustCompile(k2),
+		},
+		MakeInputs: inputGen("ATAX", 0, 4094, map[string]int{"A": nx * ny, "x": ny}),
+		Script: func(x *prog.Exec) error {
+			if err := writeAll(x, "A", "x"); err != nil {
+				return err
+			}
+			if err := x.Launch("atax_k1", [2]int{nx, 1}, []string{"A", "x", "tmp"}, int64(nx), int64(ny)); err != nil {
+				return err
+			}
+			if err := x.Launch("atax_k2", [2]int{ny, 1}, []string{"A", "tmp", "y"}, int64(nx), int64(ny)); err != nil {
+				return err
+			}
+			return readAll(x, "y")
+		},
+	}
+}
+
+// Bicg builds the BICG benchmark: q = A p and s = A^T r. The paper's
+// size is 16 MB.
+func Bicg(nx, ny int) *prog.Workload {
+	kq := rowDotKernel("bicg_q", "A", "p", "q")
+	ks := colDotKernel("bicg_s", "A", "r", "s")
+
+	return &prog.Workload{
+		Name:         "BICG",
+		Original:     precision.Double,
+		InputBytes:   (nx*ny + nx + ny) * 8,
+		DefaultRange: [2]float64{0, 4096 * bicgPi},
+		Objects: []prog.ObjectSpec{
+			{Name: "A", Len: nx * ny, Kind: prog.ObjInput},
+			{Name: "p", Len: ny, Kind: prog.ObjInput},
+			{Name: "r", Len: nx, Kind: prog.ObjInput},
+			{Name: "q", Len: nx, Kind: prog.ObjOutput},
+			{Name: "s", Len: ny, Kind: prog.ObjOutput},
+		},
+		Kernels: map[string]*kir.Program{
+			"bicg_q": kir.MustCompile(kq),
+			"bicg_s": kir.MustCompile(ks),
+		},
+		MakeInputs: inputGen("BICG", 0, 4096*bicgPi, map[string]int{"A": nx * ny, "p": ny, "r": nx}),
+		Script: func(x *prog.Exec) error {
+			if err := writeAll(x, "A", "p", "r"); err != nil {
+				return err
+			}
+			if err := x.Launch("bicg_q", [2]int{nx, 1}, []string{"A", "p", "q"}, int64(nx), int64(ny)); err != nil {
+				return err
+			}
+			if err := x.Launch("bicg_s", [2]int{ny, 1}, []string{"A", "r", "s"}, int64(nx), int64(ny)); err != nil {
+				return err
+			}
+			return readAll(x, "q", "s")
+		},
+	}
+}
+
+// Mvt builds the MVT benchmark: x1 += A y1 and x2 += A^T y2. The paper's
+// size is 16 MB.
+func Mvt(n int) *prog.Workload {
+	k1 := kir.NewKernel("mvt_k1", 1).In("A").In("y1").InOut("x1").Ints("n").
+		Body(
+			kir.LetF("acc", kir.At("x1", kir.Gid(0))),
+			kir.Loop("j", kir.I(0), kir.P("n"),
+				kir.Set("acc", kir.Add(
+					kir.Mul(kir.At("A", kir.Idx2(kir.Gid(0), kir.P("n"), kir.V("j"))), kir.At("y1", kir.V("j"))),
+					kir.V("acc"),
+				)),
+			),
+			kir.Put("x1", kir.Gid(0), kir.V("acc")),
+		).MustBuild()
+	k2 := kir.NewKernel("mvt_k2", 1).In("A").In("y2").InOut("x2").Ints("n").
+		Body(
+			kir.LetF("acc", kir.At("x2", kir.Gid(0))),
+			kir.Loop("i", kir.I(0), kir.P("n"),
+				kir.Set("acc", kir.Add(
+					kir.Mul(kir.At("A", kir.Idx2(kir.V("i"), kir.P("n"), kir.Gid(0))), kir.At("y2", kir.V("i"))),
+					kir.V("acc"),
+				)),
+			),
+			kir.Put("x2", kir.Gid(0), kir.V("acc")),
+		).MustBuild()
+
+	return &prog.Workload{
+		Name:         "MVT",
+		Original:     precision.Double,
+		InputBytes:   (n*n + 4*n) * 8,
+		DefaultRange: [2]float64{0, 2},
+		Objects: []prog.ObjectSpec{
+			{Name: "A", Len: n * n, Kind: prog.ObjInput},
+			{Name: "y1", Len: n, Kind: prog.ObjInput},
+			{Name: "y2", Len: n, Kind: prog.ObjInput},
+			{Name: "x1", Len: n, Kind: prog.ObjInOut},
+			{Name: "x2", Len: n, Kind: prog.ObjInOut},
+		},
+		Kernels: map[string]*kir.Program{
+			"mvt_k1": kir.MustCompile(k1),
+			"mvt_k2": kir.MustCompile(k2),
+		},
+		MakeInputs: inputGen("MVT", 0, 2, map[string]int{"A": n * n, "y1": n, "y2": n, "x1": n, "x2": n}),
+		Script: func(x *prog.Exec) error {
+			if err := writeAll(x, "A", "y1", "y2", "x1", "x2"); err != nil {
+				return err
+			}
+			if err := x.Launch("mvt_k1", [2]int{n, 1}, []string{"A", "y1", "x1"}, int64(n)); err != nil {
+				return err
+			}
+			if err := x.Launch("mvt_k2", [2]int{n, 1}, []string{"A", "y2", "x2"}, int64(n)); err != nil {
+				return err
+			}
+			return readAll(x, "x1", "x2")
+		},
+	}
+}
+
+// Gesummv builds the GESUMMV benchmark: y = alpha*A*x + beta*B*x in a
+// single kernel. The paper's size is 16 MB (two 1024 x 1024 matrices).
+func Gesummv(n int) *prog.Workload {
+	k := kir.NewKernel("gesummv", 1).In("A").In("B").In("x").Out("y").Ints("n").
+		Body(
+			kir.LetF("sa", kir.F(0)),
+			kir.LetF("sb", kir.F(0)),
+			kir.Loop("j", kir.I(0), kir.P("n"),
+				kir.Set("sa", kir.Add(
+					kir.Mul(kir.At("A", kir.Idx2(kir.Gid(0), kir.P("n"), kir.V("j"))), kir.At("x", kir.V("j"))),
+					kir.V("sa"),
+				)),
+				kir.Set("sb", kir.Add(
+					kir.Mul(kir.At("B", kir.Idx2(kir.Gid(0), kir.P("n"), kir.V("j"))), kir.At("x", kir.V("j"))),
+					kir.V("sb"),
+				)),
+			),
+			kir.Put("y", kir.Gid(0),
+				kir.Add(kir.Mul(kir.F(gesummvAlpha), kir.V("sa")), kir.Mul(kir.F(gesummvBeta), kir.V("sb")))),
+		).MustBuild()
+
+	return &prog.Workload{
+		Name:         "GESUMMV",
+		Original:     precision.Double,
+		InputBytes:   (2*n*n + n) * 8,
+		DefaultRange: [2]float64{0, 4096},
+		Objects: []prog.ObjectSpec{
+			{Name: "A", Len: n * n, Kind: prog.ObjInput},
+			{Name: "B", Len: n * n, Kind: prog.ObjInput},
+			{Name: "x", Len: n, Kind: prog.ObjInput},
+			{Name: "y", Len: n, Kind: prog.ObjOutput},
+		},
+		Kernels:    map[string]*kir.Program{"gesummv": kir.MustCompile(k)},
+		MakeInputs: inputGen("GESUMMV", 0, 4096, map[string]int{"A": n * n, "B": n * n, "x": n}),
+		Script: func(x *prog.Exec) error {
+			if err := writeAll(x, "A", "B", "x"); err != nil {
+				return err
+			}
+			if err := x.Launch("gesummv", [2]int{n, 1}, []string{"A", "B", "x", "y"}, int64(n)); err != nil {
+				return err
+			}
+			return readAll(x, "y")
+		},
+	}
+}

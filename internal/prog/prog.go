@@ -1,0 +1,464 @@
+// Package prog defines the data-parallel program abstraction the
+// framework scales: a Workload (memory objects, kernels, input
+// generators, and a host-program script), the memory-object-level scaling
+// Config that PreScaler searches over, and the executor that runs a
+// workload under a configuration on a simulated system, producing timing,
+// a trace, and the program outputs for quality evaluation.
+//
+// A Config assigns every memory object a target precision and, for each
+// of its host<->device transfer events, a conversion Plan (host method,
+// thread count, wire type). The special InKernel mode keeps the object's
+// buffer at the original precision and instead lowers the precision of
+// kernel arithmetic with in-kernel casts — the Precimonious-style
+// baseline the paper compares against.
+package prog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/convert"
+	"repro/internal/hw"
+	"repro/internal/kir"
+	"repro/internal/ocl"
+	"repro/internal/precision"
+)
+
+// InputSet selects one of the paper's three input data distributions
+// (Table 4): the benchmark-specific default ranges, image pixel data
+// (0-255), and uniform random data in [0, 1).
+type InputSet uint8
+
+const (
+	// InputDefault uses the benchmark's own value ranges.
+	InputDefault InputSet = iota
+	// InputImage uses synthetic image pixel data in [0, 256).
+	InputImage
+	// InputRandom uses uniform values in [0, 1).
+	InputRandom
+)
+
+func (s InputSet) String() string {
+	switch s {
+	case InputDefault:
+		return "default"
+	case InputImage:
+		return "image"
+	case InputRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("InputSet(%d)", uint8(s))
+	}
+}
+
+// InputSets lists all input sets in paper order.
+var InputSets = []InputSet{InputDefault, InputImage, InputRandom}
+
+// ObjKind classifies a memory object's role in the program.
+type ObjKind uint8
+
+const (
+	// ObjInput objects are written host-to-device.
+	ObjInput ObjKind = iota
+	// ObjOutput objects are produced by kernels and read back.
+	ObjOutput
+	// ObjInOut objects are both written and read back.
+	ObjInOut
+	// ObjTemp objects live only on the device.
+	ObjTemp
+)
+
+func (k ObjKind) String() string {
+	switch k {
+	case ObjInput:
+		return "in"
+	case ObjOutput:
+		return "out"
+	case ObjInOut:
+		return "inout"
+	default:
+		return "temp"
+	}
+}
+
+// ObjectSpec declares one memory object of a workload.
+type ObjectSpec struct {
+	Name string
+	Len  int
+	Kind ObjKind
+}
+
+// Workload is a complete data-parallel program.
+type Workload struct {
+	Name string
+	// Original is the unscaled element precision (Double for Polybench).
+	Original precision.Type
+	// Objects lists the memory objects in creation order.
+	Objects []ObjectSpec
+	// Kernels maps kernel names to compiled programs.
+	Kernels map[string]*kir.Program
+	// MakeInputs returns host data for every Input/InOut object. It must
+	// be deterministic per input set.
+	MakeInputs func(set InputSet) map[string][]float64
+	// Script drives the program: writes, launches, reads.
+	Script func(x *Exec) error
+	// InputBytes is the nominal input size reported in Table 4.
+	InputBytes int
+	// DefaultRange documents the default input value range of Table 4.
+	DefaultRange [2]float64
+}
+
+// Object returns the spec for name, or nil.
+func (w *Workload) Object(name string) *ObjectSpec {
+	for i := range w.Objects {
+		if w.Objects[i].Name == name {
+			return &w.Objects[i]
+		}
+	}
+	return nil
+}
+
+// OutputNames returns the names of objects read back to the host, in
+// declaration order.
+func (w *Workload) OutputNames() []string {
+	var out []string
+	for _, o := range w.Objects {
+		if o.Kind == ObjOutput || o.Kind == ObjInOut {
+			out = append(out, o.Name)
+		}
+	}
+	return out
+}
+
+// ObjectConfig is the scaling decision for one memory object.
+type ObjectConfig struct {
+	// Target is the object's scaled precision. In memory-object mode the
+	// device buffer is allocated at Target; in InKernel mode the buffer
+	// stays at the original precision and kernels compute at Target
+	// through inserted casts.
+	Target precision.Type
+	// InKernel selects the kernel-level (Precimonious-style) mode.
+	InKernel bool
+	// Plans holds one conversion plan per transfer event of this object,
+	// in occurrence order. Missing entries fall back to DefaultPlan.
+	Plans []convert.Plan
+}
+
+// Config is a complete scaling configuration for a workload.
+type Config struct {
+	Objects map[string]ObjectConfig
+}
+
+// NewConfig returns a configuration with every object at precision t and
+// default (direct) conversion plans.
+func NewConfig(w *Workload, t precision.Type) *Config {
+	c := &Config{Objects: map[string]ObjectConfig{}}
+	for _, o := range w.Objects {
+		c.Objects[o.Name] = ObjectConfig{Target: t}
+	}
+	return c
+}
+
+// Baseline returns the identity configuration: every object at the
+// workload's original precision.
+func Baseline(w *Workload) *Config { return NewConfig(w, w.Original) }
+
+// Clone deep-copies the configuration.
+func (c *Config) Clone() *Config {
+	out := &Config{Objects: make(map[string]ObjectConfig, len(c.Objects))}
+	for k, v := range c.Objects {
+		plans := make([]convert.Plan, len(v.Plans))
+		copy(plans, v.Plans)
+		v.Plans = plans
+		out.Objects[k] = v
+	}
+	return out
+}
+
+// Target returns the configured precision for obj, defaulting to orig.
+func (c *Config) Target(obj string, orig precision.Type) precision.Type {
+	if oc, ok := c.Objects[obj]; ok && oc.Target.Valid() {
+		return oc.Target
+	}
+	return orig
+}
+
+// DefaultPlan is the conversion plan used when a configuration does not
+// specify one: direct transfer when no conversion is needed, otherwise
+// host-side multithreaded conversion with one worker per logical CPU
+// thread (the paper's PFP setting).
+func DefaultPlan(cpu *hw.CPU, hostType, wireTarget precision.Type) convert.Plan {
+	if hostType == wireTarget {
+		return convert.Direct(hostType)
+	}
+	return convert.Plan{Host: convert.MethodMT, Threads: cpu.Threads, Mid: wireTarget}
+}
+
+// OpKind classifies executor trace operations.
+type OpKind uint8
+
+const (
+	// OpWrite is a host-to-device transfer of an object.
+	OpWrite OpKind = iota
+	// OpRead is a device-to-host transfer of an object.
+	OpRead
+	// OpKernel is a kernel launch.
+	OpKernel
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	default:
+		return "kernel"
+	}
+}
+
+// Op is one entry of the object-level execution trace.
+type Op struct {
+	Kind OpKind
+	// Object is the memory object for transfers.
+	Object string
+	// Kernel and Args describe kernel launches (Args are object names in
+	// kernel argument order).
+	Kernel string
+	Args   []string
+	// Elems is the element count moved (transfers).
+	Elems int
+	// EventIndex is the ordinal of this transfer among the object's
+	// transfer events (0-based).
+	EventIndex int
+	// Duration is the simulated time this operation took.
+	Duration float64
+	// Counts holds kernel dynamic counts for OpKernel.
+	Counts kir.Counts
+}
+
+// Result is the outcome of one execution trial.
+type Result struct {
+	// Total is the simulated end-to-end program time.
+	Total float64
+	// KernelTime, HtoDTime and DtoHTime decompose Total.
+	KernelTime float64
+	HtoDTime   float64
+	DtoHTime   float64
+	// Outputs holds the read-back objects at the workload's original
+	// precision, keyed by object name.
+	Outputs map[string]*precision.Array
+	// Ops is the object-level trace.
+	Ops []Op
+	// Events is the underlying runtime trace.
+	Events []ocl.Event
+}
+
+// TransferTime returns HtoD + DtoH time.
+func (r *Result) TransferTime() float64 { return r.HtoDTime + r.DtoHTime }
+
+// Exec is the executor handle passed to a workload's Script.
+type Exec struct {
+	w       *Workload
+	sys     *hw.System
+	cfg     *Config
+	ctx     *ocl.Context
+	q       *ocl.Queue
+	inputs  map[string][]float64
+	bufs    map[string]*ocl.Buffer
+	outputs map[string]*precision.Array
+	evIdx   map[string]int
+	ops     []Op
+}
+
+// Run executes w on sys with input set and scaling configuration cfg
+// (nil means baseline), returning the result.
+func Run(sys *hw.System, w *Workload, set InputSet, cfg *Config) (*Result, error) {
+	if cfg == nil {
+		cfg = Baseline(w)
+	}
+	x := &Exec{
+		w:       w,
+		sys:     sys,
+		cfg:     cfg,
+		ctx:     ocl.NewContext(sys),
+		inputs:  w.MakeInputs(set),
+		bufs:    map[string]*ocl.Buffer{},
+		outputs: map[string]*precision.Array{},
+		evIdx:   map[string]int{},
+	}
+	x.q = ocl.NewQueue(x.ctx)
+	if err := w.Script(x); err != nil {
+		return nil, fmt.Errorf("prog: %s: %w", w.Name, err)
+	}
+	res := &Result{
+		Total:   x.q.Now(),
+		Outputs: x.outputs,
+		Ops:     x.ops,
+		Events:  x.q.Events(),
+	}
+	htod, kernel, dtoh := x.q.Breakdown()
+	res.HtoDTime, res.KernelTime, res.DtoHTime = htod, kernel, dtoh
+	return res, nil
+}
+
+// objectConfig returns the configuration for obj with defaults filled in.
+func (x *Exec) objectConfig(obj string) ObjectConfig {
+	oc := x.cfg.Objects[obj]
+	if !oc.Target.Valid() {
+		oc.Target = x.w.Original
+	}
+	return oc
+}
+
+// storageType returns the device storage precision for obj.
+func (x *Exec) storageType(oc ObjectConfig) precision.Type {
+	if oc.InKernel {
+		return x.w.Original
+	}
+	return oc.Target
+}
+
+// nextPlan pops the conversion plan for obj's next transfer event.
+func (x *Exec) nextPlan(obj string, oc ObjectConfig, hostType, storage precision.Type) (convert.Plan, int) {
+	i := x.evIdx[obj]
+	x.evIdx[obj] = i + 1
+	if i < len(oc.Plans) {
+		return oc.Plans[i], i
+	}
+	return DefaultPlan(&x.sys.CPU, hostType, storage), i
+}
+
+// Write transfers the named input object host-to-device under its
+// configured plan, creating the device buffer.
+func (x *Exec) Write(obj string) error {
+	spec := x.w.Object(obj)
+	if spec == nil {
+		return fmt.Errorf("write: unknown object %q", obj)
+	}
+	data, ok := x.inputs[obj]
+	if !ok {
+		return fmt.Errorf("write: no input data for object %q", obj)
+	}
+	if len(data) != spec.Len {
+		return fmt.Errorf("write: object %q input has %d elements, spec says %d", obj, len(data), spec.Len)
+	}
+	oc := x.objectConfig(obj)
+	storage := x.storageType(oc)
+	host := precision.FromSlice(x.w.Original, data)
+	plan, evIdx := x.nextPlan(obj, oc, x.w.Original, storage)
+
+	before := x.q.Now()
+	buf, err := convert.ExecuteHtoD(x.q, obj, host, storage, plan)
+	if err != nil {
+		return fmt.Errorf("write %q: %w", obj, err)
+	}
+	x.bufs[obj] = buf
+	x.ops = append(x.ops, Op{
+		Kind: OpWrite, Object: obj, Elems: spec.Len,
+		EventIndex: evIdx, Duration: x.q.Now() - before,
+	})
+	return nil
+}
+
+// ensureBuffer returns the device buffer for obj, creating a zeroed one
+// (outputs, temps) on first use.
+func (x *Exec) ensureBuffer(obj string) (*ocl.Buffer, error) {
+	if b, ok := x.bufs[obj]; ok {
+		return b, nil
+	}
+	spec := x.w.Object(obj)
+	if spec == nil {
+		return nil, fmt.Errorf("unknown object %q", obj)
+	}
+	if spec.Kind == ObjInput || spec.Kind == ObjInOut {
+		return nil, fmt.Errorf("object %q used before Write", obj)
+	}
+	oc := x.objectConfig(obj)
+	b := x.ctx.CreateBuffer(obj, x.storageType(oc), spec.Len)
+	x.bufs[obj] = b
+	return b, nil
+}
+
+// Launch runs the named kernel over global with the given object names
+// bound as buffer arguments.
+func (x *Exec) Launch(kernel string, global [2]int, objs []string, intArgs ...int64) error {
+	p, ok := x.w.Kernels[kernel]
+	if !ok {
+		return fmt.Errorf("launch: unknown kernel %q", kernel)
+	}
+	bufs := make([]*ocl.Buffer, len(objs))
+	var computeAs []precision.Type
+	for i, obj := range objs {
+		b, err := x.ensureBuffer(obj)
+		if err != nil {
+			return fmt.Errorf("launch %q: %w", kernel, err)
+		}
+		bufs[i] = b
+		oc := x.objectConfig(obj)
+		if oc.InKernel && oc.Target != x.w.Original {
+			if computeAs == nil {
+				computeAs = make([]precision.Type, len(objs))
+			}
+			computeAs[i] = oc.Target
+		}
+	}
+	before := x.q.Now()
+	if err := x.q.Launch(p, global, bufs, intArgs, computeAs); err != nil {
+		return err
+	}
+	ev := x.q.Events()[len(x.q.Events())-1]
+	args := make([]string, len(objs))
+	copy(args, objs)
+	x.ops = append(x.ops, Op{
+		Kind: OpKernel, Kernel: kernel, Args: args,
+		Duration: x.q.Now() - before, Counts: ev.Counts,
+	})
+	return nil
+}
+
+// Read transfers the named object back to the host at the original
+// precision under its configured plan.
+func (x *Exec) Read(obj string) error {
+	b, ok := x.bufs[obj]
+	if !ok {
+		return fmt.Errorf("read: object %q has no device buffer", obj)
+	}
+	oc := x.objectConfig(obj)
+	plan, evIdx := x.nextPlan(obj, oc, x.w.Original, b.Elem())
+
+	before := x.q.Now()
+	host, err := convert.ExecuteDtoH(x.q, b, x.w.Original, plan)
+	if err != nil {
+		return fmt.Errorf("read %q: %w", obj, err)
+	}
+	x.outputs[obj] = host
+	x.ops = append(x.ops, Op{
+		Kind: OpRead, Object: obj, Elems: b.Len(),
+		EventIndex: evIdx, Duration: x.q.Now() - before,
+	})
+	return nil
+}
+
+// Quality compares the outputs of res against the reference outputs,
+// returning 1 - mean relative error over all output elements.
+func Quality(ref, res *Result) float64 {
+	names := make([]string, 0, len(ref.Outputs))
+	for name := range ref.Outputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var refs, gots []*precision.Array
+	for _, name := range names {
+		r := ref.Outputs[name]
+		g, ok := res.Outputs[name]
+		if !ok {
+			// A missing output counts as total loss for that object.
+			g = precision.NewArray(r.Elem(), r.Len())
+			g.Fill(0)
+		}
+		refs = append(refs, r)
+		gots = append(gots, g)
+	}
+	return precision.QualityArrays(refs, gots)
+}

@@ -1,0 +1,109 @@
+package prog
+
+import (
+	"fmt"
+
+	"repro/internal/precision"
+)
+
+// Validate checks a workload's static structure before it is profiled or
+// scaled: object declarations, kernel bindings, and input generation must
+// be consistent. It is intended for authors of custom workloads (the
+// Polybench suite is validated by its tests); Run does not call it on
+// every execution.
+func (w *Workload) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("prog: workload has no name")
+	}
+	if !w.Original.Valid() {
+		return fmt.Errorf("prog: %s: invalid original precision %v", w.Name, w.Original)
+	}
+	if len(w.Objects) == 0 {
+		return fmt.Errorf("prog: %s: no memory objects", w.Name)
+	}
+	seen := map[string]bool{}
+	needsInput := map[string]int{}
+	hasOutput := false
+	for _, o := range w.Objects {
+		if o.Name == "" {
+			return fmt.Errorf("prog: %s: unnamed object", w.Name)
+		}
+		if seen[o.Name] {
+			return fmt.Errorf("prog: %s: duplicate object %q", w.Name, o.Name)
+		}
+		seen[o.Name] = true
+		if o.Len <= 0 {
+			return fmt.Errorf("prog: %s: object %q has length %d", w.Name, o.Name, o.Len)
+		}
+		switch o.Kind {
+		case ObjInput, ObjInOut:
+			needsInput[o.Name] = o.Len
+		}
+		if o.Kind == ObjOutput || o.Kind == ObjInOut {
+			hasOutput = true
+		}
+	}
+	if !hasOutput {
+		return fmt.Errorf("prog: %s: no output objects; quality would be undefined", w.Name)
+	}
+	if len(w.Kernels) == 0 {
+		return fmt.Errorf("prog: %s: no kernels", w.Name)
+	}
+	for name, p := range w.Kernels {
+		if p == nil {
+			return fmt.Errorf("prog: %s: kernel %q is nil", w.Name, name)
+		}
+		if p.Kernel == nil || p.Kernel.Name == "" {
+			return fmt.Errorf("prog: %s: kernel %q has no compiled kernel", w.Name, name)
+		}
+	}
+	if w.MakeInputs == nil {
+		return fmt.Errorf("prog: %s: MakeInputs is nil", w.Name)
+	}
+	if w.Script == nil {
+		return fmt.Errorf("prog: %s: Script is nil", w.Name)
+	}
+	// Input generation must cover exactly the declared input objects with
+	// the declared lengths, for every input set.
+	for _, set := range InputSets {
+		data := w.MakeInputs(set)
+		for name, n := range needsInput {
+			vals, ok := data[name]
+			if !ok {
+				return fmt.Errorf("prog: %s: MakeInputs(%v) missing object %q", w.Name, set, name)
+			}
+			if len(vals) != n {
+				return fmt.Errorf("prog: %s: MakeInputs(%v)[%q] has %d values, want %d", w.Name, set, name, len(vals), n)
+			}
+		}
+		for name := range data {
+			if _, ok := needsInput[name]; !ok {
+				return fmt.Errorf("prog: %s: MakeInputs(%v) provides %q, which is not an input object", w.Name, set, name)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateConfig checks that a scaling configuration is applicable to the
+// workload: all referenced objects exist, targets are valid precisions,
+// and every explicit plan validates against the original precision.
+func (w *Workload) ValidateConfig(c *Config) error {
+	if c == nil {
+		return nil
+	}
+	for name, oc := range c.Objects {
+		if w.Object(name) == nil {
+			return fmt.Errorf("prog: %s: config references unknown object %q", w.Name, name)
+		}
+		if oc.Target != precision.Invalid && !oc.Target.Valid() {
+			return fmt.Errorf("prog: %s: object %q has invalid target %v", w.Name, name, oc.Target)
+		}
+		for i, p := range oc.Plans {
+			if err := p.Validate(w.Original); err != nil {
+				return fmt.Errorf("prog: %s: object %q plan %d: %w", w.Name, name, i, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/convert"
+	"repro/internal/precision"
+)
+
+func TestValidateGoodWorkload(t *testing.T) {
+	w := testWorkload(32)
+	if err := w.Validate(); err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesDefects(t *testing.T) {
+	base := func() *Workload { return testWorkload(32) }
+	cases := []struct {
+		name   string
+		break_ func(w *Workload)
+		want   string
+	}{
+		{"no name", func(w *Workload) { w.Name = "" }, "no name"},
+		{"bad precision", func(w *Workload) { w.Original = precision.Invalid }, "invalid original precision"},
+		{"no objects", func(w *Workload) { w.Objects = nil }, "no memory objects"},
+		{"dup object", func(w *Workload) { w.Objects = append(w.Objects, w.Objects[0]) }, "duplicate"},
+		{"zero length", func(w *Workload) { w.Objects[0].Len = 0 }, "length 0"},
+		{"unnamed object", func(w *Workload) { w.Objects[0].Name = "" }, "unnamed"},
+		{"no outputs", func(w *Workload) {
+			for i := range w.Objects {
+				w.Objects[i].Kind = ObjInput
+			}
+		}, "no output objects"},
+		{"no kernels", func(w *Workload) { w.Kernels = nil }, "no kernels"},
+		{"nil kernel", func(w *Workload) { w.Kernels["mul"] = nil }, "is nil"},
+		{"nil inputs", func(w *Workload) { w.MakeInputs = nil }, "MakeInputs is nil"},
+		{"nil script", func(w *Workload) { w.Script = nil }, "Script is nil"},
+		{"missing input data", func(w *Workload) {
+			w.MakeInputs = func(set InputSet) map[string][]float64 {
+				return map[string][]float64{"a": make([]float64, 32)}
+			}
+		}, "missing object"},
+		{"wrong input length", func(w *Workload) {
+			w.MakeInputs = func(set InputSet) map[string][]float64 {
+				return map[string][]float64{"a": make([]float64, 32), "b": make([]float64, 7)}
+			}
+		}, "has 7 values"},
+		{"stray input data", func(w *Workload) {
+			inner := w.MakeInputs
+			w.MakeInputs = func(set InputSet) map[string][]float64 {
+				m := inner(set)
+				m["tmp"] = make([]float64, 32)
+				return m
+			}
+		}, "not an input object"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			w := base()
+			c.break_(w)
+			err := w.Validate()
+			if err == nil {
+				t.Fatal("defect not caught")
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateConfig(t *testing.T) {
+	w := testWorkload(32)
+	if err := w.ValidateConfig(nil); err != nil {
+		t.Errorf("nil config should validate: %v", err)
+	}
+	good := NewConfig(w, precision.Single)
+	if err := w.ValidateConfig(good); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+
+	bad := NewConfig(w, precision.Single)
+	bad.Objects["zz"] = ObjectConfig{Target: precision.Single}
+	if err := w.ValidateConfig(bad); err == nil || !strings.Contains(err.Error(), "unknown object") {
+		t.Errorf("unknown object not caught: %v", err)
+	}
+
+	bad2 := NewConfig(w, precision.Single)
+	bad2.Objects["a"] = ObjectConfig{
+		Target: precision.Single,
+		Plans:  []convert.Plan{{Host: convert.MethodMT, Mid: precision.Half}}, // no threads
+	}
+	if err := w.ValidateConfig(bad2); err == nil || !strings.Contains(err.Error(), "plan 0") {
+		t.Errorf("bad plan not caught: %v", err)
+	}
+}

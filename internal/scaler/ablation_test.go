@@ -1,0 +1,183 @@
+package scaler
+
+import (
+	"testing"
+
+	"repro/internal/convert"
+	"repro/internal/hw"
+	"repro/internal/prog"
+	"repro/internal/wltest"
+)
+
+func TestAblationDisableWildcard(t *testing.T) {
+	sys := hw.System1x8()
+	w := wltest.VecCombine(1 << 16)
+	full, err := New(sys, dbFor(sys), w, DefaultOptions()).Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+	noWild, err := New(sys, dbFor(sys), w, Options{TOQ: 0.90, DisableWildcard: true}).Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without the wildcard, no plan may route through a transient
+	// intermediate.
+	for name, oc := range noWild.Config.Objects {
+		for _, p := range oc.Plans {
+			if p.Mid != w.Original && p.Mid != oc.Target {
+				t.Errorf("object %s uses transient plan despite DisableWildcard", name)
+			}
+		}
+	}
+	// The full search space includes every no-wildcard configuration, so
+	// with exact timing the wildcard variant cannot be slower.
+	if full.Final.Total > noWild.Final.Total*1.0001 {
+		t.Errorf("wildcard result (%v) slower than ablated (%v)", full.Final.Total, noWild.Final.Total)
+	}
+	if noWild.Quality < 0.90 {
+		t.Errorf("ablated quality = %v", noWild.Quality)
+	}
+}
+
+func TestAblationDisableFullPrecisionPass(t *testing.T) {
+	sys := hw.System2()
+	w := wltest.VecCombine(1 << 16)
+	base, err := New(sys, dbFor(sys), w, DefaultOptions()).Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ablated, err := New(sys, dbFor(sys), w, Options{TOQ: 0.90, DisableFullPrecisionPass: true}).Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both must be valid; the pre-pass exists to avoid local minima, so
+	// the full pipeline must never be slower than the ablated one beyond
+	// noise.
+	if ablated.Quality < 0.90 {
+		t.Errorf("ablated quality = %v", ablated.Quality)
+	}
+	if base.Final.Total > ablated.Final.Total*1.0001 {
+		t.Errorf("pre-pass result (%v) slower than ablated (%v)", base.Final.Total, ablated.Final.Total)
+	}
+}
+
+func TestSearchUnderTimingJitter(t *testing.T) {
+	// With 5% multiplicative timing noise the decision maker may pick a
+	// slightly different configuration, but it must still return a
+	// TOQ-passing config that is not slower than the (noisy) baseline.
+	sys := hw.System1()
+	sys.TimingJitter = 0.05
+	sys.JitterSeed = 42
+	w := wltest.VecCombine(1 << 16)
+	db := dbFor(hw.System1()) // inspector measured without noise
+	res, err := New(sys, db, w, DefaultOptions()).Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality < 0.90 {
+		t.Errorf("quality = %v", res.Quality)
+	}
+	if res.Final.Total > res.BaselineTime {
+		t.Errorf("jittered search result (%v) slower than its baseline (%v)", res.Final.Total, res.BaselineTime)
+	}
+}
+
+func TestJitterIsDeterministic(t *testing.T) {
+	sys := hw.System1()
+	sys.TimingJitter = 0.05
+	sys.JitterSeed = 7
+	w := wltest.VecCombine(1 << 12)
+	a, err := prog.Run(sys, w, prog.InputDefault, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := prog.Run(sys, w, prog.InputDefault, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != b.Total {
+		t.Error("jittered runs with the same seed must agree")
+	}
+	clean, err := prog.Run(hw.System1(), w, prog.InputDefault, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total == clean.Total {
+		t.Error("jitter should perturb timing")
+	}
+}
+
+func TestStripTransients(t *testing.T) {
+	sys := hw.System1()
+	w := wltest.VecCombine(1 << 12)
+	s := New(sys, dbFor(sys), w, DefaultOptions())
+	if _, err := s.Search(); err != nil { // populates the profile
+		t.Fatal(err)
+	}
+	cfg := prog.NewConfig(w, 0)
+	for _, obj := range []string{"a", "b", "tmp", "c"} {
+		cfg.Objects[obj] = prog.ObjectConfig{Target: 2} // precision.Single
+	}
+	// Force a transient plan (wire through half) on object a.
+	oc := cfg.Objects["a"]
+	oc.Plans = []convert.Plan{{Host: convert.MethodMT, Threads: 8, Mid: 1 /* Half */}}
+	cfg.Objects["a"] = oc
+
+	out := s.stripTransients(cfg)
+	for name, ooc := range out.Objects {
+		for i, p := range ooc.Plans {
+			if p.Mid != w.Original && p.Mid != ooc.Target {
+				t.Errorf("object %s plan %d still transient: %+v", name, i, p)
+			}
+		}
+	}
+	// The input config must be untouched.
+	if cfg.Objects["a"].Plans[0].Mid != 1 {
+		t.Error("stripTransients must not mutate its input")
+	}
+}
+
+func TestSearchOnGPUWithoutHalf(t *testing.T) {
+	// Kepler-class capability 3.0 has no FP16: the available type set is
+	// {double, single} and no configuration may mention half.
+	sys := hw.System1()
+	sys.Name = "system1-kepler"
+	sys.GPU.Capability = "3.0"
+	db := dbFor(hw.System1()) // conversion costs are CPU/bus-side; reuse
+	w := wltest.VecCombine(1 << 15)
+	res, err := New(sys, db, w, DefaultOptions()).Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Quality < 0.90 {
+		t.Errorf("quality = %v", res.Quality)
+	}
+	for name, oc := range res.Config.Objects {
+		if oc.Target == 1 { // precision.Half
+			t.Errorf("object %s scaled to half on a GPU without FP16", name)
+		}
+		for _, p := range oc.Plans {
+			if p.Mid == 1 {
+				t.Errorf("object %s transfers at half on a GPU without FP16", name)
+			}
+		}
+	}
+}
+
+func TestSearchHandlesUnusedObject(t *testing.T) {
+	// An object that no kernel binds and no transfer touches still gets a
+	// decision (its effective time is zero, so it sorts last).
+	w := wltest.VecCombine(1 << 12)
+	w.Objects = append(w.Objects, prog.ObjectSpec{Name: "ghost", Len: 8, Kind: prog.ObjTemp})
+	sys := hw.System1()
+	res, err := New(sys, dbFor(sys), w, DefaultOptions()).Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Config.Objects["ghost"]; !ok {
+		t.Error("unused object missing from the configuration")
+	}
+	if res.Quality < 0.90 {
+		t.Errorf("quality = %v", res.Quality)
+	}
+}

@@ -1,0 +1,517 @@
+// Package scaler implements PreScaler's Decision Maker: the decision-tree
+// search that determines, for every memory object of a profiled program,
+// the target precision and per-transfer-event conversion method that
+// minimize whole-program execution time subject to a target output
+// quality (TOQ).
+//
+// The search follows Section 4.4 of the paper:
+//
+//  1. A pre-full-precision pass tries the uniform configurations (all
+//     objects double/single/half, best direct conversion methods from the
+//     inspector database) and uses the fastest TOQ-passing one as the
+//     initial configuration, reducing the risk of a local minimum.
+//  2. Objects are visited in descending order of effective execution time
+//     (profiled transfer time + time of kernels binding the object).
+//  3. For each object, the normal search (Algorithm 1, lines 1-13) tries
+//     the available target types in descending precision with the best
+//     direct conversion plan per event predicted from the inspector
+//     database (Algorithm 2 restricted to intermediates in {original,
+//     target}); search stops at the first TOQ failure.
+//  4. The wildcard test (lines 14-32) then considers transient
+//     conversions through any accepted intermediate type plus the failed
+//     type, using expected transfer times from the database instead of
+//     execution; an actual validation run is only spent when the failed
+//     type appears as an intermediate.
+//
+// Trial counting and the Equation 1-3 search-space sizes are tracked so
+// the Figure 10(b) experiment can be regenerated.
+package scaler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/convert"
+	"repro/internal/hw"
+	"repro/internal/inspect"
+	"repro/internal/precision"
+	"repro/internal/profile"
+	"repro/internal/prog"
+)
+
+// Options tunes a search.
+type Options struct {
+	// TOQ is the target output quality in [0, 1]; the paper's default is
+	// 0.90.
+	TOQ float64
+	// InputSet selects the input data distribution.
+	InputSet prog.InputSet
+	// DisableWildcard turns off the wildcard test (Algorithm 1 lines
+	// 14-32), leaving only the normal direct-conversion search. Used by
+	// the ablation experiments.
+	DisableWildcard bool
+	// DisableFullPrecisionPass turns off the pre-full-precision initial
+	// type setting (Section 4.4.1), starting the decision tree from the
+	// original precision instead. Used by the ablation experiments.
+	DisableFullPrecisionPass bool
+}
+
+// DefaultOptions returns the paper's evaluation settings.
+func DefaultOptions() Options {
+	return Options{TOQ: 0.90, InputSet: prog.InputDefault}
+}
+
+// trialRecord memoizes one executed configuration.
+type trialRecord struct {
+	res     *prog.Result
+	quality float64
+}
+
+// Scaler runs the decision-maker search for one workload on one system.
+type Scaler struct {
+	sys  *hw.System
+	db   *inspect.DB
+	w    *prog.Workload
+	opts Options
+
+	info *profile.AppInfo
+	ref  *prog.Result
+
+	trials int
+	memo   map[string]*trialRecord
+}
+
+// New creates a scaler. The inspector database must belong to sys.
+func New(sys *hw.System, db *inspect.DB, w *prog.Workload, opts Options) *Scaler {
+	if opts.TOQ == 0 {
+		opts.TOQ = 0.90
+	}
+	return &Scaler{sys: sys, db: db, w: w, opts: opts, memo: map[string]*trialRecord{}}
+}
+
+// Result reports the outcome of a search.
+type Result struct {
+	// Config is the chosen scaling configuration.
+	Config *prog.Config
+	// Final is the measured execution of Config.
+	Final *prog.Result
+	// Quality is Final's output quality against the double reference.
+	Quality float64
+	// BaselineTime is the unscaled program time.
+	BaselineTime float64
+	// Speedup is BaselineTime / Final.Total.
+	Speedup float64
+	// Trials is the number of actual program executions performed,
+	// including the profiling run.
+	Trials int
+	// SearchSpace is the Equation 1 size of the full configuration space.
+	SearchSpace float64
+	// TreeSpace is the Equation 2 size after the decision-tree reduction.
+	TreeSpace float64
+	// PredictedSpace is the Equation 3 bound after inspector-based method
+	// prediction.
+	PredictedSpace float64
+	// Info is the application profile the search used.
+	Info *profile.AppInfo
+}
+
+// TypeDist returns how many memory objects ended at each precision.
+func (r *Result) TypeDist() map[precision.Type]int {
+	out := map[precision.Type]int{}
+	for _, oc := range r.Config.Objects {
+		out[oc.Target]++
+	}
+	return out
+}
+
+// ConvDist returns how many transfer events use each conversion class
+// (none / host / device / transient / pipelined).
+func (r *Result) ConvDist(w *prog.Workload) map[string]int {
+	out := map[string]int{}
+	for name, oc := range r.Config.Objects {
+		spec := w.Object(name)
+		if spec == nil {
+			continue
+		}
+		storage := oc.Target
+		if oc.InKernel {
+			storage = w.Original
+		}
+		for _, p := range oc.Plans {
+			out[p.Class(w.Original, storage)]++
+		}
+	}
+	return out
+}
+
+// availableTypes returns the precisions the device supports, in
+// descending precision order starting from the original.
+func (s *Scaler) availableTypes() []precision.Type {
+	var out []precision.Type
+	for _, t := range precision.Descending {
+		if t > s.w.Original {
+			continue
+		}
+		if s.sys.GPU.Supports(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// configKey builds a canonical memoization key for a configuration.
+func configKey(w *prog.Workload, c *prog.Config) string {
+	names := make([]string, 0, len(w.Objects))
+	for _, o := range w.Objects {
+		names = append(names, o.Name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		oc := c.Objects[name]
+		fmt.Fprintf(&b, "%s:%d:%t", name, oc.Target, oc.InKernel)
+		for _, p := range oc.Plans {
+			fmt.Fprintf(&b, "/%d.%d.%d", p.Host, p.Threads, p.Mid)
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// runTrial executes cfg (memoized) and returns its record. New
+// executions increment the trial counter.
+func (s *Scaler) runTrial(cfg *prog.Config) (*trialRecord, error) {
+	key := configKey(s.w, cfg)
+	if rec, ok := s.memo[key]; ok {
+		return rec, nil
+	}
+	res, err := prog.Run(s.sys, s.w, s.opts.InputSet, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.trials++
+	rec := &trialRecord{res: res, quality: prog.Quality(s.ref, res)}
+	s.memo[key] = rec
+	return rec, nil
+}
+
+// bestDirectPlans fills plans for every transfer event of object obj at
+// target type using only direct intermediates {original, target}
+// (Algorithm 2 with the transient path disabled, as in the normal
+// search).
+func (s *Scaler) bestDirectPlans(obj *profile.ObjectInfo, target precision.Type) []convert.Plan {
+	return s.bestPlans(obj, target, []precision.Type{s.w.Original, target})
+}
+
+// bestPlans fills plans for every transfer event of obj at target using
+// the inspector database over the given intermediate candidates
+// (Algorithm 2).
+func (s *Scaler) bestPlans(obj *profile.ObjectInfo, target precision.Type, mids []precision.Type) []convert.Plan {
+	plans := make([]convert.Plan, len(obj.Transfers))
+	for i, ev := range obj.Transfers {
+		p, _ := s.db.BestPlan(ev.Dir, ev.Elems, s.w.Original, target, mids)
+		plans[i] = p
+	}
+	return plans
+}
+
+// expectedObjTransfer sums the database-predicted time of obj's transfer
+// events under the given plans (getExpectedTransferTime in Algorithm 1).
+func (s *Scaler) expectedObjTransfer(obj *profile.ObjectInfo, target precision.Type, plans []convert.Plan) float64 {
+	var sum float64
+	for i, ev := range obj.Transfers {
+		sum += s.db.Estimate(ev.Dir, ev.Elems, s.w.Original, target, plans[i])
+	}
+	return sum
+}
+
+// measuredObjTransfer sums the measured durations of obj's transfer ops
+// in a result.
+func measuredObjTransfer(res *prog.Result, obj string) float64 {
+	var sum float64
+	for _, op := range res.Ops {
+		if (op.Kind == prog.OpWrite || op.Kind == prog.OpRead) && op.Object == obj {
+			sum += op.Duration
+		}
+	}
+	return sum
+}
+
+// Search runs the full decision-maker pipeline and returns the chosen
+// configuration with its measurements.
+func (s *Scaler) Search() (*Result, error) {
+	// Application profiling (also the baseline trial and quality
+	// reference).
+	info, ref, err := profile.Profile(s.sys, s.w, s.opts.InputSet)
+	if err != nil {
+		return nil, err
+	}
+	s.info, s.ref = info, ref
+	s.trials = 1
+	s.memo[configKey(s.w, prog.Baseline(s.w))] = &trialRecord{res: ref, quality: 1}
+
+	types := s.availableTypes()
+	if len(types) == 0 {
+		return nil, fmt.Errorf("scaler: device supports no precision at or below %v", s.w.Original)
+	}
+
+	// Pre-full-precision scaling: pick the fastest TOQ-passing uniform
+	// configuration as the starting point.
+	current := prog.Baseline(s.w)
+	if !s.opts.DisableFullPrecisionPass {
+		current, err = s.fullPrecisionPass(types)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Decision-tree search over objects in descending effective time.
+	for i := range s.info.Objects {
+		obj := &s.info.Objects[i]
+		chosen, err := s.searchObject(current, obj, types)
+		if err != nil {
+			return nil, err
+		}
+		current = chosen
+	}
+
+	// Final measurement (memoized when the last accepted configuration
+	// was already executed). If a wildcard slipped below TOQ without a
+	// validation run, fall back progressively by re-running the decision
+	// with transient conversion disabled — in practice the guarded
+	// wildcard acceptance makes this extremely rare.
+	final, err := s.runTrial(current)
+	if err != nil {
+		return nil, err
+	}
+	if final.quality < s.opts.TOQ {
+		current = s.stripTransients(current)
+		final, err = s.runTrial(current)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{
+		Config:       current,
+		Final:        final.res,
+		Quality:      final.quality,
+		BaselineTime: ref.Total,
+		Trials:       s.trials,
+		Info:         info,
+	}
+	if final.res.Total > 0 {
+		res.Speedup = ref.Total / final.res.Total
+	}
+	res.SearchSpace, res.TreeSpace, res.PredictedSpace = s.SearchSpace()
+	return res, nil
+}
+
+// fullPrecisionPass implements Section 4.4.1: evaluate uniform
+// configurations and return the fastest one that meets the TOQ.
+func (s *Scaler) fullPrecisionPass(types []precision.Type) (*prog.Config, error) {
+	var best *prog.Config
+	var bestTime float64
+	for _, t := range types {
+		cfg := s.uniformConfig(t)
+		rec, err := s.runTrial(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if rec.quality < s.opts.TOQ {
+			// Assume monotonicity: lower precisions will not recover.
+			break
+		}
+		if best == nil || rec.res.Total < bestTime {
+			best, bestTime = cfg, rec.res.Total
+		}
+	}
+	if best == nil {
+		best = prog.Baseline(s.w)
+	}
+	return best, nil
+}
+
+// uniformConfig builds the all-objects-at-t configuration with best
+// direct conversion plans.
+func (s *Scaler) uniformConfig(t precision.Type) *prog.Config {
+	cfg := prog.NewConfig(s.w, t)
+	for i := range s.info.Objects {
+		obj := &s.info.Objects[i]
+		cfg.Objects[obj.Name] = prog.ObjectConfig{
+			Target: t,
+			Plans:  s.bestDirectPlans(obj, t),
+		}
+	}
+	return cfg
+}
+
+// searchObject runs Algorithm 1 for one memory object against the
+// current configuration and returns the configuration with the object's
+// decision applied.
+func (s *Scaler) searchObject(current *prog.Config, obj *profile.ObjectInfo, types []precision.Type) (*prog.Config, error) {
+	// Normal search (lines 1-13).
+	var (
+		normalBest     *prog.Config
+		normalBestTime = math.Inf(1)
+		normalBestRec  *trialRecord
+		kernelTime     = map[precision.Type]float64{}
+		accepted       []precision.Type
+		failed         precision.Type
+	)
+	// The incumbent (object unchanged) is always a valid fallback.
+	if rec, ok := s.memo[configKey(s.w, current)]; ok {
+		normalBest, normalBestTime, normalBestRec = current, rec.res.Total, rec
+		kernelTime[current.Objects[obj.Name].Target] = rec.res.KernelTime
+	}
+
+	for _, target := range types {
+		cfg := current.Clone()
+		cfg.Objects[obj.Name] = prog.ObjectConfig{
+			Target: target,
+			Plans:  s.bestDirectPlans(obj, target),
+		}
+		rec, err := s.runTrial(cfg)
+		if err != nil {
+			return nil, err
+		}
+		kernelTime[target] = rec.res.KernelTime
+		if rec.quality < s.opts.TOQ {
+			failed = target
+			break
+		}
+		accepted = append(accepted, target)
+		if rec.res.Total < normalBestTime {
+			normalBest, normalBestTime, normalBestRec = cfg, rec.res.Total, rec
+		}
+	}
+	if normalBest == nil {
+		// Nothing passed (can only happen when even the original-precision
+		// trial misses TOQ, which the reference run precludes): keep the
+		// incumbent.
+		return current, nil
+	}
+
+	if s.opts.DisableWildcard {
+		return normalBest, nil
+	}
+
+	// Wildcard test (lines 14-32): allow transient intermediates drawn
+	// from the accepted set plus the failed type.
+	mids := append([]precision.Type(nil), accepted...)
+	if failed.Valid() {
+		mids = append(mids, failed)
+	}
+	var (
+		wildBest     *prog.Config
+		wildBestTime = math.Inf(1)
+		wildUsesFail bool
+	)
+	for _, target := range accepted {
+		plans := s.bestPlans(obj, target, mids)
+		cfg := current.Clone()
+		cfg.Objects[obj.Name] = prog.ObjectConfig{Target: target, Plans: plans}
+
+		// Expected time: the normal-search measurement for this target
+		// with the object's transfer time replaced by the database
+		// prediction for the wildcard plans.
+		normalCfg := current.Clone()
+		normalCfg.Objects[obj.Name] = prog.ObjectConfig{Target: target, Plans: s.bestDirectPlans(obj, target)}
+		normalRec, ok := s.memo[configKey(s.w, normalCfg)]
+		if !ok {
+			continue
+		}
+		expected := normalRec.res.Total - measuredObjTransfer(normalRec.res, obj.Name) +
+			s.expectedObjTransfer(obj, target, plans)
+		if expected < wildBestTime {
+			wildBest, wildBestTime = cfg, expected
+			wildUsesFail = failed.Valid() && plansUseMid(plans, failed, s.w.Original, target)
+		}
+	}
+
+	if wildBest != nil && wildBestTime < normalBestTime {
+		if wildUsesFail {
+			// The failed type appears as a transient intermediate: a real
+			// accuracy check is required (lines 24-28).
+			rec, err := s.runTrial(wildBest)
+			if err != nil {
+				return nil, err
+			}
+			if rec.quality < s.opts.TOQ {
+				return normalBest, nil
+			}
+			return wildBest, nil
+		}
+		return wildBest, nil
+	}
+	_ = normalBestRec
+	return normalBest, nil
+}
+
+// plansUseMid reports whether any plan routes through mid as a transient
+// intermediate (mid differs from both endpoints).
+func plansUseMid(plans []convert.Plan, mid, hostType, devType precision.Type) bool {
+	for _, p := range plans {
+		if p.Mid == mid && mid != hostType && mid != devType {
+			return true
+		}
+	}
+	return false
+}
+
+// stripTransients replaces every transient plan with the best direct one,
+// used as the fallback when an unvalidated wildcard fails the final
+// quality check.
+func (s *Scaler) stripTransients(cfg *prog.Config) *prog.Config {
+	out := cfg.Clone()
+	for i := range s.info.Objects {
+		obj := &s.info.Objects[i]
+		oc := out.Objects[obj.Name]
+		target := oc.Target
+		replace := false
+		for _, p := range oc.Plans {
+			if p.Mid != s.w.Original && p.Mid != target {
+				replace = true
+				break
+			}
+		}
+		if replace {
+			oc.Plans = s.bestDirectPlans(obj, target)
+			out.Objects[obj.Name] = oc
+		}
+	}
+	return out
+}
+
+// SearchSpace returns the Equation 1-3 sizes for the profiled
+// application: the entire configuration space, the decision-tree-reduced
+// space, and the inspector-predicted space. Following the paper's Figure
+// 10(b) note, four conversion methods (loop, multithread, pipelined,
+// device-side) and the precision changes below the original are counted.
+func (s *Scaler) SearchSpace() (entire, tree, predicted float64) {
+	if s.info == nil {
+		return 0, 0, 0
+	}
+	convTypes := float64(len(s.w.Original.Below()))
+	const convMethods = 4.0
+	entire = 1
+	for i := range s.info.Objects {
+		events := float64(len(s.info.Objects[i].Transfers))
+		term := 1 + convTypes*math.Pow(convMethods, events)
+		entire *= term
+		tree += term
+	}
+	predicted = float64(len(s.info.Objects)) * (1 + convTypes)
+	return entire, tree, predicted
+}
+
+// Trials returns the number of actual executions performed so far.
+func (s *Scaler) Trials() int { return s.trials }
+
+// Info returns the application profile (available after Search).
+func (s *Scaler) Info() *profile.AppInfo { return s.info }
+
+// Reference returns the baseline result (available after Search).
+func (s *Scaler) Reference() *prog.Result { return s.ref }

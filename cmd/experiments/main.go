@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/exper"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/polybench"
 	"repro/internal/prog"
 	"repro/internal/scaler"
@@ -33,6 +34,8 @@ func main() {
 	quick := flag.Bool("quick", false, "use the reduced-size benchmark suite")
 	quiet := flag.Bool("quiet", false, "suppress progress logging")
 	only := flag.String("benchmarks", "", "comma-separated benchmark names to restrict the suite (default: all 14)")
+	traceDir := flag.String("trace-dir", "", "directory to write one Chrome pipeline trace per benchmark (system1; created if missing)")
+	fig9JSON := flag.String("fig9-json", filepath.Join("results", "bench_fig9.json"), "path of the machine-readable fig9 report (written when fig9 runs)")
 	flag.Parse()
 
 	suite := polybench.Suite()
@@ -72,6 +75,7 @@ func main() {
 
 	opts := scaler.DefaultOptions()
 	sys1 := hw.System1()
+	fig9Ran := false
 	for _, id := range strings.Split(*exps, ",") {
 		switch strings.TrimSpace(id) {
 		case "all":
@@ -81,6 +85,7 @@ func main() {
 				os.Exit(1)
 			}
 			tables = append(tables, ts...)
+			fig9Ran = true
 		case "table1":
 			tables = append(tables, exper.Table1())
 		case "table3":
@@ -97,6 +102,7 @@ func main() {
 			for _, sys := range hw.Systems() {
 				add(r.Fig9(sys, opts))
 			}
+			fig9Ran = true
 		case "fig9dist":
 			for _, sys := range hw.Systems() {
 				add(r.Fig9Dist(sys, opts))
@@ -121,6 +127,73 @@ func main() {
 
 	for _, t := range tables {
 		fmt.Println(t.String())
+	}
+
+	// Machine-readable fig9 trajectory report (speedups + trial counts per
+	// benchmark against the paper's headline geomeans). The comparisons
+	// are already cached by the table runs, so this costs nothing extra.
+	if fig9Ran && *fig9JSON != "" {
+		var reports []*exper.BenchReport
+		for _, sys := range hw.Systems() {
+			rep, err := r.BenchFig9(sys, opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			reports = append(reports, rep)
+		}
+		if err := os.MkdirAll(filepath.Dir(*fig9JSON), 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*fig9JSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := exper.WriteBenchReports(f, reports); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *fig9JSON)
+	}
+
+	// One Chrome pipeline trace per benchmark: a fresh traced PreScaler
+	// search on system1 for each workload in the suite.
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fw := r.Framework(sys1)
+		for _, w := range suite {
+			o := obs.New()
+			sOpts := opts
+			sOpts.Obs = o
+			if _, err := fw.Scale(w, sOpts); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: trace %s: %v\n", w.Name, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*traceDir, w.Name+".trace.json")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if err := o.Tracer().WriteChromeTrace(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
 	}
 
 	if *csvDir != "" {

@@ -9,6 +9,7 @@
 //	prescaler -bench GEMM -system system2
 //	prescaler -bench ATAX -toq 0.95 -input random
 //	prescaler -bench 2DCONV -db system1.db.json
+//	prescaler -bench gemm -trace out.json -metrics out.csv -explain
 //	prescaler -list
 package main
 
@@ -19,7 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hw"
-	"repro/internal/ocl"
+	"repro/internal/obs"
 	"repro/internal/polybench"
 	"repro/internal/prog"
 	"repro/internal/scaler"
@@ -31,7 +32,9 @@ func main() {
 	toq := flag.Float64("toq", 0.90, "target output quality in [0,1]")
 	input := flag.String("input", "default", "input set: default, image, random")
 	dbPath := flag.String("db", "", "precollected inspector database (JSON); empty runs inspection")
-	tracePath := flag.String("trace", "", "write a Chrome trace-event timeline of the scaled run to this file")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event timeline of the whole search pipeline to this file")
+	metricsPath := flag.String("metrics", "", "write the search metrics as CSV to this file")
+	explain := flag.Bool("explain", false, "print the decision-maker explain report")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -81,8 +84,13 @@ func main() {
 		fw = core.NewFramework(sys)
 	}
 
+	var o *obs.Observer
+	if *tracePath != "" || *metricsPath != "" || *explain {
+		o = obs.New()
+	}
+
 	fmt.Fprintf(os.Stderr, "profiling and searching %s (toq=%.2f, input=%s) ...\n", w.Name, *toq, set)
-	sp, err := fw.Scale(w, scaler.Options{TOQ: *toq, InputSet: set})
+	sp, err := fw.Scale(w, scaler.Options{TOQ: *toq, InputSet: set, Obs: o})
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -97,16 +105,34 @@ func main() {
 	fmt.Printf("trials         %12d of %.3g possible configurations (%.2g tested)\n",
 		res.Trials, res.SearchSpace, float64(res.Trials)/res.SearchSpace)
 
+	if *explain {
+		fmt.Print("\n" + o.Explain())
+	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		defer f.Close()
-		if err := ocl.WriteChromeTrace(f, res.Final.Events); err != nil {
+		if err := o.Tracer().WriteChromeTrace(f); err != nil {
 			fatalf("%v", err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote trace to %s (open in chrome://tracing)\n", *tracePath)
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote pipeline trace to %s (open in chrome://tracing or Perfetto)\n", *tracePath)
+	}
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := o.Metrics().WriteCSV(f); err != nil {
+			fatalf("%v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", *metricsPath)
 	}
 }
 

@@ -20,11 +20,37 @@ import (
 
 	"repro/internal/convert"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/ocl"
 	"repro/internal/precision"
 	"repro/internal/profile"
 	"repro/internal/prog"
 )
+
+// observer returns the optional trailing observer argument (nil when
+// absent), letting the techniques stay call-compatible with code that
+// does not trace.
+func observer(os []*obs.Observer) *obs.Observer {
+	if len(os) > 0 {
+		return os[0]
+	}
+	return nil
+}
+
+// tracedRun executes one trial with the observer's runtime hook
+// attached, wrapped in a labeled trial span on the virtual clock.
+func tracedRun(o *obs.Observer, label string, sys *hw.System, w *prog.Workload, set prog.InputSet, cfg *prog.Config) (*prog.Result, error) {
+	sp := o.Tracer().Start("trial "+label, "trial")
+	res, err := prog.Run(sys, w, set, cfg, o.RunHook())
+	if err != nil {
+		return nil, err
+	}
+	o.Advance(res.Total)
+	sp.SetAttr("total_ms", res.Total*1e3)
+	o.Tracer().End(sp)
+	o.Metrics().Counter("trials_executed", obs.L("technique", label)).Inc()
+	return res, nil
+}
 
 // Outcome reports one baseline technique's result on one workload.
 type Outcome struct {
@@ -46,9 +72,9 @@ type Outcome struct {
 }
 
 // Baseline runs the unscaled program and reports it as an outcome with
-// speedup 1.
-func Baseline(sys *hw.System, w *prog.Workload, set prog.InputSet) (*Outcome, error) {
-	res, err := prog.Run(sys, w, set, nil)
+// speedup 1. An optional observer traces the run.
+func Baseline(sys *hw.System, w *prog.Workload, set prog.InputSet, os ...*obs.Observer) (*Outcome, error) {
+	res, err := tracedRun(observer(os), "baseline", sys, w, set, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -87,9 +113,11 @@ const InKernelExhaustiveLimit = 30
 // InKernel searches per-object in-kernel precision assignments
 // (Precimonious-style) and returns the fastest TOQ-passing
 // configuration. The search is exhaustive up to
-// InKernelExhaustiveLimit assignments, greedy beyond that.
-func InKernel(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64) (*Outcome, error) {
-	ref, err := prog.Run(sys, w, set, nil)
+// InKernelExhaustiveLimit assignments, greedy beyond that. An optional
+// observer traces every trial.
+func InKernel(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, os ...*obs.Observer) (*Outcome, error) {
+	o := observer(os)
+	ref, err := tracedRun(o, "in-kernel", sys, w, set, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +131,7 @@ func InKernel(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64) 
 		total *= len(types)
 	}
 	if total > InKernelExhaustiveLimit {
-		return inKernelGreedy(sys, w, set, toq, ref, types)
+		return inKernelGreedy(sys, w, set, toq, ref, types, o)
 	}
 
 	best := prog.Baseline(w)
@@ -138,7 +166,7 @@ func InKernel(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64) 
 				InKernel: t != w.Original,
 			}
 		}
-		res, err := prog.Run(sys, w, set, cfg)
+		res, err := tracedRun(o, "in-kernel", sys, w, set, cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -163,7 +191,7 @@ func InKernel(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64) 
 
 // inKernelGreedy lowers one object at a time (declaration order), keeping
 // a precision change only when it passes TOQ and improves total time.
-func inKernelGreedy(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, ref *prog.Result, types []precision.Type) (*Outcome, error) {
+func inKernelGreedy(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, ref *prog.Result, types []precision.Type, o *obs.Observer) (*Outcome, error) {
 	best := prog.Baseline(w)
 	bestRes := ref
 	bestQ := 1.0
@@ -175,7 +203,7 @@ func inKernelGreedy(sys *hw.System, w *prog.Workload, set prog.InputSet, toq flo
 			}
 			cfg := best.Clone()
 			cfg.Objects[spec.Name] = prog.ObjectConfig{Target: t, InKernel: true}
-			res, err := prog.Run(sys, w, set, cfg)
+			res, err := tracedRun(o, "in-kernel", sys, w, set, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -221,12 +249,18 @@ func pfpPlan(sys *hw.System, ev profile.TransferEvent, orig, target precision.Ty
 }
 
 // PFP searches the uniform program-level full-precision configurations
-// and returns the fastest TOQ-passing one.
-func PFP(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64) (*Outcome, error) {
-	info, ref, err := profile.Profile(sys, w, set)
+// and returns the fastest TOQ-passing one. An optional observer traces
+// every trial.
+func PFP(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, os ...*obs.Observer) (*Outcome, error) {
+	o := observer(os)
+	sp := o.Tracer().Start("trial pfp profile", "trial")
+	info, ref, err := profile.Profile(sys, w, set, o.RunHook())
 	if err != nil {
 		return nil, err
 	}
+	o.Advance(ref.Total)
+	o.Tracer().End(sp)
+	o.Metrics().Counter("trials_executed", obs.L("technique", "pfp")).Inc()
 	trials := 1
 
 	best := prog.Baseline(w)
@@ -245,7 +279,7 @@ func PFP(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64) (*Out
 			}
 			cfg.Objects[obj.Name] = prog.ObjectConfig{Target: t, Plans: plans}
 		}
-		res, err := prog.Run(sys, w, set, cfg)
+		res, err := tracedRun(o, "pfp", sys, w, set, cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -135,20 +135,29 @@ type Comparison struct {
 	PreScaler *scaler.Result
 }
 
-// Compare evaluates Baseline, In-Kernel, PFP and PreScaler on w.
+// Compare evaluates Baseline, In-Kernel, PFP and PreScaler on w. When
+// opts.Obs is set, each technique's trials appear as a span group in the
+// trace.
 func (f *Framework) Compare(w *prog.Workload, opts scaler.Options) (*Comparison, error) {
 	if opts.TOQ == 0 {
 		opts.TOQ = 0.90
 	}
-	base, err := baseline.Baseline(f.sys, w, opts.InputSet)
+	tr := opts.Obs.Tracer()
+	sp := tr.Start("baseline "+w.Name, "pipeline")
+	base, err := baseline.Baseline(f.sys, w, opts.InputSet, opts.Obs)
+	tr.End(sp)
 	if err != nil {
 		return nil, fmt.Errorf("core: baseline %s: %w", w.Name, err)
 	}
-	ik, err := baseline.InKernel(f.sys, w, opts.InputSet, opts.TOQ)
+	sp = tr.Start("in-kernel "+w.Name, "pipeline")
+	ik, err := baseline.InKernel(f.sys, w, opts.InputSet, opts.TOQ, opts.Obs)
+	tr.End(sp)
 	if err != nil {
 		return nil, fmt.Errorf("core: in-kernel %s: %w", w.Name, err)
 	}
-	pfp, err := baseline.PFP(f.sys, w, opts.InputSet, opts.TOQ)
+	sp = tr.Start("pfp "+w.Name, "pipeline")
+	pfp, err := baseline.PFP(f.sys, w, opts.InputSet, opts.TOQ, opts.Obs)
+	tr.End(sp)
 	if err != nil {
 		return nil, fmt.Errorf("core: pfp %s: %w", w.Name, err)
 	}

@@ -1,0 +1,72 @@
+package exper
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/prog"
+	"repro/internal/scaler"
+	"repro/internal/wltest"
+)
+
+func TestBenchFig9Report(t *testing.T) {
+	r := NewRunner([]*prog.Workload{wltest.VecCombine(1 << 14), wltest.HalfHostile(1 << 13)})
+	sys := hw.System1()
+	rep, err := r.BenchFig9(sys, scaler.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.System != "system1" {
+		t.Errorf("system = %q", rep.System)
+	}
+	if rep.PaperGeomean != PaperGeomeans["system1"] {
+		t.Errorf("paper geomean = %v, want %v", rep.PaperGeomean, PaperGeomeans["system1"])
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmark records, want 2", len(rep.Benchmarks))
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Benchmark == "" {
+			t.Error("record without a benchmark name")
+		}
+		if b.PreScalerSpeedup <= 0 || b.PreScalerTrials <= 0 {
+			t.Errorf("%s: speedup %v, trials %d", b.Benchmark, b.PreScalerSpeedup, b.PreScalerTrials)
+		}
+		if b.SearchSpaceEq1 <= 0 {
+			t.Errorf("%s: search space %v", b.Benchmark, b.SearchSpaceEq1)
+		}
+	}
+	if rep.GeomeanPreScaler <= 0 || rep.GeomeanInKernel <= 0 || rep.GeomeanPFP <= 0 {
+		t.Errorf("geomeans: ps=%v ik=%v pfp=%v", rep.GeomeanPreScaler, rep.GeomeanInKernel, rep.GeomeanPFP)
+	}
+
+	// The report round-trips through JSON with the expected field names.
+	var buf bytes.Buffer
+	if err := WriteBenchReports(&buf, []*BenchReport{rep}); err != nil {
+		t.Fatal(err)
+	}
+	var back []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if len(back) != 1 {
+		t.Fatalf("round-trip lost reports: %d", len(back))
+	}
+	for _, field := range []string{"system", "paper_prescaler_geomean", "geomean_prescaler", "benchmarks"} {
+		if _, ok := back[0][field]; !ok {
+			t.Errorf("JSON missing field %q", field)
+		}
+	}
+	benches, _ := back[0]["benchmarks"].([]any)
+	if len(benches) != 2 {
+		t.Fatalf("JSON benchmarks = %d, want 2", len(benches))
+	}
+	first, _ := benches[0].(map[string]any)
+	for _, field := range []string{"benchmark", "prescaler_speedup", "prescaler_trials", "search_space_eq1"} {
+		if _, ok := first[field]; !ok {
+			t.Errorf("benchmark record missing field %q", field)
+		}
+	}
+}

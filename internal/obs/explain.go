@@ -1,0 +1,234 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TrialNote records one configuration the decision maker evaluated for a
+// target precision: the per-event conversion plans predicted from the
+// inspector database, the measured (or memoized) outcome, and the
+// verdict the search reached.
+type TrialNote struct {
+	// Target is the candidate precision ("double", "single", "half", or
+	// a uniform label for the pre-full-precision pass).
+	Target string
+	// Plans describes the per-transfer-event conversion plans, in event
+	// order (e.g. "ev0:host ev1:device").
+	Plans string
+	// PredictedTransfer is the database-predicted transfer time of the
+	// object's events under Plans (0 when not applicable).
+	PredictedTransfer float64
+	// MeasuredTransfer is the measured transfer time of the object's
+	// events in the executed trial (0 when not applicable).
+	MeasuredTransfer float64
+	// Total is the measured whole-program time.
+	Total float64
+	// Quality is the measured output quality.
+	Quality float64
+	// Cached marks a memoized trial (no new execution was spent).
+	Cached bool
+	// Predicted marks a candidate scored purely from the inspector
+	// database, without execution: Total is an expected time and Quality
+	// is unknown.
+	Predicted bool
+	// Verdict is the search's conclusion: "accepted", "best-so-far",
+	// "slower", "toq-fail", "predicted" (wildcard candidates scored
+	// without execution), or "validated"/"rejected" for wildcard runs.
+	Verdict string
+}
+
+// WildcardNote records the wildcard test (Algorithm 1 lines 14-32) for
+// one object.
+type WildcardNote struct {
+	// Mids lists the intermediate types the test considered.
+	Mids []string
+	// Best describes the predicted-fastest wildcard candidate (nil when
+	// no candidate beat the normal search).
+	Best *TrialNote
+	// UsedFailedType reports whether the winning candidate routes data
+	// through the TOQ-failed type, which forces a validation run.
+	UsedFailedType bool
+	// Validated reports whether a validation execution was spent.
+	Validated bool
+	// Accepted reports whether the wildcard configuration won.
+	Accepted bool
+	// Reason explains the outcome in one phrase.
+	Reason string
+}
+
+// ObjectNote is the per-memory-object decision journal.
+type ObjectNote struct {
+	Name string
+	// Kind is the object's role (in/out/inout/temp).
+	Kind string
+	// Elems is the element count.
+	Elems int
+	// EffectiveTime is the profiled transfer+kernel time that fixed the
+	// visit order.
+	EffectiveTime float64
+	// TransferEvents is the number of profiled transfer events.
+	TransferEvents int
+	// Attempts lists the normal-search trials in the order tried.
+	Attempts []TrialNote
+	// Wildcard describes the wildcard test, nil when disabled or skipped.
+	Wildcard *WildcardNote
+	// Chosen is the final precision for the object.
+	Chosen string
+	// ChosenPlans describes the final conversion plans.
+	ChosenPlans string
+	// StopReason explains why the normal search stopped ("toq-fail at
+	// half", "exhausted candidate types", ...).
+	StopReason string
+}
+
+// PassNote is the pre-full-precision pass journal.
+type PassNote struct {
+	Attempts []TrialNote
+	// Chosen is the uniform precision selected as the starting point.
+	Chosen string
+}
+
+// Journal is the complete decision record of one scaler search. The
+// scaler fills it as the search runs; Render prints it as the
+// human-readable explain report.
+type Journal struct {
+	Workload string
+	System   string
+	TOQ      float64
+	// VisitOrder lists the object names in descending effective time.
+	VisitOrder []string
+	// BaselineTotal is the profiled unscaled program time.
+	BaselineTotal float64
+	// PreFP is the pre-full-precision pass, nil when disabled.
+	PreFP *PassNote
+	// Objects holds one note per memory object in visit order.
+	Objects []*ObjectNote
+	// FinalTotal, FinalQuality and Speedup summarize the chosen config.
+	FinalTotal   float64
+	FinalQuality float64
+	Speedup      float64
+	// Trials is the number of executions spent (including profiling).
+	Trials int
+	// SearchSpace, TreeSpace and PredictedSpace are the Equation 1-3
+	// sizes.
+	SearchSpace    float64
+	TreeSpace      float64
+	PredictedSpace float64
+	// FallbackUsed marks the rare transient-stripping fallback after an
+	// unvalidated wildcard missed TOQ at the final check.
+	FallbackUsed bool
+	// Notes holds free-form pipeline remarks in occurrence order.
+	Notes []string
+}
+
+// Object returns the journal note for name, creating it if absent.
+func (j *Journal) Object(name string) *ObjectNote {
+	if j == nil {
+		return nil
+	}
+	for _, o := range j.Objects {
+		if o.Name == name {
+			return o
+		}
+	}
+	o := &ObjectNote{Name: name}
+	j.Objects = append(j.Objects, o)
+	return o
+}
+
+// Note appends a free-form pipeline remark.
+func (j *Journal) Note(format string, args ...any) {
+	if j == nil {
+		return
+	}
+	j.Notes = append(j.Notes, fmt.Sprintf(format, args...))
+}
+
+// AddAttempt appends a trial note to the object (nil-safe).
+func (o *ObjectNote) AddAttempt(n TrialNote) {
+	if o == nil {
+		return
+	}
+	o.Attempts = append(o.Attempts, n)
+}
+
+func ms(v float64) string { return fmt.Sprintf("%.6f ms", v*1e3) }
+
+func renderTrial(b *strings.Builder, indent string, n TrialNote) {
+	if n.Predicted {
+		fmt.Fprintf(b, "%s%-7s expected total %s (not executed)", indent, n.Target, ms(n.Total))
+		if n.PredictedTransfer > 0 {
+			fmt.Fprintf(b, "  transfer pred %s", ms(n.PredictedTransfer))
+		}
+	} else {
+		fmt.Fprintf(b, "%s%-7s total %s  quality %.4f", indent, n.Target, ms(n.Total), n.Quality)
+		if n.Cached {
+			b.WriteString("  (memoized)")
+		}
+		if n.PredictedTransfer > 0 || n.MeasuredTransfer > 0 {
+			fmt.Fprintf(b, "  transfer pred %s / meas %s", ms(n.PredictedTransfer), ms(n.MeasuredTransfer))
+		}
+	}
+	if n.Plans != "" {
+		fmt.Fprintf(b, "  plans %s", n.Plans)
+	}
+	fmt.Fprintf(b, "  -> %s\n", n.Verdict)
+}
+
+// Render prints the journal as the human-readable explain report: per
+// memory object, the candidate types tried in order with the best plan
+// predicted per type, the measured time and quality, and why the search
+// stopped.
+func (j *Journal) Render() string {
+	if j == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== explain: %s on %s (TOQ %.2f) ===\n", j.Workload, j.System, j.TOQ)
+	fmt.Fprintf(&b, "baseline %s; visit order: %s\n", ms(j.BaselineTotal), strings.Join(j.VisitOrder, ", "))
+
+	if j.PreFP != nil {
+		b.WriteString("\npre-full-precision pass (uniform configurations):\n")
+		for _, a := range j.PreFP.Attempts {
+			renderTrial(&b, "  ", a)
+		}
+		fmt.Fprintf(&b, "  starting point: all objects at %s\n", j.PreFP.Chosen)
+	}
+
+	for _, o := range j.Objects {
+		fmt.Fprintf(&b, "\nobject %s (%s, %d elems, %d transfer events, effective %s):\n",
+			o.Name, o.Kind, o.Elems, o.TransferEvents, ms(o.EffectiveTime))
+		for _, a := range o.Attempts {
+			renderTrial(&b, "  ", a)
+		}
+		if o.Wildcard != nil {
+			w := o.Wildcard
+			fmt.Fprintf(&b, "  wildcard (mids %s):", strings.Join(w.Mids, ","))
+			if w.Best == nil {
+				fmt.Fprintf(&b, " %s\n", w.Reason)
+			} else {
+				b.WriteByte('\n')
+				renderTrial(&b, "    ", *w.Best)
+				fmt.Fprintf(&b, "    %s\n", w.Reason)
+			}
+		}
+		fmt.Fprintf(&b, "  chosen %s (%s); stop: %s\n", o.Chosen, o.ChosenPlans, o.StopReason)
+	}
+
+	for _, n := range j.Notes {
+		fmt.Fprintf(&b, "\nnote: %s\n", n)
+	}
+	fmt.Fprintf(&b, "\nfinal: total %s, quality %.4f, speedup %.2fx, %d trials", ms(j.FinalTotal), j.FinalQuality, j.Speedup, j.Trials)
+	if j.FallbackUsed {
+		b.WriteString(" (transient-stripping fallback used)")
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "search space: %.3g entire (eq1), %.3g tree (eq2), %.3g predicted (eq3)",
+		j.SearchSpace, j.TreeSpace, j.PredictedSpace)
+	if j.SearchSpace > 0 {
+		fmt.Fprintf(&b, "; tested %.3g of entire", float64(j.Trials)/j.SearchSpace)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Label is one metric label pair.
+type Label struct {
+	Key string
+	Val string
+}
+
+// L builds a label.
+func L(key, val string) Label { return Label{Key: key, Val: val} }
+
+// labelString canonicalizes labels: sorted by key, "k=v" joined with
+// commas. Deterministic, so it doubles as the registry map key suffix.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = l.Key + "=" + l.Val
+	}
+	return strings.Join(parts, ",")
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ n float64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d (negative deltas are ignored: counters only grow).
+func (c *Counter) Add(d float64) {
+	if c == nil || d < 0 {
+		return
+	}
+	c.n += d
+}
+
+// Value returns the accumulated count.
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+// Gauge is a set-to-current-value metric.
+type Gauge struct{ v float64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Value returns the gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; implicit +Inf last
+	counts []int     // len(bounds)+1
+	sum    float64
+	n      int
+	min    float64
+	max    float64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the observation mean (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// DefaultErrorBuckets is the bucket grid used for relative-error
+// histograms (1% to 50%).
+var DefaultErrorBuckets = []float64{0.01, 0.02, 0.05, 0.10, 0.20, 0.50}
+
+// Registry holds named, labeled metrics. A nil *Registry hands out nil
+// instruments, whose methods are all no-ops.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	hbounds  map[string][]float64 // histogram bucket grids by key
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		hbounds:  map[string][]float64{},
+	}
+}
+
+func metricKey(name string, labels []Label) string {
+	return name + "|" + labelString(labels)
+}
+
+// Counter returns (creating on first use) the counter for name+labels.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	c, ok := r.counters[key]
+	if !ok {
+		c = &Counter{}
+		r.counters[key] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the gauge for name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[key] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the histogram for
+// name+labels. The bucket grid is fixed at creation; later calls may
+// pass nil bounds.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := metricKey(name, labels)
+	h, ok := r.hists[key]
+	if !ok {
+		if len(bounds) == 0 {
+			bounds = DefaultErrorBuckets
+		}
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]int, len(b)+1)}
+		r.hists[key] = h
+		r.hbounds[key] = b
+	}
+	return h
+}
+
+func splitKey(key string) (name, labels string) {
+	i := strings.IndexByte(key, '|')
+	return key[:i], key[i+1:]
+}
+
+// WriteCSV dumps every metric as CSV with the header
+// name,labels,kind,field,value. Rows are sorted by (name, labels,
+// field), so the dump is deterministic.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"name", "labels", "kind", "field", "value"}); err != nil {
+		return err
+	}
+	if r == nil {
+		cw.Flush()
+		return cw.Error()
+	}
+	var rows [][]string
+	add := func(key, kind, field string, value float64) {
+		name, labels := splitKey(key)
+		rows = append(rows, []string{name, labels, kind, field, fmt.Sprintf("%g", value)})
+	}
+	for key, c := range r.counters {
+		add(key, "counter", "count", c.Value())
+	}
+	for key, g := range r.gauges {
+		add(key, "gauge", "value", g.Value())
+	}
+	for key, h := range r.hists {
+		add(key, "histogram", "count", float64(h.Count()))
+		add(key, "histogram", "sum", h.Sum())
+		add(key, "histogram", "mean", h.Mean())
+		add(key, "histogram", "max", h.Max())
+		for i, b := range h.bounds {
+			add(key, "histogram", fmt.Sprintf("bucket_le_%g", b), float64(h.counts[i]))
+		}
+		add(key, "histogram", "bucket_le_inf", float64(h.counts[len(h.bounds)]))
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		for k := 0; k < 4; k++ {
+			if rows[i][k] != rows[j][k] {
+				return rows[i][k] < rows[j][k]
+			}
+		}
+		return false
+	})
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,212 @@
+// Package obs is the framework's zero-dependency observability layer:
+// hierarchical spans over the simulated clock, a labeled metrics
+// registry, and a decision journal that explains the scaler's search.
+//
+// Everything in the package is nil-safe: every method on a nil *Tracer,
+// *Registry, *Observer, *Span, *Counter, *Gauge or *Histogram is a no-op
+// (or returns a zero value), so instrumented code paths cost a single
+// nil check when observability is off and the scaler's decisions stay
+// bit-identical whether or not an Observer is attached.
+//
+// Time never comes from the wall clock. Spans are stamped from a virtual
+// clock that pipeline code advances by each trial's simulated duration,
+// which makes exported traces deterministic: two runs of the same
+// workload produce byte-identical Chrome trace JSON.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Attr is one span attribute. Attributes are exported as Chrome
+// trace-event args.
+type Attr struct {
+	Key string
+	Val any
+}
+
+// A builds an attribute.
+func A(key string, val any) Attr { return Attr{Key: key, Val: val} }
+
+// Span is one timed region. Spans are created open by Tracer.Start and
+// closed by Tracer.End; Tracer.Emit records already-finished spans (used
+// for runtime events replayed from a queue trace).
+type Span struct {
+	Name  string
+	Cat   string
+	TID   int
+	Start float64
+	Stop  float64
+	Attrs []Attr
+	open  bool
+}
+
+// SetAttr appends an attribute to the span.
+func (s *Span) SetAttr(key string, val any) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: val})
+}
+
+// Duration returns the span length in simulated seconds.
+func (s *Span) Duration() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.Stop - s.Start
+}
+
+// Trace rows ("thread" ids in the Chrome trace): the pipeline stages and
+// the three runtime activity rows, matching the queue trace layout.
+const (
+	RowPipeline = 0
+	RowHost     = 1
+	RowBus      = 2
+	RowDevice   = 3
+)
+
+// rowNames labels the rows in exported traces.
+var rowNames = map[int]string{
+	RowPipeline: "pipeline",
+	RowHost:     "host",
+	RowBus:      "bus",
+	RowDevice:   "device",
+}
+
+// Tracer records hierarchical spans against a virtual clock.
+type Tracer struct {
+	now   float64
+	spans []*Span
+	stack []*Span
+}
+
+// NewTracer creates a tracer with the clock at zero.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Now returns the virtual clock in simulated seconds.
+func (t *Tracer) Now() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.now
+}
+
+// Advance moves the virtual clock forward by d simulated seconds.
+// Pipeline code calls this after each trial with the trial's simulated
+// total, so sibling trials occupy disjoint time ranges.
+func (t *Tracer) Advance(d float64) {
+	if t == nil || d <= 0 {
+		return
+	}
+	t.now += d
+}
+
+// Start opens a span at the current clock on the pipeline row. Spans
+// nest: a span started while another is open becomes its child in the
+// exported timeline (Chrome nests same-row slices by time containment).
+func (t *Tracer) Start(name, cat string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{Name: name, Cat: cat, TID: RowPipeline, Start: t.now, Attrs: attrs, open: true}
+	t.spans = append(t.spans, s)
+	t.stack = append(t.stack, s)
+	return s
+}
+
+// End closes the span at the current clock.
+func (t *Tracer) End(s *Span) {
+	if t == nil || s == nil || !s.open {
+		return
+	}
+	s.Stop = t.now
+	s.open = false
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s {
+			t.stack = append(t.stack[:i], t.stack[i+1:]...)
+			break
+		}
+	}
+}
+
+// Emit records a complete span with explicit start and duration (clock
+// offsets are the caller's responsibility). Used by the runtime hook to
+// replay queue events onto the host/bus/device rows.
+func (t *Tracer) Emit(name, cat string, tid int, start, dur float64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.spans = append(t.spans, &Span{
+		Name: name, Cat: cat, TID: tid, Start: start, Stop: start + dur, Attrs: attrs,
+	})
+}
+
+// Spans returns the recorded spans in creation order. The slice is a
+// copy; the spans themselves are shared.
+func (t *Tracer) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	out := make([]*Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto). Timestamps are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the recorded spans as Chrome trace-event
+// JSON. Output is deterministic: spans appear in creation order, still-
+// open spans are closed at the current clock, and metadata rows name the
+// pipeline/host/bus/device threads.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := w.Write([]byte("{\"traceEvents\":[]}\n"))
+		return err
+	}
+	out := make([]chromeEvent, 0, len(t.spans)+4)
+	rows := make([]int, 0, len(rowNames))
+	for row := range rowNames {
+		rows = append(rows, row)
+	}
+	sort.Ints(rows)
+	for _, row := range rows {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: row,
+			Args: map[string]any{"name": rowNames[row]},
+		})
+	}
+	for _, s := range t.spans {
+		stop := s.Stop
+		if s.open {
+			stop = t.now
+		}
+		ce := chromeEvent{
+			Name: s.Name, Cat: s.Cat, Phase: "X",
+			TS: s.Start * 1e6, Dur: (stop - s.Start) * 1e6,
+			PID: 1, TID: s.TID,
+		}
+		if len(s.Attrs) > 0 {
+			ce.Args = make(map[string]any, len(s.Attrs))
+			for _, a := range s.Attrs {
+				ce.Args[a.Key] = a.Val
+			}
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": out})
+}

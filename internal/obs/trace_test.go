@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestTracerSpansAndClock(t *testing.T) {
+	tr := NewTracer()
+	root := tr.Start("search", "pipeline", A("workload", "gemm"))
+	tr.Advance(0.5)
+	child := tr.Start("object A", "pipeline")
+	tr.Advance(0.25)
+	tr.End(child)
+	tr.Emit("kernel", "runtime", RowDevice, 0.6, 0.1, A("flops", 42))
+	tr.End(root)
+
+	if got := tr.Now(); got != 0.75 {
+		t.Fatalf("clock = %v, want 0.75", got)
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Name != "search" || spans[0].Start != 0 || spans[0].Stop != 0.75 {
+		t.Fatalf("root span: %+v", spans[0])
+	}
+	if spans[1].Start != 0.5 || spans[1].Stop != 0.75 {
+		t.Fatalf("child span: %+v", spans[1])
+	}
+	// Child is contained in the root's time range on the same row, which
+	// is how the Chrome viewer nests them.
+	if spans[1].Start < spans[0].Start || spans[1].Stop > spans[0].Stop {
+		t.Fatal("child span escapes its parent's range")
+	}
+	if spans[2].TID != RowDevice || math.Abs(spans[2].Duration()-0.1) > 1e-12 {
+		t.Fatalf("emitted span: %+v", spans[2])
+	}
+
+	// Advance by a non-positive amount must not move the clock backwards.
+	tr.Advance(-1)
+	tr.Advance(0)
+	if tr.Now() != 0.75 {
+		t.Fatal("negative Advance moved the clock")
+	}
+}
+
+// TestChromeTraceRoundTrip is the acceptance check: the export must be
+// valid Chrome trace-event JSON, verified by round-tripping through
+// encoding/json.
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	s := tr.Start("search gemm", "pipeline", A("system", "system1"))
+	tr.Advance(0.001)
+	tr.Emit("HtoD", "runtime", RowBus, 0, 0.0004, A("bytes", 1024))
+	tr.End(s)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	// 4 thread_name metadata rows + 2 duration events.
+	if len(doc.TraceEvents) != 6 {
+		t.Fatalf("got %d events, want 6", len(doc.TraceEvents))
+	}
+	meta, dur := 0, 0
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "M":
+			meta++
+			if e.Name != "thread_name" || e.Args["name"] == nil {
+				t.Fatalf("bad metadata event: %+v", e)
+			}
+		case "X":
+			dur++
+			if e.TS < 0 || e.Dur < 0 {
+				t.Fatalf("negative time in %+v", e)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Phase)
+		}
+	}
+	if meta != 4 || dur != 2 {
+		t.Fatalf("meta=%d dur=%d, want 4 and 2", meta, dur)
+	}
+	// Timestamps are microseconds of the virtual clock.
+	for _, e := range doc.TraceEvents {
+		if e.Name == "search gemm" && (e.TS != 0 || e.Dur != 1000) {
+			t.Fatalf("span times not in microseconds: %+v", e)
+		}
+		if e.Name == "HtoD" && (e.TID != RowBus || e.Dur != 400) {
+			t.Fatalf("emitted event wrong: %+v", e)
+		}
+	}
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	build := func() []byte {
+		tr := NewTracer()
+		s := tr.Start("a", "c", A("k1", 1), A("k2", "v"))
+		tr.Emit("e", "r", RowHost, 0, 0.1, A("z", 3), A("y", 2), A("x", 1))
+		tr.Advance(0.2)
+		tr.End(s)
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("trace export not byte-identical:\n%s\n%s", a, b)
+	}
+}
+
+func TestOpenSpanClosedAtExport(t *testing.T) {
+	tr := NewTracer()
+	tr.Start("open", "c")
+	tr.Advance(1)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string][]map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range doc["traceEvents"] {
+		if e["name"] == "open" && e["dur"] != 1e6 {
+			t.Fatalf("open span not closed at current clock: %+v", e)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package ocl
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/precision"
+)
+
+// streamHook captures the full hook stream in order.
+type streamHook struct {
+	buffers []int
+	events  []Event
+}
+
+func (h *streamHook) BufferCreated(b *Buffer) { h.buffers = append(h.buffers, b.ID()) }
+func (h *streamHook) EventRecorded(e Event)   { h.events = append(h.events, e) }
+
+func makeTrace(t *testing.T) *Queue {
+	t.Helper()
+	ctx := newCtx()
+	q := NewQueue(ctx)
+	b := ctx.CreateBuffer("a", precision.Double, 32)
+	if err := q.WriteBuffer(b, precision.NewArray(precision.Double, 32)); err != nil {
+		t.Fatal(err)
+	}
+	q.DeviceConvert(b, precision.Single)
+	q.ReadBuffer(b)
+	return q
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	q := makeTrace(t)
+	evs := q.Events()
+	if len(evs) != 3 {
+		t.Fatalf("want 3 events, got %d", len(evs))
+	}
+	// Mutating the returned slice must not corrupt the queue's trace.
+	evs[0].Kind = EvKernel
+	evs[0].Duration = 1e9
+	evs[1] = Event{}
+	evs = evs[:1]
+	_ = evs
+
+	fresh := q.Events()
+	if fresh[0].Kind != EvWrite || fresh[0].Duration >= 1e9 {
+		t.Fatalf("queue trace corrupted through Events() aliasing: %+v", fresh[0])
+	}
+	if fresh[1].Kind != EvDeviceConvert {
+		t.Fatalf("queue trace corrupted: %+v", fresh[1])
+	}
+	if q.NumEvents() != 3 {
+		t.Fatalf("NumEvents = %d, want 3", q.NumEvents())
+	}
+	if last := q.LastEvent(); last.Kind != EvRead {
+		t.Fatalf("LastEvent = %+v, want read", last)
+	}
+}
+
+// TestMultiHookDispatch checks that two hooks attached simultaneously
+// (e.g. profiler + tracer) observe identical streams in the same order.
+func TestMultiHookDispatch(t *testing.T) {
+	ctx := newCtx()
+	h1, h2 := &streamHook{}, &streamHook{}
+	ctx.AddHook(h1)
+	ctx.AddHook(h2)
+	q := NewQueue(ctx)
+	b := ctx.CreateBuffer("a", precision.Double, 16)
+	if err := q.WriteBuffer(b, precision.NewArray(precision.Double, 16)); err != nil {
+		t.Fatal(err)
+	}
+	q.DeviceConvert(b, precision.Half)
+	q.ReadBuffer(b)
+
+	if len(h1.events) != 3 {
+		t.Fatalf("hook 1 saw %d events, want 3", len(h1.events))
+	}
+	if !reflect.DeepEqual(h1.buffers, h2.buffers) {
+		t.Fatalf("hooks saw different buffer streams: %v vs %v", h1.buffers, h2.buffers)
+	}
+	for i := range h1.events {
+		a, b := h1.events[i], h2.events[i]
+		// Counts.Flops is a shared map; compare the scalar identity fields.
+		if a.Kind != b.Kind || a.Dir != b.Dir || a.Start != b.Start ||
+			a.Duration != b.Duration || a.Buffer != b.Buffer || a.Bytes != b.Bytes {
+			t.Fatalf("event %d differs between hooks:\n%+v\n%+v", i, a, b)
+		}
+	}
+	// The streams match the queue's own trace.
+	for i, e := range q.Events() {
+		if h1.events[i].Kind != e.Kind || h1.events[i].Start != e.Start {
+			t.Fatalf("hook stream diverges from queue trace at %d", i)
+		}
+	}
+}
+
+// panicHook panics on the first recorded event.
+type panicHook struct{}
+
+func (panicHook) BufferCreated(*Buffer) {}
+func (panicHook) EventRecorded(Event)   { panic("hook failure") }
+
+// TestHookPanicNotSwallowed checks that a panicking hook surfaces to the
+// caller instead of being silently recovered by the runtime.
+func TestHookPanicNotSwallowed(t *testing.T) {
+	ctx := newCtx()
+	ctx.AddHook(panicHook{})
+	q := NewQueue(ctx)
+	b := ctx.CreateBuffer("a", precision.Double, 8)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("hook panic was swallowed")
+		}
+		if r != "hook failure" {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	_ = q.WriteBuffer(b, precision.NewArray(precision.Double, 8))
+	t.Fatal("unreachable: WriteBuffer should have panicked through the hook")
+}

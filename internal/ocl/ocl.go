@@ -204,9 +204,20 @@ func (q *Queue) Context() *Context { return q.ctx }
 // Now returns the simulated time in seconds.
 func (q *Queue) Now() float64 { return q.now }
 
-// Events returns the trace so far. The returned slice is owned by the
-// queue; callers must not mutate it.
-func (q *Queue) Events() []Event { return q.events }
+// Events returns a copy of the trace so far. Mutating the returned
+// slice (or reordering it) cannot corrupt the queue's internal trace.
+func (q *Queue) Events() []Event {
+	out := make([]Event, len(q.events))
+	copy(out, q.events)
+	return out
+}
+
+// NumEvents returns the number of recorded events without copying.
+func (q *Queue) NumEvents() int { return len(q.events) }
+
+// LastEvent returns the most recently recorded event. It panics when no
+// event has been recorded yet.
+func (q *Queue) LastEvent() Event { return q.events[len(q.events)-1] }
 
 // record advances the clock and appends an event.
 func (q *Queue) record(e Event) {

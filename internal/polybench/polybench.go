@@ -18,6 +18,7 @@ package polybench
 
 import (
 	"math/rand"
+	"strings"
 
 	"repro/internal/prog"
 )
@@ -110,8 +111,9 @@ func Names() []string {
 }
 
 // ByName constructs the named benchmark at evaluation size, or nil.
+// Names are case-insensitive.
 func ByName(name string) *prog.Workload {
-	switch name {
+	switch strings.ToUpper(name) {
 	case "2DCONV":
 		return TwoDConv(1448, 1448)
 	case "2MM":

@@ -100,8 +100,10 @@ func (a *AppInfo) TransferFraction() float64 {
 
 // Profile runs w once at original precision on sys with the given input
 // set and returns the application info along with the baseline result.
-func Profile(sys *hw.System, w *prog.Workload, set prog.InputSet) (*AppInfo, *prog.Result, error) {
-	res, err := prog.Run(sys, w, set, nil)
+// Optional runtime hooks are attached to the profiling execution (nil
+// hooks are skipped).
+func Profile(sys *hw.System, w *prog.Workload, set prog.InputSet, hooks ...ocl.Hook) (*AppInfo, *prog.Result, error) {
+	res, err := prog.Run(sys, w, set, nil, hooks...)
 	if err != nil {
 		return nil, nil, fmt.Errorf("profile: %w", err)
 	}

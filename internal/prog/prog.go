@@ -272,8 +272,11 @@ type Exec struct {
 }
 
 // Run executes w on sys with input set and scaling configuration cfg
-// (nil means baseline), returning the result.
-func Run(sys *hw.System, w *Workload, set InputSet, cfg *Config) (*Result, error) {
+// (nil means baseline), returning the result. Optional runtime hooks
+// (profilers, tracers) are attached to the execution's context before
+// the script runs; nil hooks are skipped, so observability call sites
+// can pass a possibly-nil hook unconditionally.
+func Run(sys *hw.System, w *Workload, set InputSet, cfg *Config, hooks ...ocl.Hook) (*Result, error) {
 	if cfg == nil {
 		cfg = Baseline(w)
 	}
@@ -286,6 +289,11 @@ func Run(sys *hw.System, w *Workload, set InputSet, cfg *Config) (*Result, error
 		bufs:    map[string]*ocl.Buffer{},
 		outputs: map[string]*precision.Array{},
 		evIdx:   map[string]int{},
+	}
+	for _, h := range hooks {
+		if h != nil {
+			x.ctx.AddHook(h)
+		}
 	}
 	x.q = ocl.NewQueue(x.ctx)
 	if err := w.Script(x); err != nil {
@@ -407,7 +415,7 @@ func (x *Exec) Launch(kernel string, global [2]int, objs []string, intArgs ...in
 	if err := x.q.Launch(p, global, bufs, intArgs, computeAs); err != nil {
 		return err
 	}
-	ev := x.q.Events()[len(x.q.Events())-1]
+	ev := x.q.LastEvent()
 	args := make([]string, len(objs))
 	copy(args, objs)
 	x.ops = append(x.ops, Op{

@@ -1,0 +1,233 @@
+package scaler
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/obs"
+	"repro/internal/wltest"
+)
+
+// tracedSearch runs one observed search and returns the result plus the
+// exported trace JSON and metrics CSV.
+func tracedSearch(t *testing.T, n int) (*Result, *obs.Observer, []byte, []byte) {
+	t.Helper()
+	sys := hw.System1()
+	w := wltest.VecCombine(n)
+	opts := DefaultOptions()
+	o := obs.New()
+	opts.Obs = o
+	s := New(sys, dbFor(sys), w, opts)
+	res, err := s.Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace, csv bytes.Buffer
+	if err := o.Tracer().WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Metrics().WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	return res, o, trace.Bytes(), csv.Bytes()
+}
+
+// TestObserverDoesNotPerturbSearch is the acceptance check that with
+// observability off the search behaves bit-identically: trial counts,
+// chosen configuration, and timing must match an observed run.
+func TestObserverDoesNotPerturbSearch(t *testing.T) {
+	sys := hw.System1()
+	w := wltest.VecCombine(1 << 12)
+
+	plain := New(sys, dbFor(sys), w, DefaultOptions())
+	base, err := plain.Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	obsRes, _, _, _ := tracedSearch(t, 1<<12)
+
+	if base.Trials != obsRes.Trials {
+		t.Errorf("trials changed under observation: %d vs %d", base.Trials, obsRes.Trials)
+	}
+	if a, b := configKey(w, base.Config), configKey(w, obsRes.Config); a != b {
+		t.Errorf("chosen config changed under observation:\n%s\n%s", a, b)
+	}
+	if base.Final.Total != obsRes.Final.Total || base.Quality != obsRes.Quality {
+		t.Errorf("measured outcome changed under observation: %v/%v vs %v/%v",
+			base.Final.Total, base.Quality, obsRes.Final.Total, obsRes.Quality)
+	}
+	if base.Speedup != obsRes.Speedup {
+		t.Errorf("speedup changed under observation: %v vs %v", base.Speedup, obsRes.Speedup)
+	}
+}
+
+// TestTraceDeterminism is the regression test for the virtual-clock
+// design: two traced runs of the same workload must export byte-identical
+// Chrome trace JSON and metrics CSV.
+func TestTraceDeterminism(t *testing.T) {
+	_, _, trace1, csv1 := tracedSearch(t, 1<<12)
+	_, _, trace2, csv2 := tracedSearch(t, 1<<12)
+	if !bytes.Equal(trace1, trace2) {
+		t.Error("Chrome trace JSON differs between identical runs")
+	}
+	if !bytes.Equal(csv1, csv2) {
+		t.Error("metrics CSV differs between identical runs")
+	}
+}
+
+func TestTraceContent(t *testing.T) {
+	res, _, trace, _ := tracedSearch(t, 1<<12)
+
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	names := map[string]int{}
+	tids := map[int]int{}
+	var trials int
+	for _, e := range doc.TraceEvents {
+		names[e.Name]++
+		if e.Phase == "X" {
+			tids[e.TID]++
+			if e.TS < 0 || e.Dur < 0 {
+				t.Fatalf("negative time: %+v", e)
+			}
+		}
+		if strings.HasPrefix(e.Name, "trial ") {
+			trials++
+		}
+	}
+	// The pipeline stages appear as spans.
+	for _, want := range []string{"search veccombine", "profile", "pre-fp-pass", "object a", "validation"} {
+		if names[want] == 0 {
+			t.Errorf("trace missing %q span", want)
+		}
+	}
+	// Runtime activity lands on all four rows (pipeline, host, bus,
+	// device): kernels, transfers, and conversions were replayed.
+	for _, row := range []int{obs.RowPipeline, obs.RowHost, obs.RowBus, obs.RowDevice} {
+		if tids[row] == 0 {
+			t.Errorf("no events on row %d", row)
+		}
+	}
+	if trials < res.Trials {
+		t.Errorf("trace has %d trial spans, search reported %d executions", trials, res.Trials)
+	}
+}
+
+func TestExplainReport(t *testing.T) {
+	res, o, _, _ := tracedSearch(t, 1<<12)
+	got := o.Explain()
+
+	// Every memory object is named with its attempts and stop reason.
+	w := wltest.VecCombine(1 << 12)
+	for _, mo := range w.Objects {
+		if !strings.Contains(got, "object "+mo.Name+" (") {
+			t.Errorf("explain report missing object %q:\n%s", mo.Name, got)
+		}
+	}
+	for _, want := range []string{
+		"=== explain: veccombine on system1",
+		"visit order:",
+		"pre-full-precision pass",
+		"starting point: all objects at",
+		"chosen ",
+		"stop: ",
+		"final: total",
+		"search space:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("explain report missing %q", want)
+		}
+	}
+	if !strings.Contains(got, "trials") {
+		t.Error("explain report missing trial count")
+	}
+
+	// The journal agrees with the search result.
+	j := o.Journal()
+	if j.Trials != res.Trials || j.Speedup != res.Speedup {
+		t.Errorf("journal (%d trials, %.2fx) disagrees with result (%d trials, %.2fx)",
+			j.Trials, j.Speedup, res.Trials, res.Speedup)
+	}
+	if len(j.Objects) != len(w.Objects) {
+		t.Errorf("journal has %d objects, workload has %d", len(j.Objects), len(w.Objects))
+	}
+	for _, on := range j.Objects {
+		if len(on.Attempts) == 0 {
+			t.Errorf("object %s has no recorded attempts", on.Name)
+		}
+		if on.StopReason == "" {
+			t.Errorf("object %s has no stop reason", on.Name)
+		}
+		if on.Chosen == "" {
+			t.Errorf("object %s has no chosen type", on.Name)
+		}
+	}
+}
+
+func TestSearchMetrics(t *testing.T) {
+	res, o, _, _ := tracedSearch(t, 1<<12)
+	m := o.Metrics()
+
+	exec := m.Counter("trials_executed").Value()
+	memo := m.Counter("trials_memoized").Value()
+	if exec <= 0 {
+		t.Error("no executed trials counted")
+	}
+	// trials_executed covers every execution, profiling run included, so
+	// it matches the search's reported trial count exactly.
+	if int(exec) != res.Trials {
+		t.Errorf("metrics counted %v executions, search reported %d", exec, res.Trials)
+	}
+	if memo < 0 {
+		t.Errorf("memoized count negative: %v", memo)
+	}
+
+	if got := m.Gauge("search_space", obs.L("eq", "entire")).Value(); got != res.SearchSpace {
+		t.Errorf("search_space{eq=entire} = %v, want %v", got, res.SearchSpace)
+	}
+	if got := m.Gauge("search_space", obs.L("eq", "tree")).Value(); got != res.TreeSpace {
+		t.Errorf("search_space{eq=tree} = %v, want %v", got, res.TreeSpace)
+	}
+	if got := m.Gauge("search_space", obs.L("eq", "predicted")).Value(); got != res.PredictedSpace {
+		t.Errorf("search_space{eq=predicted} = %v, want %v", got, res.PredictedSpace)
+	}
+	if got := m.Gauge("search_trials").Value(); int(got) != res.Trials {
+		t.Errorf("search_trials = %v, want %d", got, res.Trials)
+	}
+	if got := m.Gauge("search_speedup").Value(); got != res.Speedup {
+		t.Errorf("search_speedup = %v, want %v", got, res.Speedup)
+	}
+
+	// TOQ outcomes were recorded, and passes + fails cover every quality
+	// verdict the search made.
+	pass := m.Counter("toq_outcome", obs.L("result", "pass")).Value()
+	fail := m.Counter("toq_outcome", obs.L("result", "fail")).Value()
+	if pass == 0 {
+		t.Error("no TOQ passes recorded (the final config passed)")
+	}
+	if pass+fail == 0 {
+		t.Error("no TOQ outcomes recorded")
+	}
+
+	// Transfer-time prediction error was observed for executed object
+	// trials.
+	h := m.Histogram("transfer_prediction_error_rel", nil)
+	if h.Count() == 0 {
+		t.Error("no transfer prediction errors observed")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/convert"
 	"repro/internal/hw"
 	"repro/internal/inspect"
+	"repro/internal/obs"
 	"repro/internal/precision"
 	"repro/internal/profile"
 	"repro/internal/prog"
@@ -56,6 +57,12 @@ type Options struct {
 	// type setting (Section 4.4.1), starting the decision tree from the
 	// original precision instead. Used by the ablation experiments.
 	DisableFullPrecisionPass bool
+	// Obs attaches an observer: every pipeline stage and trial becomes a
+	// span, trial/TOQ/prediction metrics are recorded, and the decision
+	// journal is filled for the explain report. Nil (the default) makes
+	// every instrumentation point a no-op; the search's decisions are
+	// identical either way.
+	Obs *obs.Observer
 }
 
 // DefaultOptions returns the paper's evaluation settings.
@@ -180,21 +187,76 @@ func configKey(w *prog.Workload, c *prog.Config) string {
 	return b.String()
 }
 
-// runTrial executes cfg (memoized) and returns its record. New
-// executions increment the trial counter.
-func (s *Scaler) runTrial(cfg *prog.Config) (*trialRecord, error) {
+// runTrial executes cfg (memoized) and returns its record plus whether
+// it was served from the memo. New executions increment the trial
+// counter. The label names the trial's span in the trace.
+func (s *Scaler) runTrial(cfg *prog.Config, label string) (*trialRecord, bool, error) {
+	o := s.opts.Obs
 	key := configKey(s.w, cfg)
 	if rec, ok := s.memo[key]; ok {
-		return rec, nil
+		o.Metrics().Counter("trials_memoized").Inc()
+		sp := o.Tracer().Start("trial "+label, "trial", obs.A("config", summarizeConfig(s.w, cfg)))
+		sp.SetAttr("memoized", true)
+		o.Tracer().End(sp)
+		return rec, true, nil
 	}
-	res, err := prog.Run(s.sys, s.w, s.opts.InputSet, cfg)
+	sp := o.Tracer().Start("trial "+label, "trial", obs.A("config", summarizeConfig(s.w, cfg)))
+	res, err := prog.Run(s.sys, s.w, s.opts.InputSet, cfg, o.RunHook())
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	s.trials++
 	rec := &trialRecord{res: res, quality: prog.Quality(s.ref, res)}
 	s.memo[key] = rec
-	return rec, nil
+	o.Advance(res.Total)
+	sp.SetAttr("total_ms", res.Total*1e3)
+	sp.SetAttr("quality", rec.quality)
+	o.Tracer().End(sp)
+	m := o.Metrics()
+	m.Counter("trials_executed").Inc()
+	if rec.quality >= s.opts.TOQ {
+		m.Counter("toq_outcome", obs.L("result", "pass")).Inc()
+	} else {
+		m.Counter("toq_outcome", obs.L("result", "fail")).Inc()
+	}
+	return rec, false, nil
+}
+
+// summarizeConfig renders a compact object:type summary for span
+// attributes, in declaration order.
+func summarizeConfig(w *prog.Workload, c *prog.Config) string {
+	var b strings.Builder
+	for i, o := range w.Objects {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		oc := c.Objects[o.Name]
+		t := oc.Target
+		if !t.Valid() {
+			t = w.Original
+		}
+		fmt.Fprintf(&b, "%s:%s", o.Name, t)
+		if oc.InKernel {
+			b.WriteString("(ik)")
+		}
+	}
+	return b.String()
+}
+
+// describePlans renders the per-event conversion classes of plans for
+// journal notes, e.g. "ev0:host ev1:transient(via half)".
+func describePlans(plans []convert.Plan, hostType, storage precision.Type) string {
+	var b strings.Builder
+	for i, p := range plans {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "ev%d:%s", i, p.Class(hostType, storage))
+		if p.Mid != hostType && p.Mid != storage {
+			fmt.Fprintf(&b, "(via %s)", p.Mid)
+		}
+	}
+	return b.String()
 }
 
 // bestDirectPlans fills plans for every transfer event of object obj at
@@ -242,15 +304,34 @@ func measuredObjTransfer(res *prog.Result, obj string) float64 {
 // Search runs the full decision-maker pipeline and returns the chosen
 // configuration with its measurements.
 func (s *Scaler) Search() (*Result, error) {
+	o := s.opts.Obs
+	tr := o.Tracer()
+	j := o.Journal()
+	root := tr.Start("search "+s.w.Name, "pipeline",
+		obs.A("system", s.sys.Name), obs.A("toq", s.opts.TOQ))
+	if j != nil {
+		j.Workload, j.System, j.TOQ = s.w.Name, s.sys.Name, s.opts.TOQ
+	}
+
 	// Application profiling (also the baseline trial and quality
 	// reference).
-	info, ref, err := profile.Profile(s.sys, s.w, s.opts.InputSet)
+	spProf := tr.Start("profile", "pipeline")
+	info, ref, err := profile.Profile(s.sys, s.w, s.opts.InputSet, o.RunHook())
 	if err != nil {
 		return nil, err
 	}
+	o.Advance(ref.Total)
+	tr.End(spProf)
 	s.info, s.ref = info, ref
 	s.trials = 1
+	o.Metrics().Counter("trials_executed").Inc()
 	s.memo[configKey(s.w, prog.Baseline(s.w))] = &trialRecord{res: ref, quality: 1}
+	if j != nil {
+		j.BaselineTotal = ref.Total
+		for i := range info.Objects {
+			j.VisitOrder = append(j.VisitOrder, info.Objects[i].Name)
+		}
+	}
 
 	types := s.availableTypes()
 	if len(types) == 0 {
@@ -261,7 +342,9 @@ func (s *Scaler) Search() (*Result, error) {
 	// configuration as the starting point.
 	current := prog.Baseline(s.w)
 	if !s.opts.DisableFullPrecisionPass {
+		spPass := tr.Start("pre-fp-pass", "pipeline")
 		current, err = s.fullPrecisionPass(types)
+		tr.End(spPass)
 		if err != nil {
 			return nil, err
 		}
@@ -270,7 +353,10 @@ func (s *Scaler) Search() (*Result, error) {
 	// Decision-tree search over objects in descending effective time.
 	for i := range s.info.Objects {
 		obj := &s.info.Objects[i]
+		spObj := tr.Start("object "+obj.Name, "pipeline",
+			obs.A("effective_ms", obj.EffectiveTime*1e3))
 		chosen, err := s.searchObject(current, obj, types)
+		tr.End(spObj)
 		if err != nil {
 			return nil, err
 		}
@@ -282,17 +368,25 @@ func (s *Scaler) Search() (*Result, error) {
 	// validation run, fall back progressively by re-running the decision
 	// with transient conversion disabled — in practice the guarded
 	// wildcard acceptance makes this extremely rare.
-	final, err := s.runTrial(current)
+	spFinal := tr.Start("validation", "pipeline")
+	final, _, err := s.runTrial(current, "final")
 	if err != nil {
 		return nil, err
 	}
 	if final.quality < s.opts.TOQ {
+		if j != nil {
+			j.FallbackUsed = true
+			j.Note("final configuration missed TOQ (%.4f < %.2f): stripping transient conversions and revalidating",
+				final.quality, s.opts.TOQ)
+		}
+		o.Metrics().Counter("final_fallbacks").Inc()
 		current = s.stripTransients(current)
-		final, err = s.runTrial(current)
+		final, _, err = s.runTrial(current, "fallback")
 		if err != nil {
 			return nil, err
 		}
 	}
+	tr.End(spFinal)
 
 	res := &Result{
 		Config:       current,
@@ -306,30 +400,103 @@ func (s *Scaler) Search() (*Result, error) {
 		res.Speedup = ref.Total / final.res.Total
 	}
 	res.SearchSpace, res.TreeSpace, res.PredictedSpace = s.SearchSpace()
+	tr.End(root)
+	s.recordOutcome(res, j)
 	return res, nil
+}
+
+// recordOutcome fills the journal summary and the final-configuration
+// metrics (trial bounds, chosen precisions, conversion classes).
+func (s *Scaler) recordOutcome(res *Result, j *obs.Journal) {
+	m := s.opts.Obs.Metrics()
+	if j != nil {
+		j.FinalTotal = res.Final.Total
+		j.FinalQuality = res.Quality
+		j.Speedup = res.Speedup
+		j.Trials = res.Trials
+		j.SearchSpace, j.TreeSpace, j.PredictedSpace = res.SearchSpace, res.TreeSpace, res.PredictedSpace
+		for _, o := range j.Objects {
+			oc := res.Config.Objects[o.Name]
+			storage := oc.Target
+			if oc.InKernel {
+				storage = s.w.Original
+			}
+			o.Chosen = oc.Target.String()
+			o.ChosenPlans = describePlans(oc.Plans, s.w.Original, storage)
+		}
+	}
+	if m == nil {
+		return
+	}
+	m.Gauge("search_space", obs.L("eq", "entire")).Set(res.SearchSpace)
+	m.Gauge("search_space", obs.L("eq", "tree")).Set(res.TreeSpace)
+	m.Gauge("search_space", obs.L("eq", "predicted")).Set(res.PredictedSpace)
+	m.Gauge("search_trials").Set(float64(res.Trials))
+	m.Gauge("search_speedup").Set(res.Speedup)
+	m.Gauge("search_quality").Set(res.Quality)
+	for _, spec := range s.w.Objects {
+		oc := res.Config.Objects[spec.Name]
+		t := oc.Target
+		if !t.Valid() {
+			t = s.w.Original
+		}
+		m.Counter("object_precision", obs.L("type", t.String())).Inc()
+		storage := t
+		if oc.InKernel {
+			storage = s.w.Original
+		}
+		for _, p := range oc.Plans {
+			m.Counter("conversion_method", obs.L("class", p.Class(s.w.Original, storage))).Inc()
+		}
+	}
 }
 
 // fullPrecisionPass implements Section 4.4.1: evaluate uniform
 // configurations and return the fastest one that meets the TOQ.
 func (s *Scaler) fullPrecisionPass(types []precision.Type) (*prog.Config, error) {
+	j := s.opts.Obs.Journal()
+	var pass *obs.PassNote
+	if j != nil {
+		pass = &obs.PassNote{}
+		j.PreFP = pass
+	}
 	var best *prog.Config
+	var bestT precision.Type
 	var bestTime float64
 	for _, t := range types {
 		cfg := s.uniformConfig(t)
-		rec, err := s.runTrial(cfg)
+		rec, cached, err := s.runTrial(cfg, "uniform "+t.String())
 		if err != nil {
 			return nil, err
 		}
+		note := obs.TrialNote{
+			Target: "all-" + t.String(), Total: rec.res.Total,
+			Quality: rec.quality, Cached: cached,
+		}
 		if rec.quality < s.opts.TOQ {
 			// Assume monotonicity: lower precisions will not recover.
+			if pass != nil {
+				note.Verdict = "toq-fail"
+				pass.Attempts = append(pass.Attempts, note)
+			}
 			break
 		}
 		if best == nil || rec.res.Total < bestTime {
-			best, bestTime = cfg, rec.res.Total
+			best, bestT, bestTime = cfg, t, rec.res.Total
+			note.Verdict = "best-so-far"
+		} else {
+			note.Verdict = "slower"
+		}
+		if pass != nil {
+			pass.Attempts = append(pass.Attempts, note)
 		}
 	}
 	if best == nil {
 		best = prog.Baseline(s.w)
+		bestT = s.w.Original
+	}
+	if pass != nil {
+		pass.Chosen = bestT.String()
 	}
 	return best, nil
 }
@@ -352,6 +519,17 @@ func (s *Scaler) uniformConfig(t precision.Type) *prog.Config {
 // current configuration and returns the configuration with the object's
 // decision applied.
 func (s *Scaler) searchObject(current *prog.Config, obj *profile.ObjectInfo, types []precision.Type) (*prog.Config, error) {
+	o := s.opts.Obs
+	note := o.Journal().Object(obj.Name)
+	if note != nil {
+		spec := s.w.Object(obj.Name)
+		note.Kind = spec.Kind.String()
+		note.Elems = spec.Len
+		note.EffectiveTime = obj.EffectiveTime
+		note.TransferEvents = len(obj.Transfers)
+		note.StopReason = "exhausted candidate types"
+	}
+
 	// Normal search (lines 1-13).
 	var (
 		normalBest     *prog.Config
@@ -368,29 +546,57 @@ func (s *Scaler) searchObject(current *prog.Config, obj *profile.ObjectInfo, typ
 	}
 
 	for _, target := range types {
+		plans := s.bestDirectPlans(obj, target)
 		cfg := current.Clone()
 		cfg.Objects[obj.Name] = prog.ObjectConfig{
 			Target: target,
-			Plans:  s.bestDirectPlans(obj, target),
+			Plans:  plans,
 		}
-		rec, err := s.runTrial(cfg)
+		rec, cached, err := s.runTrial(cfg, obj.Name+" "+target.String())
 		if err != nil {
 			return nil, err
 		}
 		kernelTime[target] = rec.res.KernelTime
+		tn := obs.TrialNote{
+			Target:            target.String(),
+			Plans:             describePlans(plans, s.w.Original, target),
+			PredictedTransfer: s.expectedObjTransfer(obj, target, plans),
+			MeasuredTransfer:  measuredObjTransfer(rec.res, obj.Name),
+			Total:             rec.res.Total,
+			Quality:           rec.quality,
+			Cached:            cached,
+		}
+		if !cached && tn.MeasuredTransfer > 0 {
+			// Inspector-database prediction accuracy: relative error of the
+			// predicted vs measured per-object transfer time.
+			relErr := math.Abs(tn.PredictedTransfer-tn.MeasuredTransfer) / tn.MeasuredTransfer
+			o.Metrics().Histogram("transfer_prediction_error_rel", nil).Observe(relErr)
+		}
 		if rec.quality < s.opts.TOQ {
 			failed = target
+			tn.Verdict = "toq-fail"
+			note.AddAttempt(tn)
+			if note != nil {
+				note.StopReason = "toq-fail at " + target.String()
+			}
 			break
 		}
 		accepted = append(accepted, target)
 		if rec.res.Total < normalBestTime {
 			normalBest, normalBestTime, normalBestRec = cfg, rec.res.Total, rec
+			tn.Verdict = "best-so-far"
+		} else {
+			tn.Verdict = "slower"
 		}
+		note.AddAttempt(tn)
 	}
 	if normalBest == nil {
 		// Nothing passed (can only happen when even the original-precision
 		// trial misses TOQ, which the reference run precludes): keep the
 		// incumbent.
+		if note != nil {
+			note.StopReason = "no candidate passed TOQ; incumbent kept"
+		}
 		return current, nil
 	}
 
@@ -400,14 +606,25 @@ func (s *Scaler) searchObject(current *prog.Config, obj *profile.ObjectInfo, typ
 
 	// Wildcard test (lines 14-32): allow transient intermediates drawn
 	// from the accepted set plus the failed type.
+	spWild := o.Tracer().Start("wildcard "+obj.Name, "pipeline")
+	defer o.Tracer().End(spWild)
 	mids := append([]precision.Type(nil), accepted...)
 	if failed.Valid() {
 		mids = append(mids, failed)
+	}
+	var wild *obs.WildcardNote
+	if note != nil {
+		wild = &obs.WildcardNote{}
+		for _, m := range mids {
+			wild.Mids = append(wild.Mids, m.String())
+		}
+		note.Wildcard = wild
 	}
 	var (
 		wildBest     *prog.Config
 		wildBestTime = math.Inf(1)
 		wildUsesFail bool
+		wildNote     obs.TrialNote
 	)
 	for _, target := range accepted {
 		plans := s.bestPlans(obj, target, mids)
@@ -423,11 +640,19 @@ func (s *Scaler) searchObject(current *prog.Config, obj *profile.ObjectInfo, typ
 		if !ok {
 			continue
 		}
-		expected := normalRec.res.Total - measuredObjTransfer(normalRec.res, obj.Name) +
-			s.expectedObjTransfer(obj, target, plans)
+		predicted := s.expectedObjTransfer(obj, target, plans)
+		expected := normalRec.res.Total - measuredObjTransfer(normalRec.res, obj.Name) + predicted
 		if expected < wildBestTime {
 			wildBest, wildBestTime = cfg, expected
 			wildUsesFail = failed.Valid() && plansUseMid(plans, failed, s.w.Original, target)
+			wildNote = obs.TrialNote{
+				Target:            target.String(),
+				Plans:             describePlans(plans, s.w.Original, target),
+				PredictedTransfer: predicted,
+				Total:             expected,
+				Predicted:         true,
+				Verdict:           "predicted",
+			}
 		}
 	}
 
@@ -435,16 +660,55 @@ func (s *Scaler) searchObject(current *prog.Config, obj *profile.ObjectInfo, typ
 		if wildUsesFail {
 			// The failed type appears as a transient intermediate: a real
 			// accuracy check is required (lines 24-28).
-			rec, err := s.runTrial(wildBest)
+			rec, cached, err := s.runTrial(wildBest, obj.Name+" wildcard")
 			if err != nil {
 				return nil, err
 			}
+			if wild != nil {
+				wildNote.Predicted = false
+				wildNote.Total = rec.res.Total
+				wildNote.Quality = rec.quality
+				wildNote.Cached = cached
+				wildNote.MeasuredTransfer = measuredObjTransfer(rec.res, obj.Name)
+				wild.UsedFailedType = true
+				wild.Validated = true
+				wild.Best = &wildNote
+			}
 			if rec.quality < s.opts.TOQ {
+				if wild != nil {
+					wildNote.Verdict = "rejected"
+					wild.Reason = fmt.Sprintf("validation failed TOQ (%.4f); normal-search result kept", rec.quality)
+				}
 				return normalBest, nil
+			}
+			if wild != nil {
+				wildNote.Verdict = "validated"
+				wild.Accepted = true
+				wild.Reason = "validated transient plan accepted"
+			}
+			if note != nil {
+				note.StopReason += "; wildcard win (validated)"
 			}
 			return wildBest, nil
 		}
+		if wild != nil {
+			wildNote.Verdict = "accepted"
+			wild.Best = &wildNote
+			wild.Accepted = true
+			wild.Reason = "predicted faster than normal search; no failed-type intermediate, accepted without validation"
+		}
+		if note != nil {
+			note.StopReason += "; wildcard win (predicted)"
+		}
 		return wildBest, nil
+	}
+	if wild != nil {
+		if wildBest == nil {
+			wild.Reason = "no candidate"
+		} else {
+			wild.Best = &wildNote
+			wild.Reason = fmt.Sprintf("predicted %.6f ms not faster than normal %.6f ms", wildBestTime*1e3, normalBestTime*1e3)
+		}
 	}
 	_ = normalBestRec
 	return normalBest, nil

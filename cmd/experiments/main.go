@@ -14,10 +14,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
 
 	"repro/internal/exper"
@@ -28,6 +31,58 @@ import (
 	"repro/internal/scaler"
 )
 
+// checkGoldenTrials compares the per-benchmark trial counts of the
+// generated fig9 reports against a checked-in golden report (the same
+// JSON schema WriteBenchReports emits). Any drift — a changed count, a
+// missing benchmark, or a benchmark absent from the golden — is an
+// error: the decision maker's trial count is a deterministic property
+// of the search, so a drift means its behavior changed.
+func checkGoldenTrials(path string, reports []*exper.BenchReport) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var golden []*exper.BenchReport
+	if err := json.Unmarshal(data, &golden); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	type counts struct{ inKernel, pfp, prescaler int }
+	want := map[string]counts{}
+	for _, rep := range golden {
+		for _, b := range rep.Benchmarks {
+			want[rep.System+"/"+b.Benchmark] = counts{b.InKernelTrials, b.PFPTrials, b.PreScalerTrials}
+		}
+	}
+	seen := map[string]bool{}
+	var drifts []string
+	for _, rep := range reports {
+		for _, b := range rep.Benchmarks {
+			key := rep.System + "/" + b.Benchmark
+			seen[key] = true
+			w, ok := want[key]
+			if !ok {
+				drifts = append(drifts, fmt.Sprintf("%s: not in golden", key))
+				continue
+			}
+			got := counts{b.InKernelTrials, b.PFPTrials, b.PreScalerTrials}
+			if got != w {
+				drifts = append(drifts, fmt.Sprintf("%s: trials in-kernel/pfp/prescaler %d/%d/%d, golden %d/%d/%d",
+					key, got.inKernel, got.pfp, got.prescaler, w.inKernel, w.pfp, w.prescaler))
+			}
+		}
+	}
+	for key := range want {
+		if !seen[key] {
+			drifts = append(drifts, fmt.Sprintf("%s: in golden but not measured", key))
+		}
+	}
+	if len(drifts) > 0 {
+		sort.Strings(drifts)
+		return fmt.Errorf("trial counts drifted from %s:\n  %s", path, strings.Join(drifts, "\n  "))
+	}
+	return nil
+}
+
 func main() {
 	exps := flag.String("exp", "all", "comma-separated experiment ids (see package doc)")
 	csvDir := flag.String("csv", "", "directory to write per-table CSV files (created if missing)")
@@ -36,6 +91,8 @@ func main() {
 	only := flag.String("benchmarks", "", "comma-separated benchmark names to restrict the suite (default: all 14)")
 	traceDir := flag.String("trace-dir", "", "directory to write one Chrome pipeline trace per benchmark (system1; created if missing)")
 	fig9JSON := flag.String("fig9-json", filepath.Join("results", "bench_fig9.json"), "path of the machine-readable fig9 report (written when fig9 runs)")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "number of parallel measurement workers (results are byte-identical for any value)")
+	goldenTrials := flag.String("golden-trials", "", "golden fig9 JSON to compare per-benchmark trial counts against; exit 1 on drift")
 	flag.Parse()
 
 	suite := polybench.Suite()
@@ -60,6 +117,7 @@ func main() {
 		suite = filtered
 	}
 	r := exper.NewRunner(suite)
+	r.Jobs = *jobs
 	if !*quiet {
 		r.Log = os.Stderr
 	}
@@ -132,7 +190,7 @@ func main() {
 	// Machine-readable fig9 trajectory report (speedups + trial counts per
 	// benchmark against the paper's headline geomeans). The comparisons
 	// are already cached by the table runs, so this costs nothing extra.
-	if fig9Ran && *fig9JSON != "" {
+	if fig9Ran && (*fig9JSON != "" || *goldenTrials != "") {
 		var reports []*exper.BenchReport
 		for _, sys := range hw.Systems() {
 			rep, err := r.BenchFig9(sys, opts)
@@ -142,24 +200,33 @@ func main() {
 			}
 			reports = append(reports, rep)
 		}
-		if err := os.MkdirAll(filepath.Dir(*fig9JSON), 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+		if *fig9JSON != "" {
+			if err := os.MkdirAll(filepath.Dir(*fig9JSON), 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			f, err := os.Create(*fig9JSON)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if err := exper.WriteBenchReports(f, reports); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *fig9JSON)
 		}
-		f, err := os.Create(*fig9JSON)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+		if *goldenTrials != "" {
+			if err := checkGoldenTrials(*goldenTrials, reports); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: golden trials: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "trial counts match golden %s\n", *goldenTrials)
 		}
-		if err := exper.WriteBenchReports(f, reports); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
-		}
-		if err := f.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *fig9JSON)
 	}
 
 	// One Chrome pipeline trace per benchmark: a fresh traced PreScaler

@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/hw"
@@ -35,6 +36,7 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event timeline of the whole search pipeline to this file")
 	metricsPath := flag.String("metrics", "", "write the search metrics as CSV to this file")
 	explain := flag.Bool("explain", false, "print the decision-maker explain report")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "number of concurrent search-trial workers (the search outcome and all artifacts are bit-identical for any value)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -90,7 +92,7 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "profiling and searching %s (toq=%.2f, input=%s) ...\n", w.Name, *toq, set)
-	sp, err := fw.Scale(w, scaler.Options{TOQ: *toq, InputSet: set, Obs: o})
+	sp, err := fw.Scale(w, scaler.Options{TOQ: *toq, InputSet: set, Obs: o, Workers: *jobs})
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -50,6 +50,16 @@ func LoadFramework(sys *hw.System, dbJSON []byte) (*Framework, error) {
 	return &Framework{sys: sys, db: db}, nil
 }
 
+// Clone returns a framework with a private copy of the system model and
+// the inspector database, sharing nothing mutable with the receiver.
+// Parallel experiment workers clone the framework once per worker so
+// that concurrent searches never alias each other's state (the database
+// caches on-demand measurements; see inspect.DB).
+func (f *Framework) Clone() *Framework {
+	sys := f.sys.Clone()
+	return &Framework{sys: sys, db: f.db.CloneFor(sys)}
+}
+
 // System returns the target system.
 func (f *Framework) System() *hw.System { return f.sys }
 

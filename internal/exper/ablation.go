@@ -42,20 +42,27 @@ func (r *Runner) Ablation(sys *hw.System) (*Table, error) {
 		{"no-wildcard", scaler.Options{TOQ: 0.90, DisableWildcard: true}},
 		{"no-prepass", scaler.Options{TOQ: 0.90, DisableFullPrecisionPass: true}},
 	}
+	var tasks []prefetchTask
+	for _, v := range variants {
+		for _, w := range r.Suite {
+			tasks = append(tasks, prefetchTask{sys: sys, w: w, opts: v.opts})
+		}
+	}
+	if err := r.prefetch(tasks); err != nil {
+		return nil, err
+	}
 	var geo [3][]float64
-	fw := r.Framework(sys)
 	for _, w := range r.Suite {
 		row := []string{w.Name}
 		var results [3]*scaler.Result
 		for i, v := range variants {
-			r.logf("ablation %s: %s on %s ...", v.name, w.Name, sys.Name)
-			sp, err := fw.Scale(w, v.opts)
+			res, err := r.scale(sys, w, v.opts)
 			if err != nil {
 				return nil, err
 			}
-			results[i] = sp.Search
-			geo[i] = append(geo[i], sp.Search.Speedup)
-			row = append(row, f2(sp.Search.Speedup))
+			results[i] = res
+			geo[i] = append(geo[i], res.Speedup)
+			row = append(row, f2(res.Speedup))
 		}
 		row = append(row,
 			fmt.Sprintf("%d", results[0].Trials),

@@ -44,6 +44,9 @@ type BenchReport struct {
 // reusing the runner's cached comparisons.
 func (r *Runner) BenchFig9(sys *hw.System, opts scaler.Options) (*BenchReport, error) {
 	rep := &BenchReport{System: sys.Name, PaperGeomean: PaperGeomeans[sys.Name]}
+	if err := r.prefetch(r.compareTasks(sys, opts)); err != nil {
+		return nil, err
+	}
 	var ik, pfp, ps []float64
 	for _, w := range r.Suite {
 		c, err := r.Compare(sys, w, opts)

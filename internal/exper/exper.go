@@ -12,6 +12,7 @@ import (
 	"io"
 	"math"
 	"strings"
+	"sync"
 
 	"repro/internal/convert"
 	"repro/internal/core"
@@ -75,13 +76,24 @@ func (t *Table) String() string {
 }
 
 // Runner executes experiments over a benchmark suite, caching frameworks
-// and comparisons.
+// and comparisons. A Runner's exported methods are not goroutine-safe;
+// parallelism comes from the internal prefetch pool, which runs the
+// (system × benchmark) measurements across Jobs workers and merges them
+// into the caches in deterministic task order before any table is built,
+// so every rendered table and CSV is byte-identical to a sequential run
+// (see DESIGN.md, "Determinism under parallelism").
 type Runner struct {
 	Suite []*prog.Workload
 	fws   map[string]*core.Framework
 	cmps  map[string]*core.Comparison
-	// Log receives progress lines; nil disables logging.
-	Log io.Writer
+	scls  map[string]*scaler.Result
+	// Jobs bounds the number of concurrent measurement workers; 0 or 1
+	// runs everything sequentially.
+	Jobs int
+	// Log receives progress lines; nil disables logging. Line order (but
+	// not content) varies with Jobs.
+	Log   io.Writer
+	logMu sync.Mutex
 }
 
 // NewRunner creates a runner over the given suite.
@@ -90,19 +102,36 @@ func NewRunner(suite []*prog.Workload) *Runner {
 		Suite: suite,
 		fws:   map[string]*core.Framework{},
 		cmps:  map[string]*core.Comparison{},
+		scls:  map[string]*scaler.Result{},
 	}
 }
 
 func (r *Runner) logf(format string, args ...any) {
-	if r.Log != nil {
-		fmt.Fprintf(r.Log, format+"\n", args...)
+	if r.Log == nil {
+		return
 	}
+	r.logMu.Lock()
+	defer r.logMu.Unlock()
+	fmt.Fprintf(r.Log, format+"\n", args...)
 }
 
-// Framework returns the (cached) framework for a system. Jittered
-// variants of a system get their own cache entry.
+// fwKey keys the framework cache; jittered variants of a system get
+// their own entry.
+func fwKey(sys *hw.System) string {
+	return fmt.Sprintf("%s/%g/%d", sys.Name, sys.TimingJitter, sys.JitterSeed)
+}
+
+// taskKey keys the comparison and scale caches. The ablation flags are
+// part of the key: the same workload searched with the wildcard or the
+// pre-full-precision pass disabled is a different measurement.
+func taskKey(sys *hw.System, w *prog.Workload, opts scaler.Options) string {
+	return fmt.Sprintf("%s/%s/%v/%.2f/%t/%t", sys.Name, w.Name, opts.InputSet, opts.TOQ,
+		opts.DisableWildcard, opts.DisableFullPrecisionPass)
+}
+
+// Framework returns the (cached) framework for a system.
 func (r *Runner) Framework(sys *hw.System) *core.Framework {
-	key := fmt.Sprintf("%s/%g/%d", sys.Name, sys.TimingJitter, sys.JitterSeed)
+	key := fwKey(sys)
 	if fw, ok := r.fws[key]; ok {
 		return fw
 	}
@@ -115,7 +144,7 @@ func (r *Runner) Framework(sys *hw.System) *core.Framework {
 // Compare returns the (cached) four-technique comparison for one
 // workload.
 func (r *Runner) Compare(sys *hw.System, w *prog.Workload, opts scaler.Options) (*core.Comparison, error) {
-	key := fmt.Sprintf("%s/%s/%v/%.2f", sys.Name, w.Name, opts.InputSet, opts.TOQ)
+	key := taskKey(sys, w, opts)
 	if c, ok := r.cmps[key]; ok {
 		return c, nil
 	}
@@ -128,18 +157,144 @@ func (r *Runner) Compare(sys *hw.System, w *prog.Workload, opts scaler.Options) 
 	return c, nil
 }
 
-// scale runs only PreScaler (cached via Compare when available).
+// scale runs only PreScaler (cached, and served from a comparison with
+// the same settings when one exists).
 func (r *Runner) scale(sys *hw.System, w *prog.Workload, opts scaler.Options) (*scaler.Result, error) {
-	key := fmt.Sprintf("%s/%s/%v/%.2f", sys.Name, w.Name, opts.InputSet, opts.TOQ)
+	key := taskKey(sys, w, opts)
 	if c, ok := r.cmps[key]; ok {
 		return c.PreScaler, nil
+	}
+	if s, ok := r.scls[key]; ok {
+		return s, nil
 	}
 	r.logf("prescaler %s on %s (set=%v toq=%.2f) ...", w.Name, sys.Name, opts.InputSet, opts.TOQ)
 	sp, err := r.Framework(sys).Scale(w, opts)
 	if err != nil {
 		return nil, err
 	}
+	r.scls[key] = sp.Search
 	return sp.Search, nil
+}
+
+// prefetchTask is one unit of measurement work: a four-technique
+// comparison (compare=true) or a PreScaler-only scale.
+type prefetchTask struct {
+	sys     *hw.System
+	w       *prog.Workload
+	opts    scaler.Options
+	compare bool
+}
+
+// compareTasks builds one comparison task per suite workload.
+func (r *Runner) compareTasks(sys *hw.System, opts scaler.Options) []prefetchTask {
+	tasks := make([]prefetchTask, 0, len(r.Suite))
+	for _, w := range r.Suite {
+		tasks = append(tasks, prefetchTask{sys: sys, w: w, opts: opts, compare: true})
+	}
+	return tasks
+}
+
+// prefetch executes the not-yet-cached tasks across Jobs workers and
+// merges the results into the runner caches in task order. Each worker
+// owns cloned frameworks (cloned system model + cloned inspector
+// database), so no mutable state is shared; results land in an
+// index-addressed slice and the sequential merge makes cache contents —
+// and therefore every table built from them — independent of worker
+// scheduling. When several tasks fail, the error of the lowest-indexed
+// task is returned, matching what a sequential run would hit first.
+// Tasks carrying an observer are skipped: observed runs must execute in
+// the sequential schedule to keep their traces deterministic.
+func (r *Runner) prefetch(tasks []prefetchTask) error {
+	if r.Jobs <= 1 {
+		return nil
+	}
+	type slot struct {
+		task prefetchTask
+		key  string
+		cmp  *core.Comparison
+		scl  *scaler.Result
+		err  error
+	}
+	var todo []*slot
+	seen := map[string]bool{}
+	for _, t := range tasks {
+		if t.opts.Obs != nil {
+			continue
+		}
+		key := taskKey(t.sys, t.w, t.opts)
+		if seen[key] {
+			continue
+		}
+		if _, ok := r.cmps[key]; ok {
+			continue
+		}
+		if !t.compare {
+			if _, ok := r.scls[key]; ok {
+				continue
+			}
+		}
+		seen[key] = true
+		todo = append(todo, &slot{task: t, key: key})
+	}
+	if len(todo) < 2 {
+		return nil
+	}
+	// Materialize (and log) the base frameworks up front so workers only
+	// clone; concurrent reads of r.fws are then write-free.
+	for _, s := range todo {
+		r.Framework(s.task.sys)
+	}
+	workers := r.Jobs
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fws := map[string]*core.Framework{}
+			for i := range work {
+				s := todo[i]
+				t := s.task
+				key := fwKey(t.sys)
+				fw, ok := fws[key]
+				if !ok {
+					fw = r.fws[key].Clone()
+					fws[key] = fw
+				}
+				if t.compare {
+					r.logf("comparing %s on %s (set=%v toq=%.2f) ...", t.w.Name, t.sys.Name, t.opts.InputSet, t.opts.TOQ)
+					s.cmp, s.err = fw.Compare(t.w, t.opts)
+				} else {
+					r.logf("prescaler %s on %s (set=%v toq=%.2f) ...", t.w.Name, t.sys.Name, t.opts.InputSet, t.opts.TOQ)
+					sp, err := fw.Scale(t.w, t.opts)
+					if err != nil {
+						s.err = err
+					} else {
+						s.scl = sp.Search
+					}
+				}
+			}
+		}()
+	}
+	for i := range todo {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, s := range todo {
+		if s.err != nil {
+			return s.err
+		}
+		if s.cmp != nil {
+			r.cmps[s.key] = s.cmp
+		} else if s.scl != nil {
+			r.scls[s.key] = s.scl
+		}
+	}
+	return nil
 }
 
 func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
@@ -316,6 +471,9 @@ func (r *Runner) Fig9(sys *hw.System, opts scaler.Options) (*Table, error) {
 		Title:  "Speedup over baseline on " + sys.Name,
 		Header: []string{"benchmark", "in-kernel", "pfp", "prescaler", "prescaler quality", "trials"},
 	}
+	if err := r.prefetch(r.compareTasks(sys, opts)); err != nil {
+		return nil, err
+	}
 	var ik, pfp, ps []float64
 	for _, w := range r.Suite {
 		c, err := r.Compare(sys, w, opts)
@@ -347,6 +505,9 @@ func (r *Runner) Fig9Dist(sys *hw.System, opts scaler.Options) (*Table, error) {
 			"technique", "FP64", "FP32", "FP16",
 			"none", "host", "device", "transient", "pipelined",
 		},
+	}
+	if err := r.prefetch(r.compareTasks(sys, opts)); err != nil {
+		return nil, err
 	}
 	typeCount := map[string]map[precision.Type]int{"pfp": {}, "prescaler": {}}
 	convCount := map[string]map[string]int{"pfp": {}, "prescaler": {}}
@@ -402,6 +563,9 @@ func (r *Runner) Fig10a(sys *hw.System, opts scaler.Options) (*Table, error) {
 			"benchmark", "B.K", "B.T", "K.K", "K.T", "F.K", "F.T", "P.K", "P.T",
 		},
 	}
+	if err := r.prefetch(r.compareTasks(sys, opts)); err != nil {
+		return nil, err
+	}
 	for _, w := range r.Suite {
 		c, err := r.Compare(sys, w, opts)
 		if err != nil {
@@ -429,6 +593,9 @@ func (r *Runner) Fig10b(sys *hw.System, opts scaler.Options) (*Table, error) {
 			"benchmark", "entire(eq1)", "tree(eq2)", "predicted(eq3)",
 			"in-kernel", "pfp", "prescaler", "tested fraction",
 		},
+	}
+	if err := r.prefetch(r.compareTasks(sys, opts)); err != nil {
+		return nil, err
 	}
 	for _, w := range r.Suite {
 		c, err := r.Compare(sys, w, opts)
@@ -460,7 +627,15 @@ func (r *Runner) Fig11(opts scaler.Options) (*Table, error) {
 			"FP64", "FP32", "FP16", "none", "host", "device", "transient", "pipelined",
 		},
 	}
-	for _, sys := range []*hw.System{hw.System1(), hw.System1x8()} {
+	systems := []*hw.System{hw.System1(), hw.System1x8()}
+	var tasks []prefetchTask
+	for _, sys := range systems {
+		tasks = append(tasks, r.compareTasks(sys, opts)...)
+	}
+	if err := r.prefetch(tasks); err != nil {
+		return nil, err
+	}
+	for _, sys := range systems {
 		var pfp, ps []float64
 		types := map[precision.Type]int{}
 		convs := map[string]int{}
@@ -505,6 +680,22 @@ func (r *Runner) Fig12() (*Table, error) {
 			"configuration", "prescaler speedup", "FP64", "FP32", "FP16",
 		},
 	}
+	fig12Opts := []scaler.Options{}
+	for _, set := range prog.InputSets {
+		fig12Opts = append(fig12Opts, scaler.Options{TOQ: 0.90, InputSet: set})
+	}
+	for _, toq := range []float64{0.95, 0.99} {
+		fig12Opts = append(fig12Opts, scaler.Options{TOQ: toq, InputSet: prog.InputDefault})
+	}
+	var tasks []prefetchTask
+	for _, opts := range fig12Opts {
+		for _, w := range r.Suite {
+			tasks = append(tasks, prefetchTask{sys: sys, w: w, opts: opts})
+		}
+	}
+	if err := r.prefetch(tasks); err != nil {
+		return nil, err
+	}
 	addRow := func(label string, opts scaler.Options) error {
 		var ps []float64
 		types := map[precision.Type]int{}
@@ -543,6 +734,16 @@ func (r *Runner) Fig12() (*Table, error) {
 // tables in presentation order.
 func (r *Runner) All() ([]*Table, error) {
 	opts := scaler.DefaultOptions()
+	// Prefetch the comparisons every figure draws from in one pool, so a
+	// parallel run keeps all workers busy across figure boundaries.
+	var tasks []prefetchTask
+	for _, sys := range hw.Systems() {
+		tasks = append(tasks, r.compareTasks(sys, opts)...)
+	}
+	tasks = append(tasks, r.compareTasks(hw.System1x8(), opts)...)
+	if err := r.prefetch(tasks); err != nil {
+		return nil, err
+	}
 	var out []*Table
 	out = append(out, Table1(), Table3(), r.Table4())
 

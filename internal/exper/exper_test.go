@@ -168,6 +168,9 @@ func TestFig10bFractionsTiny(t *testing.T) {
 }
 
 func TestFig11TwoRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the comparison suite on two bus variants")
+	}
 	r := NewRunner([]*prog.Workload{wltest.VecCombine(1 << 16)})
 	tab, err := r.Fig11(scaler.DefaultOptions())
 	if err != nil {

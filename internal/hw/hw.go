@@ -283,6 +283,16 @@ type System struct {
 	JitterSeed   int64
 }
 
+// Clone returns an independent copy of the system. All System fields
+// are plain values (no pointers or slices), so a shallow copy is a deep
+// copy; Clone exists so that concurrent experiment workers can each own
+// a private *System and never alias another worker's hardware model —
+// the audit contract for the parallel runner (see internal/exper).
+func (s *System) Clone() *System {
+	c := *s
+	return &c
+}
+
 // System1 reproduces the paper's System 1: Xeon E5-2640 v4 + Titan Xp
 // (Pascal, capability 6.1 — the generation whose FP16 arithmetic rate of
 // 2 results/cycle/SM is lower than FP64's).

@@ -1,0 +1,86 @@
+package inspect
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/convert"
+	"repro/internal/hw"
+	"repro/internal/ocl"
+	"repro/internal/precision"
+)
+
+// TestEstimateConcurrent exercises the on-demand curve cache from many
+// goroutines, including plans outside the probed grid (thread counts the
+// inspector never probes), which force concurrent cache fills. Run under
+// -race by the CI race job.
+func TestEstimateConcurrent(t *testing.T) {
+	sys := hw.System1()
+	db := InspectSizes(sys, []int{256, 1024, 4096})
+
+	var wg sync.WaitGroup
+	results := make([][]float64, 8)
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				// Unprobed thread counts miss the cache and trigger fills.
+				plan := convert.Plan{Host: convert.MethodMT, Threads: 3 + i%5, Mid: precision.Single}
+				v := db.Estimate(ocl.DirHtoD, 1000+i, precision.Double, precision.Single, plan)
+				if i < 8 {
+					results[w] = append(results[w], v)
+				}
+				db.BestPlan(ocl.DirDtoH, 2048, precision.Double, precision.Half,
+					[]precision.Type{precision.Double, precision.Single, precision.Half})
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every worker must observe identical estimates: concurrent fills are
+	// redundant, never divergent.
+	for w := 1; w < 8; w++ {
+		for i := range results[0] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d estimate %d = %v, worker 0 got %v", w, i, results[w][i], results[0][i])
+			}
+		}
+	}
+}
+
+// TestCloneIsolation checks that a cloned database diverges from its
+// parent only in cache contents, never in answers, and that CloneFor
+// rejects a mismatched system.
+func TestCloneIsolation(t *testing.T) {
+	sys := hw.System1()
+	db := InspectSizes(sys, []int{256, 1024, 4096})
+	n0 := db.NumCurves()
+
+	cl := db.CloneFor(sys.Clone())
+	if cl.NumCurves() != n0 {
+		t.Fatalf("clone has %d curves, parent %d", cl.NumCurves(), n0)
+	}
+
+	// A miss filled in the clone must not appear in the parent.
+	plan := convert.Plan{Host: convert.MethodMT, Threads: 7, Mid: precision.Single}
+	want := db.Estimate(ocl.DirHtoD, 512, precision.Double, precision.Single, plan)
+	parentAfter := db.NumCurves()
+	cl2 := db.Clone()
+	got := cl2.Estimate(ocl.DirHtoD, 512, precision.Double, precision.Single, plan)
+	if got != want {
+		t.Errorf("clone estimate %v, parent %v", got, want)
+	}
+	cl2.Estimate(ocl.DirDtoH, 512, precision.Double, precision.Single, convert.Plan{Host: convert.MethodMT, Threads: 9, Mid: precision.Single})
+	if db.NumCurves() != parentAfter {
+		t.Errorf("parent grew to %d curves after clone-only estimates", db.NumCurves())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("CloneFor with mismatched system did not panic")
+		}
+	}()
+	db.CloneFor(hw.System2())
+}

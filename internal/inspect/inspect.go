@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/convert"
 	"repro/internal/hw"
@@ -40,9 +41,17 @@ type Measurement struct {
 }
 
 // DB is the inspector result database for one system.
+//
+// Reads looked like pure queries but were not: Estimate measures unknown
+// plans on demand and caches the curve, so a DB shared between
+// goroutines is mutated by reads. The mutex makes that lazy fill-in
+// safe for concurrent use; Clone gives each parallel worker a fully
+// private database when isolation is preferred over sharing.
 type DB struct {
-	sys    *hw.System
-	sizes  []int
+	sys   *hw.System
+	sizes []int
+
+	mu     sync.Mutex
 	curves map[probeKey][]float64 // time per grid size, parallel to sizes
 }
 
@@ -92,7 +101,34 @@ func (db *DB) Sizes() []int { return db.sizes }
 
 // NumCurves returns the number of measured (direction, endpoints, plan)
 // curves.
-func (db *DB) NumCurves() int { return len(db.curves) }
+func (db *DB) NumCurves() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.curves)
+}
+
+// Clone returns an independent database bound to the same system: the
+// curve map is copied so later on-demand measurements in either copy
+// never touch the other. The measured curves themselves are immutable
+// after insertion and are shared.
+func (db *DB) Clone() *DB { return db.CloneFor(db.sys) }
+
+// CloneFor is Clone with the copy bound to a different *System value —
+// typically sys.Clone() — so a worker can own both its hardware model
+// and its database. The system must describe identical hardware (same
+// name); timings would otherwise be meaningless.
+func (db *DB) CloneFor(sys *hw.System) *DB {
+	if sys.Name != db.sys.Name {
+		panic(fmt.Sprintf("inspect: CloneFor %q on a database inspected for %q", sys.Name, db.sys.Name))
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := &DB{sys: sys, sizes: db.sizes, curves: make(map[probeKey][]float64, len(db.curves))}
+	for k, v := range db.curves {
+		out.curves[k] = v
+	}
+	return out
+}
 
 // interp linearly interpolates a curve at n elements, extrapolating flat
 // below the grid and linearly above it.
@@ -120,10 +156,15 @@ func (db *DB) interp(curve []float64, n int) float64 {
 
 // Estimate predicts the time of the given plan for a transfer of n
 // elements between hostType (host side) and devType (device side) in the
-// given direction. Unknown plans are measured on demand and cached.
+// given direction. Unknown plans are measured on demand and cached;
+// concurrent estimates of the same unknown plan measure redundantly but
+// deterministically (both goroutines compute the same curve, either
+// insertion wins).
 func (db *DB) Estimate(dir ocl.Dir, n int, hostType, devType precision.Type, plan convert.Plan) float64 {
 	key := probeKey{Dir: dir, Host: hostType, Dev: devType, Plan: plan}
+	db.mu.Lock()
 	curve, ok := db.curves[key]
+	db.mu.Unlock()
 	if !ok {
 		curve = make([]float64, len(db.sizes))
 		for i, sz := range db.sizes {
@@ -133,7 +174,9 @@ func (db *DB) Estimate(dir ocl.Dir, n int, hostType, devType precision.Type, pla
 				curve[i] = convert.EstimateDtoH(db.sys, sz, devType, hostType, plan)
 			}
 		}
+		db.mu.Lock()
 		db.curves[key] = curve
+		db.mu.Unlock()
 	}
 	return db.interp(curve, n)
 }
@@ -191,6 +234,8 @@ type curveJSON struct {
 
 // MarshalJSON serializes the database (system name, grid, curves).
 func (db *DB) MarshalJSON() ([]byte, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	out := dbJSON{System: db.sys.Name, Sizes: db.sizes}
 	keys := make([]probeKey, 0, len(db.curves))
 	for k := range db.curves {

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSinksConcurrent hammers the tracer and the metrics registry from
+// many goroutines at once. It is primarily a race-detector test (the CI
+// race job runs it under -race); the assertions check that no updates
+// are lost under contention.
+func TestSinksConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 200
+	)
+	tr := NewTracer()
+	reg := NewRegistry()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				sp := tr.Start(fmt.Sprintf("w%d-i%d", w, i), "test")
+				sp.SetAttr("iter", i)
+				tr.Emit("emit", "test", RowHost, float64(i), 0.5)
+				tr.Advance(0.001)
+				tr.End(sp)
+
+				reg.Counter("shared").Inc()
+				reg.Counter("labeled", L("worker", fmt.Sprintf("%d", w))).Add(2)
+				reg.Gauge("gauge", L("worker", fmt.Sprintf("%d", w))).Set(float64(i))
+				reg.Histogram("hist", nil).Observe(float64(i) / iters)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := reg.Counter("shared").Value(); got != workers*iters {
+		t.Errorf("shared counter = %v, want %v (lost updates)", got, workers*iters)
+	}
+	for w := 0; w < workers; w++ {
+		if got := reg.Counter("labeled", L("worker", fmt.Sprintf("%d", w))).Value(); got != 2*iters {
+			t.Errorf("worker %d counter = %v, want %v", w, got, 2*iters)
+		}
+	}
+	if got := reg.Histogram("hist", nil).Count(); got != workers*iters {
+		t.Errorf("histogram count = %v, want %v", got, workers*iters)
+	}
+	// Start + Emit both append one span per iteration.
+	if got := len(tr.Spans()); got != 2*workers*iters {
+		t.Errorf("spans = %d, want %d", got, 2*workers*iters)
+	}
+
+	// The trace must still export cleanly after concurrent recording.
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Error("empty trace export")
+	}
+
+	// The metrics dump is deterministic even after concurrent updates.
+	var a, b bytes.Buffer
+	if err := reg.WriteCSV(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("metrics CSV not deterministic across dumps")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Label is one metric label pair.
@@ -32,8 +33,11 @@ func labelString(labels []Label) string {
 	return strings.Join(parts, ",")
 }
 
-// Counter is a monotonically increasing metric.
-type Counter struct{ n float64 }
+// Counter is a monotonically increasing metric. Safe for concurrent use.
+type Counter struct {
+	mu sync.Mutex
+	n  float64
+}
 
 // Inc adds one.
 func (c *Counter) Inc() { c.Add(1) }
@@ -43,7 +47,9 @@ func (c *Counter) Add(d float64) {
 	if c == nil || d < 0 {
 		return
 	}
+	c.mu.Lock()
 	c.n += d
+	c.mu.Unlock()
 }
 
 // Value returns the accumulated count.
@@ -51,18 +57,25 @@ func (c *Counter) Value() float64 {
 	if c == nil {
 		return 0
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.n
 }
 
-// Gauge is a set-to-current-value metric.
-type Gauge struct{ v float64 }
+// Gauge is a set-to-current-value metric. Safe for concurrent use.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
 
 // Set replaces the gauge value.
 func (g *Gauge) Set(v float64) {
 	if g == nil {
 		return
 	}
+	g.mu.Lock()
 	g.v = v
+	g.mu.Unlock()
 }
 
 // Value returns the gauge value.
@@ -70,11 +83,15 @@ func (g *Gauge) Value() float64 {
 	if g == nil {
 		return 0
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	return g.v
 }
 
-// Histogram accumulates observations into fixed buckets.
+// Histogram accumulates observations into fixed buckets. Safe for
+// concurrent use.
 type Histogram struct {
+	mu     sync.Mutex
 	bounds []float64 // upper bounds, ascending; implicit +Inf last
 	counts []int     // len(bounds)+1
 	sum    float64
@@ -88,6 +105,8 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i]++
 	h.sum += v
@@ -105,6 +124,8 @@ func (h *Histogram) Count() int {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.n
 }
 
@@ -113,12 +134,19 @@ func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.sum
 }
 
 // Mean returns the observation mean (0 when empty).
 func (h *Histogram) Mean() float64 {
-	if h == nil || h.n == 0 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
 		return 0
 	}
 	return h.sum / float64(h.n)
@@ -129,6 +157,8 @@ func (h *Histogram) Max() float64 {
 	if h == nil {
 		return 0
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	return h.max
 }
 
@@ -137,8 +167,10 @@ func (h *Histogram) Max() float64 {
 var DefaultErrorBuckets = []float64{0.01, 0.02, 0.05, 0.10, 0.20, 0.50}
 
 // Registry holds named, labeled metrics. A nil *Registry hands out nil
-// instruments, whose methods are all no-ops.
+// instruments, whose methods are all no-ops. Instrument lookup and the
+// instruments themselves are safe for concurrent use.
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -165,6 +197,8 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 		return nil
 	}
 	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	c, ok := r.counters[key]
 	if !ok {
 		c = &Counter{}
@@ -179,6 +213,8 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 		return nil
 	}
 	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	g, ok := r.gauges[key]
 	if !ok {
 		g = &Gauge{}
@@ -195,6 +231,8 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 		return nil
 	}
 	key := metricKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h, ok := r.hists[key]
 	if !ok {
 		if len(bounds) == 0 {
@@ -226,6 +264,8 @@ func (r *Registry) WriteCSV(w io.Writer) error {
 		cw.Flush()
 		return cw.Error()
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	var rows [][]string
 	add := func(key, kind, field string, value float64) {
 		name, labels := splitKey(key)
@@ -238,14 +278,20 @@ func (r *Registry) WriteCSV(w io.Writer) error {
 		add(key, "gauge", "value", g.Value())
 	}
 	for key, h := range r.hists {
-		add(key, "histogram", "count", float64(h.Count()))
-		add(key, "histogram", "sum", h.Sum())
-		add(key, "histogram", "mean", h.Mean())
-		add(key, "histogram", "max", h.Max())
+		h.mu.Lock()
+		add(key, "histogram", "count", float64(h.n))
+		add(key, "histogram", "sum", h.sum)
+		mean := 0.0
+		if h.n > 0 {
+			mean = h.sum / float64(h.n)
+		}
+		add(key, "histogram", "mean", mean)
+		add(key, "histogram", "max", h.max)
 		for i, b := range h.bounds {
 			add(key, "histogram", fmt.Sprintf("bucket_le_%g", b), float64(h.counts[i]))
 		}
 		add(key, "histogram", "bucket_le_inf", float64(h.counts[len(h.bounds)]))
+		h.mu.Unlock()
 	}
 	sort.Slice(rows, func(i, j int) bool {
 		for k := 0; k < 4; k++ {

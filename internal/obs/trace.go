@@ -12,12 +12,21 @@
 // clock that pipeline code advances by each trial's simulated duration,
 // which makes exported traces deterministic: two runs of the same
 // workload produce byte-identical Chrome trace JSON.
+//
+// Tracer and Registry (and their instruments) are safe for concurrent
+// use. Determinism of the exported artifacts is a separate, stronger
+// property: it additionally requires that the *order* of recorded spans
+// and clock advances be fixed, which parallel pipeline code guarantees
+// by buffering work per worker and replaying it into the sinks in a
+// deterministic merge order (see DESIGN.md, "Determinism under
+// parallelism").
 package obs
 
 import (
 	"encoding/json"
 	"io"
 	"sort"
+	"sync"
 )
 
 // Attr is one span attribute. Attributes are exported as Chrome
@@ -76,8 +85,15 @@ var rowNames = map[int]string{
 	RowDevice:   "device",
 }
 
-// Tracer records hierarchical spans against a virtual clock.
+// Tracer records hierarchical spans against a virtual clock. All
+// methods are safe for concurrent use; note, however, that determinism
+// of the exported trace (byte-identical JSON across runs) additionally
+// requires that spans be recorded in a deterministic order — parallel
+// pipeline code achieves that by recording runs off-line in worker
+// goroutines and replaying them into the tracer in a fixed merge order
+// (see internal/scaler).
 type Tracer struct {
+	mu    sync.Mutex
 	now   float64
 	spans []*Span
 	stack []*Span
@@ -91,6 +107,8 @@ func (t *Tracer) Now() float64 {
 	if t == nil {
 		return 0
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.now
 }
 
@@ -101,6 +119,8 @@ func (t *Tracer) Advance(d float64) {
 	if t == nil || d <= 0 {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.now += d
 }
 
@@ -111,6 +131,8 @@ func (t *Tracer) Start(name, cat string, attrs ...Attr) *Span {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	s := &Span{Name: name, Cat: cat, TID: RowPipeline, Start: t.now, Attrs: attrs, open: true}
 	t.spans = append(t.spans, s)
 	t.stack = append(t.stack, s)
@@ -119,7 +141,12 @@ func (t *Tracer) Start(name, cat string, attrs ...Attr) *Span {
 
 // End closes the span at the current clock.
 func (t *Tracer) End(s *Span) {
-	if t == nil || s == nil || !s.open {
+	if t == nil || s == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !s.open {
 		return
 	}
 	s.Stop = t.now
@@ -139,6 +166,8 @@ func (t *Tracer) Emit(name, cat string, tid int, start, dur float64, attrs ...At
 	if t == nil {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	t.spans = append(t.spans, &Span{
 		Name: name, Cat: cat, TID: tid, Start: start, Stop: start + dur, Attrs: attrs,
 	})
@@ -150,6 +179,8 @@ func (t *Tracer) Spans() []*Span {
 	if t == nil {
 		return nil
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	out := make([]*Span, len(t.spans))
 	copy(out, t.spans)
 	return out
@@ -177,6 +208,8 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		_, err := w.Write([]byte("{\"traceEvents\":[]}\n"))
 		return err
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	out := make([]chromeEvent, 0, len(t.spans)+4)
 	rows := make([]int, 0, len(rowNames))
 	for row := range rowNames {

@@ -289,23 +289,28 @@ func (q *Queue) ReadBuffer(src *Buffer) *precision.Array {
 // conversion-instruction throughput and memory traffic, plus a kernel
 // launch. The source buffer is unchanged.
 func (q *Queue) DeviceConvert(src *Buffer, dst precision.Type) *Buffer {
-	out := q.ctx.CreateBuffer(src.name, dst, src.Len())
-	out.arr.CopyFrom(src.arr)
-	q.record(Event{
-		Kind: EvDeviceConvert, Dir: DirNone,
-		Duration: DeviceConvertTime(q.ctx.sys, src.Len(), src.Elem(), dst),
-		Buffer:   out.id, Elems: src.Len(),
-		Bytes: src.Bytes() + out.Bytes(),
-		Src:   src.Elem(), Dst: dst,
-	})
-	return out
+	return q.deviceConvert(src, dst, DirNone)
 }
 
 // DeviceConvertDirected is DeviceConvert but tags the event with the
 // transfer direction it serves, for trace attribution.
 func (q *Queue) DeviceConvertDirected(src *Buffer, dst precision.Type, dir Dir) *Buffer {
-	out := q.DeviceConvert(src, dst)
-	q.events[len(q.events)-1].Dir = dir
+	return q.deviceConvert(src, dst, dir)
+}
+
+// deviceConvert records the conversion with its direction already set,
+// so hooks observe the same event that ends up in the queue's trace
+// (patching the direction after record would let hooks see a stale one).
+func (q *Queue) deviceConvert(src *Buffer, dst precision.Type, dir Dir) *Buffer {
+	out := q.ctx.CreateBuffer(src.name, dst, src.Len())
+	out.arr.CopyFrom(src.arr)
+	q.record(Event{
+		Kind: EvDeviceConvert, Dir: dir,
+		Duration: DeviceConvertTime(q.ctx.sys, src.Len(), src.Elem(), dst),
+		Buffer:   out.id, Elems: src.Len(),
+		Bytes: src.Bytes() + out.Bytes(),
+		Src:   src.Elem(), Dst: dst,
+	})
 	return out
 }
 

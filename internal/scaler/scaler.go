@@ -32,11 +32,13 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/convert"
 	"repro/internal/hw"
 	"repro/internal/inspect"
 	"repro/internal/obs"
+	"repro/internal/ocl"
 	"repro/internal/precision"
 	"repro/internal/profile"
 	"repro/internal/prog"
@@ -63,6 +65,18 @@ type Options struct {
 	// every instrumentation point a no-op; the search's decisions are
 	// identical either way.
 	Obs *obs.Observer
+	// Workers bounds the number of goroutines used to execute independent
+	// candidate trials speculatively (the uniform configurations of the
+	// pre-full-precision pass, the per-object normal-search candidates,
+	// and the wildcard predicted-plan scoring). 0 or 1 runs everything
+	// sequentially. The search itself stays sequential: speculative
+	// results are consumed by the unchanged decision loop in fixed
+	// precision order and their observability side effects are replayed at
+	// the point the sequential schedule would have produced them, so trial
+	// counts, the chosen configuration, and every trace/metrics/journal
+	// artifact are bit-identical for any Workers value (see DESIGN.md,
+	// "Determinism under parallelism").
+	Workers int
 }
 
 // DefaultOptions returns the paper's evaluation settings.
@@ -76,6 +90,21 @@ type trialRecord struct {
 	quality float64
 }
 
+// specTrial is one speculatively executed configuration: the run result
+// plus the buffers the run created, which together are enough to replay
+// the run's observability side effects during the deterministic merge.
+type specTrial struct {
+	res  *prog.Result
+	bufs []*ocl.Buffer
+}
+
+// bufRecorder captures created buffers during a speculative run so the
+// merge can replay BufferCreated callbacks into the real observer.
+type bufRecorder struct{ bufs []*ocl.Buffer }
+
+func (r *bufRecorder) BufferCreated(b *ocl.Buffer) { r.bufs = append(r.bufs, b) }
+func (r *bufRecorder) EventRecorded(ocl.Event)     {}
+
 // Scaler runs the decision-maker search for one workload on one system.
 type Scaler struct {
 	sys  *hw.System
@@ -88,6 +117,7 @@ type Scaler struct {
 
 	trials int
 	memo   map[string]*trialRecord
+	spec   map[string]*specTrial
 }
 
 // New creates a scaler. The inspector database must belong to sys.
@@ -95,7 +125,90 @@ func New(sys *hw.System, db *inspect.DB, w *prog.Workload, opts Options) *Scaler
 	if opts.TOQ == 0 {
 		opts.TOQ = 0.90
 	}
-	return &Scaler{sys: sys, db: db, w: w, opts: opts, memo: map[string]*trialRecord{}}
+	return &Scaler{sys: sys, db: db, w: w, opts: opts,
+		memo: map[string]*trialRecord{}, spec: map[string]*specTrial{}}
+}
+
+// forEach runs fn(i) for i in [0, n) across the configured workers; with
+// Workers <= 1 it degenerates to a plain loop. fn must only write state
+// owned by its own index (typically a slot in an index-addressed slice)
+// and may read scaler state that no iteration mutates.
+func (s *Scaler) forEach(n int, fn func(int)) {
+	workers := s.opts.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+}
+
+// speculate executes the not-yet-memoized configurations among cfgs
+// concurrently, caching each run for the sequential decision loop to
+// consume via runTrial. Each worker iteration runs on its own cloned
+// system so no hardware-model state is shared; the observer sees nothing
+// here — side effects are replayed at merge time. Runs the sequential
+// schedule would never reach are simply discarded, and speculative
+// errors are dropped: the failing configuration re-executes lazily (and
+// fails identically) only if the sequential path actually asks for it.
+func (s *Scaler) speculate(cfgs []*prog.Config) {
+	if s.opts.Workers <= 1 {
+		return
+	}
+	var todo []*prog.Config
+	var keys []string
+	seen := map[string]bool{}
+	for _, cfg := range cfgs {
+		key := configKey(s.w, cfg)
+		if seen[key] {
+			continue
+		}
+		if _, ok := s.memo[key]; ok {
+			continue
+		}
+		if _, ok := s.spec[key]; ok {
+			continue
+		}
+		seen[key] = true
+		todo = append(todo, cfg)
+		keys = append(keys, key)
+	}
+	if len(todo) < 2 {
+		return
+	}
+	results := make([]*specTrial, len(todo))
+	s.forEach(len(todo), func(i int) {
+		rec := &bufRecorder{}
+		res, err := prog.Run(s.sys.Clone(), s.w, s.opts.InputSet, todo[i], rec)
+		if err != nil {
+			return
+		}
+		results[i] = &specTrial{res: res, bufs: rec.bufs}
+	})
+	for i, st := range results {
+		if st != nil {
+			s.spec[keys[i]] = st
+		}
+	}
 }
 
 // Result reports the outcome of a search.
@@ -201,9 +314,30 @@ func (s *Scaler) runTrial(cfg *prog.Config, label string) (*trialRecord, bool, e
 		return rec, true, nil
 	}
 	sp := o.Tracer().Start("trial "+label, "trial", obs.A("config", summarizeConfig(s.w, cfg)))
-	res, err := prog.Run(s.sys, s.w, s.opts.InputSet, cfg, o.RunHook())
-	if err != nil {
-		return nil, false, err
+	var res *prog.Result
+	if st, ok := s.spec[key]; ok {
+		// Consume a speculative run: replay its runtime callbacks through a
+		// hook created now, i.e. at the exact virtual-clock position a live
+		// run would have used, so traces and metrics come out identical.
+		// BufferCreated emits only order-independent counters, so replaying
+		// all buffers before the ordered event stream is equivalent to the
+		// original interleaving.
+		delete(s.spec, key)
+		if h := o.RunHook(); h != nil {
+			for _, b := range st.bufs {
+				h.BufferCreated(b)
+			}
+			for _, e := range st.res.Events {
+				h.EventRecorded(e)
+			}
+		}
+		res = st.res
+	} else {
+		var err error
+		res, err = prog.Run(s.sys, s.w, s.opts.InputSet, cfg, o.RunHook())
+		if err != nil {
+			return nil, false, err
+		}
 	}
 	s.trials++
 	rec := &trialRecord{res: res, quality: prog.Quality(s.ref, res)}
@@ -460,11 +594,21 @@ func (s *Scaler) fullPrecisionPass(types []precision.Type) (*prog.Config, error)
 		pass = &obs.PassNote{}
 		j.PreFP = pass
 	}
+	// Build every uniform candidate up front and execute the unknown ones
+	// speculatively in parallel; the decision loop below is unchanged and
+	// consumes the results in fixed (descending precision) order, so the
+	// early break on the first TOQ failure still bounds the trial count —
+	// speculative runs past the break point are discarded unconsumed.
+	cfgs := make([]*prog.Config, len(types))
+	for i, t := range types {
+		cfgs[i] = s.uniformConfig(t)
+	}
+	s.speculate(cfgs)
 	var best *prog.Config
 	var bestT precision.Type
 	var bestTime float64
-	for _, t := range types {
-		cfg := s.uniformConfig(t)
+	for i, t := range types {
+		cfg := cfgs[i]
 		rec, cached, err := s.runTrial(cfg, "uniform "+t.String())
 		if err != nil {
 			return nil, err
@@ -534,24 +678,34 @@ func (s *Scaler) searchObject(current *prog.Config, obj *profile.ObjectInfo, typ
 	var (
 		normalBest     *prog.Config
 		normalBestTime = math.Inf(1)
-		normalBestRec  *trialRecord
 		kernelTime     = map[precision.Type]float64{}
 		accepted       []precision.Type
 		failed         precision.Type
 	)
 	// The incumbent (object unchanged) is always a valid fallback.
 	if rec, ok := s.memo[configKey(s.w, current)]; ok {
-		normalBest, normalBestTime, normalBestRec = current, rec.res.Total, rec
+		normalBest, normalBestTime = current, rec.res.Total
 		kernelTime[current.Objects[obj.Name].Target] = rec.res.KernelTime
 	}
 
-	for _, target := range types {
-		plans := s.bestDirectPlans(obj, target)
+	// All candidate targets for one object differ only in that object's
+	// entry, so their trials are data-independent: execute the unknown
+	// ones speculatively in parallel, then let the unchanged sequential
+	// loop (with its early break at the first TOQ failure) consume them in
+	// descending precision order.
+	cands := make([]*prog.Config, len(types))
+	for i, target := range types {
 		cfg := current.Clone()
 		cfg.Objects[obj.Name] = prog.ObjectConfig{
 			Target: target,
-			Plans:  plans,
+			Plans:  s.bestDirectPlans(obj, target),
 		}
+		cands[i] = cfg
+	}
+	s.speculate(cands)
+	for i, target := range types {
+		cfg := cands[i]
+		plans := cfg.Objects[obj.Name].Plans
 		rec, cached, err := s.runTrial(cfg, obj.Name+" "+target.String())
 		if err != nil {
 			return nil, err
@@ -583,7 +737,7 @@ func (s *Scaler) searchObject(current *prog.Config, obj *profile.ObjectInfo, typ
 		}
 		accepted = append(accepted, target)
 		if rec.res.Total < normalBestTime {
-			normalBest, normalBestTime, normalBestRec = cfg, rec.res.Total, rec
+			normalBest, normalBestTime = cfg, rec.res.Total
 			tn.Verdict = "best-so-far"
 		} else {
 			tn.Verdict = "slower"
@@ -626,7 +780,21 @@ func (s *Scaler) searchObject(current *prog.Config, obj *profile.ObjectInfo, typ
 		wildUsesFail bool
 		wildNote     obs.TrialNote
 	)
-	for _, target := range accepted {
+	// Score every accepted target concurrently — plan prediction and
+	// expected-time computation are pure database queries — into an
+	// index-addressed slice, then pick the winner sequentially in the
+	// fixed accepted order so ties resolve identically at any worker
+	// count. The memo is only read here; no iteration writes scaler state.
+	type wildCand struct {
+		cfg       *prog.Config
+		plans     []convert.Plan
+		predicted float64
+		expected  float64
+		ok        bool
+	}
+	scored := make([]wildCand, len(accepted))
+	s.forEach(len(accepted), func(i int) {
+		target := accepted[i]
 		plans := s.bestPlans(obj, target, mids)
 		cfg := current.Clone()
 		cfg.Objects[obj.Name] = prog.ObjectConfig{Target: target, Plans: plans}
@@ -638,18 +806,28 @@ func (s *Scaler) searchObject(current *prog.Config, obj *profile.ObjectInfo, typ
 		normalCfg.Objects[obj.Name] = prog.ObjectConfig{Target: target, Plans: s.bestDirectPlans(obj, target)}
 		normalRec, ok := s.memo[configKey(s.w, normalCfg)]
 		if !ok {
-			continue
+			return
 		}
 		predicted := s.expectedObjTransfer(obj, target, plans)
-		expected := normalRec.res.Total - measuredObjTransfer(normalRec.res, obj.Name) + predicted
-		if expected < wildBestTime {
-			wildBest, wildBestTime = cfg, expected
-			wildUsesFail = failed.Valid() && plansUseMid(plans, failed, s.w.Original, target)
+		scored[i] = wildCand{
+			cfg: cfg, plans: plans, predicted: predicted,
+			expected: normalRec.res.Total - measuredObjTransfer(normalRec.res, obj.Name) + predicted,
+			ok:       true,
+		}
+	})
+	for i, target := range accepted {
+		sc := scored[i]
+		if !sc.ok {
+			continue
+		}
+		if sc.expected < wildBestTime {
+			wildBest, wildBestTime = sc.cfg, sc.expected
+			wildUsesFail = failed.Valid() && plansUseMid(sc.plans, failed, s.w.Original, target)
 			wildNote = obs.TrialNote{
 				Target:            target.String(),
-				Plans:             describePlans(plans, s.w.Original, target),
-				PredictedTransfer: predicted,
-				Total:             expected,
+				Plans:             describePlans(sc.plans, s.w.Original, target),
+				PredictedTransfer: sc.predicted,
+				Total:             sc.expected,
 				Predicted:         true,
 				Verdict:           "predicted",
 			}
@@ -710,7 +888,6 @@ func (s *Scaler) searchObject(current *prog.Config, obj *profile.ObjectInfo, typ
 			wild.Reason = fmt.Sprintf("predicted %.6f ms not faster than normal %.6f ms", wildBestTime*1e3, normalBestTime*1e3)
 		}
 	}
-	_ = normalBestRec
 	return normalBest, nil
 }
 

@@ -82,6 +82,9 @@ func TestSearchPrefersLowPrecisionWhenSafe(t *testing.T) {
 }
 
 func TestSystem1AvoidsHalfCompute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("searches a 2000-iteration compute-heavy workload")
+	}
 	// Capability 6.1 executes FP16 arithmetic at 2 results/cycle/SM; a
 	// compute-bound kernel must not end with half storage (which implies
 	// half arithmetic).
@@ -168,6 +171,9 @@ func TestHigherTOQNeverLowersQuality(t *testing.T) {
 }
 
 func TestLowerBandwidthScalesMore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("searches a 256k-element workload on two systems")
+	}
 	// Figure 11: at x8 the transfer fraction grows, so at least as many
 	// objects should be scaled to lower precision as at x16.
 	w := wltest.VecCombine(1 << 18)

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/exper"
 	"repro/internal/hw"
@@ -93,7 +94,10 @@ func main() {
 	fig9JSON := flag.String("fig9-json", filepath.Join("results", "bench_fig9.json"), "path of the machine-readable fig9 report (written when fig9 runs)")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "number of parallel measurement workers (results are byte-identical for any value)")
 	goldenTrials := flag.String("golden-trials", "", "golden fig9 JSON to compare per-benchmark trial counts against; exit 1 on drift")
+	evalcache := flag.Bool("evalcache", true, "incremental trial evaluation: reuse op results across trials within each measurement (results are byte-identical either way; disable to debug)")
+	cacheStats := flag.String("cache-stats", "", "write wall time and evalcache counters as JSON to this file when done")
 	flag.Parse()
+	start := time.Now()
 
 	suite := polybench.Suite()
 	if *quick {
@@ -118,6 +122,7 @@ func main() {
 	}
 	r := exper.NewRunner(suite)
 	r.Jobs = *jobs
+	r.EvalCache = *evalcache
 	if !*quiet {
 		r.Log = os.Stderr
 	}
@@ -285,5 +290,37 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
+	}
+
+	// Wall time and incremental-evaluation counters. These live in their
+	// own report, never in the experiment tables or obs metrics: the
+	// hit/miss split depends on worker scheduling, and the artifacts must
+	// stay byte-identical across -j and -evalcache settings.
+	st := r.EvalStats()
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "evalcache: %d hits, %d misses (%d ops skipped); wall %.2fs\n",
+			st.Hits, st.Misses, st.OpsSkipped, time.Since(start).Seconds())
+	}
+	if *cacheStats != "" {
+		if err := os.MkdirAll(filepath.Dir(*cacheStats), 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		report := struct {
+			WallSeconds float64 `json:"wall_seconds"`
+			Hits        int64   `json:"evalcache_hits"`
+			Misses      int64   `json:"evalcache_misses"`
+			OpsSkipped  int64   `json:"evalcache_ops_skipped"`
+		}{time.Since(start).Seconds(), st.Hits, st.Misses, st.OpsSkipped}
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*cacheStats, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *cacheStats)
 	}
 }

@@ -37,6 +37,7 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write the search metrics as CSV to this file")
 	explain := flag.Bool("explain", false, "print the decision-maker explain report")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "number of concurrent search-trial workers (the search outcome and all artifacts are bit-identical for any value)")
+	evalcache := flag.Bool("evalcache", true, "incremental trial evaluation: reuse op results across search trials (results are byte-identical either way; disable to debug)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -91,10 +92,19 @@ func main() {
 		o = obs.New()
 	}
 
+	var cache *prog.EvalCache
+	if *evalcache {
+		cache = prog.NewEvalCache()
+	}
+
 	fmt.Fprintf(os.Stderr, "profiling and searching %s (toq=%.2f, input=%s) ...\n", w.Name, *toq, set)
-	sp, err := fw.Scale(w, scaler.Options{TOQ: *toq, InputSet: set, Obs: o, Workers: *jobs})
+	sp, err := fw.Scale(w, scaler.Options{TOQ: *toq, InputSet: set, Obs: o, Workers: *jobs, EvalCache: cache})
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if cache != nil {
+		st := cache.Stats()
+		fmt.Fprintf(os.Stderr, "evalcache: %d hits, %d misses (%d ops skipped)\n", st.Hits, st.Misses, st.OpsSkipped)
 	}
 
 	fmt.Print(sp.Describe())

@@ -38,10 +38,12 @@ func observer(os []*obs.Observer) *obs.Observer {
 }
 
 // tracedRun executes one trial with the observer's runtime hook
-// attached, wrapped in a labeled trial span on the virtual clock.
-func tracedRun(o *obs.Observer, label string, sys *hw.System, w *prog.Workload, set prog.InputSet, cfg *prog.Config) (*prog.Result, error) {
+// attached, wrapped in a labeled trial span on the virtual clock. An
+// optional incremental-evaluation cache shares op results across trials
+// (and across techniques, when the caller passes one cache to all).
+func tracedRun(o *obs.Observer, label string, sys *hw.System, w *prog.Workload, set prog.InputSet, cfg *prog.Config, cache *prog.EvalCache) (*prog.Result, error) {
 	sp := o.Tracer().Start("trial "+label, "trial")
-	res, err := prog.Run(sys, w, set, cfg, o.RunHook())
+	res, err := prog.RunWithCache(sys, w, set, cfg, cache, o.RunHook())
 	if err != nil {
 		return nil, err
 	}
@@ -74,7 +76,13 @@ type Outcome struct {
 // Baseline runs the unscaled program and reports it as an outcome with
 // speedup 1. An optional observer traces the run.
 func Baseline(sys *hw.System, w *prog.Workload, set prog.InputSet, os ...*obs.Observer) (*Outcome, error) {
-	res, err := tracedRun(observer(os), "baseline", sys, w, set, nil)
+	return BaselineCached(sys, w, set, nil, os...)
+}
+
+// BaselineCached is Baseline with an optional shared
+// incremental-evaluation cache.
+func BaselineCached(sys *hw.System, w *prog.Workload, set prog.InputSet, cache *prog.EvalCache, os ...*obs.Observer) (*Outcome, error) {
+	res, err := tracedRun(observer(os), "baseline", sys, w, set, nil, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -116,8 +124,15 @@ const InKernelExhaustiveLimit = 30
 // InKernelExhaustiveLimit assignments, greedy beyond that. An optional
 // observer traces every trial.
 func InKernel(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, os ...*obs.Observer) (*Outcome, error) {
+	return InKernelCached(sys, w, set, toq, nil, os...)
+}
+
+// InKernelCached is InKernel with an optional shared
+// incremental-evaluation cache. In-kernel trials leave every transfer op
+// untouched, so all of them hit the cached baseline transfers.
+func InKernelCached(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, cache *prog.EvalCache, os ...*obs.Observer) (*Outcome, error) {
 	o := observer(os)
-	ref, err := tracedRun(o, "in-kernel", sys, w, set, nil)
+	ref, err := tracedRun(o, "in-kernel", sys, w, set, nil, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -131,7 +146,7 @@ func InKernel(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, 
 		total *= len(types)
 	}
 	if total > InKernelExhaustiveLimit {
-		return inKernelGreedy(sys, w, set, toq, ref, types, o)
+		return inKernelGreedy(sys, w, set, toq, ref, types, o, cache)
 	}
 
 	best := prog.Baseline(w)
@@ -166,7 +181,7 @@ func InKernel(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, 
 				InKernel: t != w.Original,
 			}
 		}
-		res, err := tracedRun(o, "in-kernel", sys, w, set, cfg)
+		res, err := tracedRun(o, "in-kernel", sys, w, set, cfg, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -191,7 +206,7 @@ func InKernel(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, 
 
 // inKernelGreedy lowers one object at a time (declaration order), keeping
 // a precision change only when it passes TOQ and improves total time.
-func inKernelGreedy(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, ref *prog.Result, types []precision.Type, o *obs.Observer) (*Outcome, error) {
+func inKernelGreedy(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, ref *prog.Result, types []precision.Type, o *obs.Observer, cache *prog.EvalCache) (*Outcome, error) {
 	best := prog.Baseline(w)
 	bestRes := ref
 	bestQ := 1.0
@@ -203,7 +218,7 @@ func inKernelGreedy(sys *hw.System, w *prog.Workload, set prog.InputSet, toq flo
 			}
 			cfg := best.Clone()
 			cfg.Objects[spec.Name] = prog.ObjectConfig{Target: t, InKernel: true}
-			res, err := tracedRun(o, "in-kernel", sys, w, set, cfg)
+			res, err := tracedRun(o, "in-kernel", sys, w, set, cfg, cache)
 			if err != nil {
 				return nil, err
 			}
@@ -252,9 +267,14 @@ func pfpPlan(sys *hw.System, ev profile.TransferEvent, orig, target precision.Ty
 // and returns the fastest TOQ-passing one. An optional observer traces
 // every trial.
 func PFP(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, os ...*obs.Observer) (*Outcome, error) {
+	return PFPCached(sys, w, set, toq, nil, os...)
+}
+
+// PFPCached is PFP with an optional shared incremental-evaluation cache.
+func PFPCached(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, cache *prog.EvalCache, os ...*obs.Observer) (*Outcome, error) {
 	o := observer(os)
 	sp := o.Tracer().Start("trial pfp profile", "trial")
-	info, ref, err := profile.Profile(sys, w, set, o.RunHook())
+	info, ref, err := profile.ProfileCached(sys, w, set, cache, o.RunHook())
 	if err != nil {
 		return nil, err
 	}
@@ -279,7 +299,7 @@ func PFP(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, os ..
 			}
 			cfg.Objects[obj.Name] = prog.ObjectConfig{Target: t, Plans: plans}
 		}
-		res, err := tracedRun(o, "pfp", sys, w, set, cfg)
+		res, err := tracedRun(o, "pfp", sys, w, set, cfg, cache)
 		if err != nil {
 			return nil, err
 		}

@@ -147,26 +147,29 @@ type Comparison struct {
 
 // Compare evaluates Baseline, In-Kernel, PFP and PreScaler on w. When
 // opts.Obs is set, each technique's trials appear as a span group in the
-// trace.
+// trace. When opts.EvalCache is set, all four techniques share it: they
+// run on the same system and workload, so op results recorded by one
+// technique's trials are spliced into the others'.
 func (f *Framework) Compare(w *prog.Workload, opts scaler.Options) (*Comparison, error) {
 	if opts.TOQ == 0 {
 		opts.TOQ = 0.90
 	}
+	cache := opts.EvalCache
 	tr := opts.Obs.Tracer()
 	sp := tr.Start("baseline "+w.Name, "pipeline")
-	base, err := baseline.Baseline(f.sys, w, opts.InputSet, opts.Obs)
+	base, err := baseline.BaselineCached(f.sys, w, opts.InputSet, cache, opts.Obs)
 	tr.End(sp)
 	if err != nil {
 		return nil, fmt.Errorf("core: baseline %s: %w", w.Name, err)
 	}
 	sp = tr.Start("in-kernel "+w.Name, "pipeline")
-	ik, err := baseline.InKernel(f.sys, w, opts.InputSet, opts.TOQ, opts.Obs)
+	ik, err := baseline.InKernelCached(f.sys, w, opts.InputSet, opts.TOQ, cache, opts.Obs)
 	tr.End(sp)
 	if err != nil {
 		return nil, fmt.Errorf("core: in-kernel %s: %w", w.Name, err)
 	}
 	sp = tr.Start("pfp "+w.Name, "pipeline")
-	pfp, err := baseline.PFP(f.sys, w, opts.InputSet, opts.TOQ, opts.Obs)
+	pfp, err := baseline.PFPCached(f.sys, w, opts.InputSet, opts.TOQ, cache, opts.Obs)
 	tr.End(sp)
 	if err != nil {
 		return nil, fmt.Errorf("core: pfp %s: %w", w.Name, err)

@@ -94,6 +94,13 @@ type Runner struct {
 	// not content) varies with Jobs.
 	Log   io.Writer
 	logMu sync.Mutex
+	// EvalCache enables incremental trial evaluation: each measurement
+	// task gets a fresh prog.EvalCache shared by its trials (a cache
+	// binds one system/workload pair, so it cannot outlive the task).
+	// Results are byte-identical either way; only wall time changes.
+	EvalCache bool
+	evalStats prog.EvalStats
+	statsMu   sync.Mutex
 }
 
 // NewRunner creates a runner over the given suite.
@@ -113,6 +120,36 @@ func (r *Runner) logf(format string, args ...any) {
 	r.logMu.Lock()
 	defer r.logMu.Unlock()
 	fmt.Fprintf(r.Log, format+"\n", args...)
+}
+
+// cacheFor returns a fresh per-task evaluation cache, or nil when
+// incremental evaluation is disabled.
+func (r *Runner) cacheFor() *prog.EvalCache {
+	if !r.EvalCache {
+		return nil
+	}
+	return prog.NewEvalCache()
+}
+
+// addStats folds one task cache's counters into the runner totals. The
+// sums commute, so the totals are independent of worker scheduling.
+func (r *Runner) addStats(cache *prog.EvalCache) {
+	if cache == nil {
+		return
+	}
+	s := cache.Stats()
+	r.statsMu.Lock()
+	r.evalStats = r.evalStats.Add(s)
+	r.statsMu.Unlock()
+}
+
+// EvalStats returns the accumulated incremental-evaluation counters
+// across every measurement task run so far (all zero when EvalCache is
+// off).
+func (r *Runner) EvalStats() prog.EvalStats {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.evalStats
 }
 
 // fwKey keys the framework cache; jittered variants of a system get
@@ -149,7 +186,9 @@ func (r *Runner) Compare(sys *hw.System, w *prog.Workload, opts scaler.Options) 
 		return c, nil
 	}
 	r.logf("comparing %s on %s (set=%v toq=%.2f) ...", w.Name, sys.Name, opts.InputSet, opts.TOQ)
+	opts.EvalCache = r.cacheFor()
 	c, err := r.Framework(sys).Compare(w, opts)
+	r.addStats(opts.EvalCache)
 	if err != nil {
 		return nil, err
 	}
@@ -168,7 +207,9 @@ func (r *Runner) scale(sys *hw.System, w *prog.Workload, opts scaler.Options) (*
 		return s, nil
 	}
 	r.logf("prescaler %s on %s (set=%v toq=%.2f) ...", w.Name, sys.Name, opts.InputSet, opts.TOQ)
+	opts.EvalCache = r.cacheFor()
 	sp, err := r.Framework(sys).Scale(w, opts)
+	r.addStats(opts.EvalCache)
 	if err != nil {
 		return nil, err
 	}
@@ -264,18 +305,21 @@ func (r *Runner) prefetch(tasks []prefetchTask) error {
 					fw = r.fws[key].Clone()
 					fws[key] = fw
 				}
+				opts := t.opts
+				opts.EvalCache = r.cacheFor()
 				if t.compare {
 					r.logf("comparing %s on %s (set=%v toq=%.2f) ...", t.w.Name, t.sys.Name, t.opts.InputSet, t.opts.TOQ)
-					s.cmp, s.err = fw.Compare(t.w, t.opts)
+					s.cmp, s.err = fw.Compare(t.w, opts)
 				} else {
 					r.logf("prescaler %s on %s (set=%v toq=%.2f) ...", t.w.Name, t.sys.Name, t.opts.InputSet, t.opts.TOQ)
-					sp, err := fw.Scale(t.w, t.opts)
+					sp, err := fw.Scale(t.w, opts)
 					if err != nil {
 						s.err = err
 					} else {
 						s.scl = sp.Search
 					}
 				}
+				r.addStats(opts.EvalCache)
 			}
 		}()
 	}

@@ -16,10 +16,11 @@ type artifactSet struct {
 
 // runArtifacts renders the figures at the given worker count; each call
 // uses a fresh runner so nothing is served from a previous run's cache.
-func runArtifacts(t *testing.T, jobs int) artifactSet {
+func runArtifacts(t *testing.T, jobs int, evalcache bool) artifactSet {
 	t.Helper()
 	r := smallRunner()
 	r.Jobs = jobs
+	r.EvalCache = evalcache
 	sys := hw.System1()
 	opts := scaler.DefaultOptions()
 
@@ -58,8 +59,8 @@ func runArtifacts(t *testing.T, jobs int) artifactSet {
 // for the experiment worker pool: every CSV and JSON artifact produced
 // at Jobs=8 must be byte-identical to the sequential Jobs=1 run.
 func TestParallelRunnerByteIdentical(t *testing.T) {
-	seq := runArtifacts(t, 1)
-	par := runArtifacts(t, 8)
+	seq := runArtifacts(t, 1, false)
+	par := runArtifacts(t, 8, false)
 	for _, c := range []struct {
 		name     string
 		seq, par []byte

@@ -212,6 +212,42 @@ func Round(f float64) float64 {
 	return FromFloat64(f).Float64()
 }
 
+// FromFloat64Slice converts src into dst element-wise with
+// round-to-nearest-even, bit-exact with FromFloat64. The slices must have
+// equal length. The batch form lets transfer paths convert whole buffers
+// without per-element call overhead.
+func FromFloat64Slice(dst []Bits, src []float64) {
+	if len(dst) != len(src) {
+		panic("fp16: FromFloat64Slice length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = FromFloat64(v)
+	}
+}
+
+// ToFloat64Slice converts src into dst element-wise, exactly (every half
+// value is representable as a float64). The slices must have equal length.
+func ToFloat64Slice(dst []float64, src []Bits) {
+	if len(dst) != len(src) {
+		panic("fp16: ToFloat64Slice length mismatch")
+	}
+	for i, h := range src {
+		dst[i] = h.Float64()
+	}
+}
+
+// RoundSlice rounds src through binary16 into dst, bit-exact with calling
+// Round on each element. The slices must have equal length; dst and src
+// may be the same slice.
+func RoundSlice(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic("fp16: RoundSlice length mismatch")
+	}
+	for i, v := range src {
+		dst[i] = FromFloat64(v).Float64()
+	}
+}
+
 // IsNaN reports whether h represents a NaN.
 func (h Bits) IsNaN() bool {
 	return h&expMask == expMask && h&mantMask != 0

@@ -1,0 +1,89 @@
+package fp16
+
+import (
+	"math"
+	"testing"
+)
+
+// edgeValues exercises the rounding edge cases: NaN, infinities, zero
+// signs, subnormals, round-to-nearest-even ties, and overflow.
+func edgeValues() []float64 {
+	return []float64{
+		0, math.Copysign(0, -1),
+		1, -1, 0.5, 1.0 / 3.0,
+		math.NaN(), math.Inf(1), math.Inf(-1),
+		65504, 65520, -65520, 1e300, // max finite, overflow tie, big
+		6.103515625e-05,             // smallest normal
+		5.960464477539063e-08,       // smallest subnormal
+		2.980232238769531e-08,       // subnormal underflow tie -> 0
+		1.0009765625, 1.00146484375, // 1+ulp, halfway tie (rounds to even)
+		-3.14159265358979, 1234.5678,
+	}
+}
+
+// TestSliceHelpersBitExact checks the batch converters element-by-element
+// against the scalar ones over the edge-case values.
+func TestSliceHelpersBitExact(t *testing.T) {
+	src := edgeValues()
+	n := len(src)
+
+	bits := make([]Bits, n)
+	FromFloat64Slice(bits, src)
+	for i, v := range src {
+		if want := FromFloat64(v); bits[i] != want {
+			t.Errorf("FromFloat64Slice[%d] (%g) = %#04x, want %#04x", i, v, bits[i], want)
+		}
+	}
+
+	back := make([]float64, n)
+	ToFloat64Slice(back, bits)
+	for i, h := range bits {
+		want := h.Float64()
+		if math.Float64bits(back[i]) != math.Float64bits(want) {
+			t.Errorf("ToFloat64Slice[%d] = %x, want %x", i, back[i], want)
+		}
+	}
+
+	rounded := make([]float64, n)
+	RoundSlice(rounded, src)
+	for i, v := range src {
+		want := Round(v)
+		if math.Float64bits(rounded[i]) != math.Float64bits(want) {
+			t.Errorf("RoundSlice[%d] (%g) = %x, want %x", i, v, rounded[i], want)
+		}
+	}
+}
+
+func TestSliceHelpersLengthMismatch(t *testing.T) {
+	for name, f := range map[string]func(){
+		"FromFloat64Slice": func() { FromFloat64Slice(make([]Bits, 2), make([]float64, 3)) },
+		"ToFloat64Slice":   func() { ToFloat64Slice(make([]float64, 1), make([]Bits, 2)) },
+		"RoundSlice":       func() { RoundSlice(make([]float64, 0), make([]float64, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: length mismatch must panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+var bitsSink []Bits
+
+func BenchmarkConvertBatch(b *testing.B) {
+	n := 1 << 16
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i) * 0.25
+	}
+	dst := make([]Bits, n)
+	b.SetBytes(int64(n * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromFloat64Slice(dst, src)
+	}
+	bitsSink = dst
+}

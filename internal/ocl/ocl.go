@@ -134,6 +134,10 @@ type Buffer struct {
 	name string
 	arr  *precision.Array
 	ctx  *Context
+	// contentVersion tags the buffer's current contents for the
+	// incremental trial evaluator (internal/prog). 0 means unversioned:
+	// the evaluator bypasses any buffer it has not tagged itself.
+	contentVersion uint64
 }
 
 // CreateBuffer allocates a device buffer of n elements at precision t.
@@ -177,6 +181,15 @@ func (b *Buffer) Bytes() int { return b.arr.Bytes() }
 // simulated clock; runtime-internal code and tests only.
 func (b *Buffer) Array() *precision.Array { return b.arr }
 
+// ContentVersion returns the evaluator's content tag for the buffer
+// (0 when untagged). See SetContentVersion.
+func (b *Buffer) ContentVersion() uint64 { return b.contentVersion }
+
+// SetContentVersion tags the buffer's current contents. The incremental
+// trial evaluator assigns a fresh version whenever it (re)writes a
+// buffer, so two buffers sharing a version hold bit-identical data.
+func (b *Buffer) SetContentVersion(v uint64) { b.contentVersion = v }
+
 // Queue is an in-order command queue with a simulated clock.
 type Queue struct {
 	ctx    *Context
@@ -215,6 +228,15 @@ func (q *Queue) Events() []Event {
 // NumEvents returns the number of recorded events without copying.
 func (q *Queue) NumEvents() int { return len(q.events) }
 
+// EventsSince returns a copy of the events recorded at index start and
+// later. The incremental trial evaluator uses it to snapshot the event
+// run produced by a single program op.
+func (q *Queue) EventsSince(start int) []Event {
+	out := make([]Event, len(q.events)-start)
+	copy(out, q.events[start:])
+	return out
+}
+
 // LastEvent returns the most recently recorded event. It panics when no
 // event has been recorded yet.
 func (q *Queue) LastEvent() Event { return q.events[len(q.events)-1] }
@@ -223,6 +245,26 @@ func (q *Queue) LastEvent() Event { return q.events[len(q.events)-1] }
 func (q *Queue) record(e Event) {
 	if q.jitter != nil {
 		e.Duration *= 1 + q.jAmp*(2*q.jitter.Float64()-1)
+	}
+	e.Start = q.now
+	q.now += e.Duration
+	q.events = append(q.events, e)
+	for _, h := range q.ctx.hooks {
+		h.EventRecorded(e)
+	}
+}
+
+// ReplayEvent re-records a previously captured event: the clock advances
+// by the event's stored Duration, Start is rewritten to the current time,
+// and hooks fire exactly as for a live event. Because stored durations
+// are replayed verbatim, the clock accumulates the same float64 sequence
+// as a live re-execution, keeping totals bit-identical. Replay is
+// meaningless under timing jitter (durations would have been resampled
+// per position), so it panics on a jittered queue — callers must bypass
+// caching there.
+func (q *Queue) ReplayEvent(e Event) {
+	if q.jitter != nil {
+		panic("ocl: ReplayEvent on a queue with timing jitter")
 	}
 	e.Start = q.now
 	q.now += e.Duration

@@ -104,6 +104,26 @@ func Round(v float64, t Type) float64 {
 	}
 }
 
+// RoundSlice rounds src into dst at precision t, bit-exact with calling
+// Round per element but hoisting the type dispatch out of the loop. The
+// slices must have equal length; dst and src may alias. Rounding to
+// Double is a plain copy.
+func RoundSlice(dst, src []float64, t Type) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("precision: RoundSlice length mismatch %d != %d", len(dst), len(src)))
+	}
+	switch t {
+	case Half:
+		fp16.RoundSlice(dst, src)
+	case Single:
+		for i, v := range src {
+			dst[i] = float64(float32(v))
+		}
+	default:
+		copy(dst, src)
+	}
+}
+
 // MaxFinite returns the largest finite value representable at t.
 func MaxFinite(t Type) float64 {
 	switch t {
@@ -152,9 +172,7 @@ func NewArray(t Type, n int) *Array {
 // to t.
 func FromSlice(t Type, vals []float64) *Array {
 	a := NewArray(t, len(vals))
-	for i, v := range vals {
-		a.data[i] = Round(v, t)
-	}
+	RoundSlice(a.data, vals, t)
 	return a
 }
 
@@ -186,24 +204,45 @@ func (a *Array) Clone() *Array {
 
 // Convert returns a new Array at precision t whose elements are a's
 // elements rounded to t. Converting to the same precision still copies.
+// Widening conversions are pure copies: the stored values are already
+// exactly representable, so rounding at a wider type is the identity.
 func (a *Array) Convert(t Type) *Array {
 	c := NewArray(t, len(a.data))
-	for i, v := range a.data {
-		c.data[i] = Round(v, t)
+	if t >= a.elem {
+		copy(c.data, a.data)
+		return c
 	}
+	RoundSlice(c.data, a.data, t)
 	return c
 }
 
 // CopyFrom copies src into a (same length required), rounding each element
 // to a's precision. It models an in-place conversion into an existing
-// destination buffer.
+// destination buffer. As in Convert, same-or-widening copies skip the
+// rounding pass entirely.
 func (a *Array) CopyFrom(src *Array) {
 	if len(src.data) != len(a.data) {
 		panic(fmt.Sprintf("precision: CopyFrom length mismatch %d != %d", len(src.data), len(a.data)))
 	}
-	for i, v := range src.data {
-		a.data[i] = Round(v, a.elem)
+	if src.elem <= a.elem {
+		copy(a.data, src.data)
+		return
 	}
+	RoundSlice(a.data, src.data, a.elem)
+}
+
+// CopyRawFrom copies src's contents into a without any rounding. The
+// element precisions and lengths must match exactly; it exists so the
+// incremental trial evaluator can restore cached buffer snapshots
+// bit-for-bit without re-running the conversion path.
+func (a *Array) CopyRawFrom(src *Array) {
+	if src.elem != a.elem {
+		panic(fmt.Sprintf("precision: CopyRawFrom element mismatch %v != %v", src.elem, a.elem))
+	}
+	if len(src.data) != len(a.data) {
+		panic(fmt.Sprintf("precision: CopyRawFrom length mismatch %d != %d", len(src.data), len(a.data)))
+	}
+	copy(a.data, src.data)
 }
 
 // Fill sets every element to v rounded to the element precision.
@@ -236,12 +275,17 @@ func MeanRelativeError(ref, got []float64) float64 {
 	}
 	var sum float64
 	for i := range ref {
-		sum += elementError(ref[i], got[i])
+		sum += ElementError(ref[i], got[i])
 	}
 	return sum / float64(len(ref))
 }
 
-func elementError(r, g float64) float64 {
+// ElementError is the per-element error term behind MeanRelativeError:
+// relative error capped at 1, absolute below smallMagnitude, 1 for
+// non-finite mismatches. Exported so callers that stream over outputs
+// (prog.QualityNamed) can reproduce the exact same sum without building
+// intermediate slices.
+func ElementError(r, g float64) float64 {
 	if math.IsNaN(g) || math.IsInf(g, 0) {
 		if math.IsInf(r, 0) && math.IsInf(g, 0) && math.Signbit(r) == math.Signbit(g) {
 			return 0
@@ -294,7 +338,7 @@ func QualityArrays(ref, got []*Array) float64 {
 			panic("precision: QualityArrays length mismatch")
 		}
 		for i := range r {
-			sum += elementError(r[i], g[i])
+			sum += ElementError(r[i], g[i])
 		}
 		n += len(r)
 	}

@@ -103,7 +103,14 @@ func (a *AppInfo) TransferFraction() float64 {
 // Optional runtime hooks are attached to the profiling execution (nil
 // hooks are skipped).
 func Profile(sys *hw.System, w *prog.Workload, set prog.InputSet, hooks ...ocl.Hook) (*AppInfo, *prog.Result, error) {
-	res, err := prog.Run(sys, w, set, nil, hooks...)
+	return ProfileCached(sys, w, set, nil, hooks...)
+}
+
+// ProfileCached is Profile with an optional shared incremental-evaluation
+// cache: the baseline run both seeds and benefits from op results shared
+// with the search trials. A nil cache means plain execution.
+func ProfileCached(sys *hw.System, w *prog.Workload, set prog.InputSet, cache *prog.EvalCache, hooks ...ocl.Hook) (*AppInfo, *prog.Result, error) {
+	res, err := prog.RunWithCache(sys, w, set, nil, cache, hooks...)
 	if err != nil {
 		return nil, nil, fmt.Errorf("profile: %w", err)
 	}

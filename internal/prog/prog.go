@@ -269,6 +269,10 @@ type Exec struct {
 	outputs map[string]*precision.Array
 	evIdx   map[string]int
 	ops     []Op
+	// incremental evaluation state (nil cache = plain execution)
+	cache   *EvalCache
+	set     InputSet
+	created []*ocl.Buffer
 }
 
 // Run executes w on sys with input set and scaling configuration cfg
@@ -277,6 +281,24 @@ type Exec struct {
 // the script runs; nil hooks are skipped, so observability call sites
 // can pass a possibly-nil hook unconditionally.
 func Run(sys *hw.System, w *Workload, set InputSet, cfg *Config, hooks ...ocl.Hook) (*Result, error) {
+	return RunWithCache(sys, w, set, cfg, nil, hooks...)
+}
+
+// RunWithCache is Run with an optional shared incremental-evaluation
+// cache (see EvalCache): program ops whose inputs match a previously
+// recorded execution are spliced from the cache instead of re-executing,
+// with bit-identical outputs, events, and timing. A nil cache means
+// plain execution. Systems with timing jitter bypass the cache entirely:
+// jittered durations depend on event position and cannot be replayed.
+func RunWithCache(sys *hw.System, w *Workload, set InputSet, cfg *Config, cache *EvalCache, hooks ...ocl.Hook) (*Result, error) {
+	if cache != nil && sys.TimingJitter > 0 {
+		cache = nil
+	}
+	if cache != nil {
+		if err := cache.bind(sys, w); err != nil {
+			return nil, err
+		}
+	}
 	if cfg == nil {
 		cfg = Baseline(w)
 	}
@@ -285,10 +307,17 @@ func Run(sys *hw.System, w *Workload, set InputSet, cfg *Config, hooks ...ocl.Ho
 		sys:     sys,
 		cfg:     cfg,
 		ctx:     ocl.NewContext(sys),
-		inputs:  w.MakeInputs(set),
 		bufs:    map[string]*ocl.Buffer{},
 		outputs: map[string]*precision.Array{},
 		evIdx:   map[string]int{},
+		cache:   cache,
+		set:     set,
+	}
+	if cache != nil {
+		x.inputs = cache.inputsFor(w, set)
+		x.ctx.AddHook(createdRecorder{x})
+	} else {
+		x.inputs = w.MakeInputs(set)
 	}
 	for _, h := range hooks {
 		if h != nil {
@@ -353,13 +382,33 @@ func (x *Exec) Write(obj string) error {
 	}
 	oc := x.objectConfig(obj)
 	storage := x.storageType(oc)
-	host := precision.FromSlice(x.w.Original, data)
 	plan, evIdx := x.nextPlan(obj, oc, x.w.Original, storage)
 
 	before := x.q.Now()
-	buf, err := convert.ExecuteHtoD(x.q, obj, host, storage, plan)
-	if err != nil {
-		return fmt.Errorf("write %q: %w", obj, err)
+	var buf *ocl.Buffer
+	if x.cache != nil {
+		host := x.cache.hostArray(x.set, obj, x.w.Original, data)
+		key := writeOpKey(x.set, obj, spec.Len, x.w.Original, storage, plan)
+		if e, ok := x.cache.lookup(key); ok {
+			buf = x.replayEntry(e, nil, nil)[e.final]
+		} else {
+			cs, es := len(x.created), x.q.NumEvents()
+			b, err := convert.ExecuteHtoD(x.q, obj, host, storage, plan)
+			if err != nil {
+				return fmt.Errorf("write %q: %w", obj, err)
+			}
+			buf = b
+			ver := x.cache.nextVersion()
+			buf.SetContentVersion(ver)
+			x.captureWrite(key, cs, es, buf, ver)
+		}
+	} else {
+		host := precision.FromSlice(x.w.Original, data)
+		b, err := convert.ExecuteHtoD(x.q, obj, host, storage, plan)
+		if err != nil {
+			return fmt.Errorf("write %q: %w", obj, err)
+		}
+		buf = b
 	}
 	x.bufs[obj] = buf
 	x.ops = append(x.ops, Op{
@@ -384,6 +433,10 @@ func (x *Exec) ensureBuffer(obj string) (*ocl.Buffer, error) {
 	}
 	oc := x.objectConfig(obj)
 	b := x.ctx.CreateBuffer(obj, x.storageType(oc), spec.Len)
+	if x.cache != nil {
+		// All zero-filled buffers of one shape share a content version.
+		b.SetContentVersion(x.cache.zeroVersion(b.Elem(), b.Len()))
+	}
 	x.bufs[obj] = b
 	return b, nil
 }
@@ -412,8 +465,41 @@ func (x *Exec) Launch(kernel string, global [2]int, objs []string, intArgs ...in
 		}
 	}
 	before := x.q.Now()
-	if err := x.q.Launch(p, global, bufs, intArgs, computeAs); err != nil {
-		return err
+	if x.cache == nil {
+		if err := x.q.Launch(p, global, bufs, intArgs, computeAs); err != nil {
+			return err
+		}
+	} else if key, keyed := launchOpKey(kernel, global, intArgs, bufs, computeAs); keyed {
+		if e, hit := x.cache.lookup(key); hit {
+			x.replayEntry(e, nil, bufs)
+		} else {
+			cs, es := len(x.created), x.q.NumEvents()
+			if err := x.q.Launch(p, global, bufs, intArgs, computeAs); err != nil {
+				// The kernel may have partially written its outputs
+				// before failing; their contents no longer match any
+				// recorded version.
+				x.freshenWritten(p, bufs)
+				return err
+			}
+			wp := x.cache.writtenParams(p)
+			var outs []outSpec
+			for i, b := range bufs {
+				if i < len(wp) && wp[i] {
+					v := x.cache.nextVersion()
+					b.SetContentVersion(v)
+					outs = append(outs, outSpec{arg: i, data: b.Array().Clone(), version: v})
+				}
+			}
+			x.captureLaunch(key, cs, es, outs)
+		}
+	} else {
+		// An argument buffer is unversioned: run live and invalidate the
+		// written arguments so no stale key can match them.
+		err := x.q.Launch(p, global, bufs, intArgs, computeAs)
+		x.freshenWritten(p, bufs)
+		if err != nil {
+			return err
+		}
 	}
 	ev := x.q.LastEvent()
 	args := make([]string, len(objs))
@@ -436,9 +522,27 @@ func (x *Exec) Read(obj string) error {
 	plan, evIdx := x.nextPlan(obj, oc, x.w.Original, b.Elem())
 
 	before := x.q.Now()
-	host, err := convert.ExecuteDtoH(x.q, b, x.w.Original, plan)
-	if err != nil {
-		return fmt.Errorf("read %q: %w", obj, err)
+	var host *precision.Array
+	if x.cache != nil && b.ContentVersion() != 0 {
+		key := readOpKey(obj, b.Elem(), b.Len(), b.ContentVersion(), x.w.Original, plan)
+		if e, hit := x.cache.lookup(key); hit {
+			x.replayEntry(e, b, nil)
+			host = e.host.Clone()
+		} else {
+			cs, es := len(x.created), x.q.NumEvents()
+			h, err := convert.ExecuteDtoH(x.q, b, x.w.Original, plan)
+			if err != nil {
+				return fmt.Errorf("read %q: %w", obj, err)
+			}
+			host = h
+			x.captureRead(key, cs, es, b, h)
+		}
+	} else {
+		h, err := convert.ExecuteDtoH(x.q, b, x.w.Original, plan)
+		if err != nil {
+			return fmt.Errorf("read %q: %w", obj, err)
+		}
+		host = h
 	}
 	x.outputs[obj] = host
 	x.ops = append(x.ops, Op{
@@ -451,22 +555,53 @@ func (x *Exec) Read(obj string) error {
 // Quality compares the outputs of res against the reference outputs,
 // returning 1 - mean relative error over all output elements.
 func Quality(ref, res *Result) float64 {
+	return QualityNamed(SortedOutputNames(ref), ref, res)
+}
+
+// SortedOutputNames returns ref's output object names in sorted order.
+// Callers evaluating many trials against one reference hoist this out of
+// the loop and pass the result to QualityNamed.
+func SortedOutputNames(ref *Result) []string {
 	names := make([]string, 0, len(ref.Outputs))
 	for name := range ref.Outputs {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	var refs, gots []*precision.Array
+	return names
+}
+
+// QualityNamed is Quality with the sorted reference output names supplied
+// by the caller. It streams the error sum in a single pass per output
+// array, allocating nothing; the accumulation order (sorted names, then
+// element order) matches Quality exactly, so both return bit-identical
+// values. A missing output counts as total loss for that object, i.e.
+// each element compares against zero.
+func QualityNamed(names []string, ref, res *Result) float64 {
+	var sum float64
+	var n int
 	for _, name := range names {
-		r := ref.Outputs[name]
-		g, ok := res.Outputs[name]
-		if !ok {
-			// A missing output counts as total loss for that object.
-			g = precision.NewArray(r.Elem(), r.Len())
-			g.Fill(0)
+		rd := ref.Outputs[name].Data()
+		if g, ok := res.Outputs[name]; ok {
+			gd := g.Data()
+			if len(rd) != len(gd) {
+				panic(fmt.Sprintf("prog: QualityNamed length mismatch for %q", name))
+			}
+			for i := range rd {
+				sum += precision.ElementError(rd[i], gd[i])
+			}
+		} else {
+			for i := range rd {
+				sum += precision.ElementError(rd[i], 0)
+			}
 		}
-		refs = append(refs, r)
-		gots = append(gots, g)
+		n += len(rd)
 	}
-	return precision.QualityArrays(refs, gots)
+	if n == 0 {
+		return 1
+	}
+	q := 1 - sum/float64(n)
+	if q < 0 {
+		return 0
+	}
+	return q
 }

@@ -1,0 +1,101 @@
+package scaler
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/obs"
+	"repro/internal/prog"
+	"repro/internal/wltest"
+)
+
+// observedCachedSearch is observedSearch with an incremental-evaluation
+// cache attached.
+func observedCachedSearch(t *testing.T, w *prog.Workload, sys *hw.System, workers int, cache *prog.EvalCache) (*Result, []byte, []byte, string) {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Workers = workers
+	opts.EvalCache = cache
+	o := obs.New()
+	opts.Obs = o
+	res, err := New(sys, dbFor(sys), w, opts).Search()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace, csv bytes.Buffer
+	if err := o.Tracer().WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Metrics().WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	return res, trace.Bytes(), csv.Bytes(), o.Explain()
+}
+
+// TestEvalCacheSearchBitIdentical is the acceptance check for
+// incremental trial evaluation: a search with the cache must match a
+// cache-free search in its decision and every exported observability
+// artifact, byte for byte — at Workers=1 and under the speculative
+// executor at Workers=8.
+func TestEvalCacheSearchBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		w    *prog.Workload
+		sys  *hw.System
+	}{
+		{"vec-combine/sys1", wltest.VecCombine(1 << 12), hw.System1()},
+		{"half-hostile/sys2", wltest.HalfHostile(1 << 12), hw.System2()},
+		{"compute-heavy/sys1", wltest.ComputeHeavy(1<<12, 4), hw.System1()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			plain, trace0, csv0, expl0 := observedSearch(t, tc.w, tc.sys, 1)
+			for _, workers := range []int{1, 8} {
+				cache := prog.NewEvalCache()
+				cached, trace1, csv1, expl1 := observedCachedSearch(t, tc.w, tc.sys, workers, cache)
+
+				if a, b := configKey(tc.w, plain.Config), configKey(tc.w, cached.Config); a != b {
+					t.Errorf("Workers=%d: chosen config differs:\nplain:  %s\ncached: %s", workers, a, b)
+				}
+				if plain.Trials != cached.Trials || plain.Speedup != cached.Speedup ||
+					plain.Quality != cached.Quality || plain.Final.Total != cached.Final.Total {
+					t.Errorf("Workers=%d: outcome differs: %d/%v/%v/%v vs %d/%v/%v/%v",
+						workers, plain.Trials, plain.Speedup, plain.Quality, plain.Final.Total,
+						cached.Trials, cached.Speedup, cached.Quality, cached.Final.Total)
+				}
+				if !bytes.Equal(trace0, trace1) {
+					t.Errorf("Workers=%d: Chrome trace JSON differs with the cache on", workers)
+				}
+				if !bytes.Equal(csv0, csv1) {
+					t.Errorf("Workers=%d: metrics CSV differs with the cache on", workers)
+				}
+				if expl0 != expl1 {
+					t.Errorf("Workers=%d: explain report differs with the cache on", workers)
+				}
+				if st := cache.Stats(); st.Hits == 0 {
+					t.Errorf("Workers=%d: cache saw no hits across a whole search", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestEvalCacheSearchSavesWork checks the point of the exercise: a
+// search over a multi-object workload must serve a meaningful share of
+// its ops from the cache. (The ≥2x executed-op reduction of the
+// acceptance criteria comes from sharing one cache across all four
+// techniques of a comparison; a lone search clears a lower bar.)
+func TestEvalCacheSearchSavesWork(t *testing.T) {
+	w := wltest.VecCombine(1 << 10)
+	sys := hw.System1()
+	cache := prog.NewEvalCache()
+	opts := DefaultOptions()
+	opts.EvalCache = cache
+	if _, err := New(sys, dbFor(sys), w, opts).Search(); err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Hits*3 < st.Misses {
+		t.Errorf("expected at least a quarter of ops served from cache, got %+v", st)
+	}
+}

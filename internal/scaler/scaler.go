@@ -77,6 +77,17 @@ type Options struct {
 	// artifact are bit-identical for any Workers value (see DESIGN.md,
 	// "Determinism under parallelism").
 	Workers int
+	// EvalCache, when non-nil, shares op-level results across every trial
+	// of the search (and across speculative workers): program ops whose
+	// inputs match a previously recorded execution are spliced from the
+	// cache with bit-identical outputs, events, and timing, so a trial
+	// that differs from a prior one in a single object re-executes only
+	// the ops that object reaches. Results and all observability
+	// artifacts are byte-identical with or without a cache (see
+	// DESIGN.md, "Incremental trial evaluation"); only wall-clock time
+	// changes. The cache binds to one (system, workload) pair on first
+	// use — pass a fresh prog.NewEvalCache() per search.
+	EvalCache *prog.EvalCache
 }
 
 // DefaultOptions returns the paper's evaluation settings.
@@ -112,10 +123,12 @@ type Scaler struct {
 	w    *prog.Workload
 	opts Options
 
-	info *profile.AppInfo
-	ref  *prog.Result
+	info     *profile.AppInfo
+	ref      *prog.Result
+	refNames []string
 
 	trials int
+	keys   *configKeyer
 	memo   map[string]*trialRecord
 	spec   map[string]*specTrial
 }
@@ -125,7 +138,7 @@ func New(sys *hw.System, db *inspect.DB, w *prog.Workload, opts Options) *Scaler
 	if opts.TOQ == 0 {
 		opts.TOQ = 0.90
 	}
-	return &Scaler{sys: sys, db: db, w: w, opts: opts,
+	return &Scaler{sys: sys, db: db, w: w, opts: opts, keys: newConfigKeyer(w),
 		memo: map[string]*trialRecord{}, spec: map[string]*specTrial{}}
 }
 
@@ -178,7 +191,7 @@ func (s *Scaler) speculate(cfgs []*prog.Config) {
 	var keys []string
 	seen := map[string]bool{}
 	for _, cfg := range cfgs {
-		key := configKey(s.w, cfg)
+		key := s.keys.key(cfg)
 		if seen[key] {
 			continue
 		}
@@ -198,7 +211,12 @@ func (s *Scaler) speculate(cfgs []*prog.Config) {
 	results := make([]*specTrial, len(todo))
 	s.forEach(len(todo), func(i int) {
 		rec := &bufRecorder{}
-		res, err := prog.Run(s.sys.Clone(), s.w, s.opts.InputSet, todo[i], rec)
+		// Workers share the mutex-guarded EvalCache: a speculative run
+		// both consumes and seeds op entries. Discarded runs may leave
+		// entries behind — they are interchangeable with what a live run
+		// would record, so results stay schedule-independent (only the
+		// hit/miss split varies).
+		res, err := prog.RunWithCache(s.sys.Clone(), s.w, s.opts.InputSet, todo[i], s.opts.EvalCache, rec)
 		if err != nil {
 			return
 		}
@@ -281,23 +299,50 @@ func (s *Scaler) availableTypes() []precision.Type {
 	return out
 }
 
-// configKey builds a canonical memoization key for a configuration.
-func configKey(w *prog.Workload, c *prog.Config) string {
+// configKeyer builds canonical memoization keys for one workload's
+// configurations. The sorted object-name list is computed once per
+// search, and keys use a compact binary encoding (precision/method
+// bytes, little-endian thread counts) instead of formatted text. key
+// writes no shared state, so concurrent scoring loops may call it.
+type configKeyer struct {
+	names []string
+}
+
+func newConfigKeyer(w *prog.Workload) *configKeyer {
 	names := make([]string, 0, len(w.Objects))
 	for _, o := range w.Objects {
 		names = append(names, o.Name)
 	}
 	sort.Strings(names)
-	var b strings.Builder
-	for _, name := range names {
-		oc := c.Objects[name]
-		fmt.Fprintf(&b, "%s:%d:%t", name, oc.Target, oc.InKernel)
-		for _, p := range oc.Plans {
-			fmt.Fprintf(&b, "/%d.%d.%d", p.Host, p.Threads, p.Mid)
-		}
-		b.WriteByte(';')
+	return &configKeyer{names: names}
+}
+
+func (k *configKeyer) key(c *prog.Config) string {
+	n := 0
+	for _, name := range k.names {
+		n += len(name) + 5 + 4*len(c.Objects[name].Plans)
 	}
-	return b.String()
+	b := make([]byte, 0, n)
+	for _, name := range k.names {
+		oc := c.Objects[name]
+		b = append(b, name...)
+		ik := byte(0)
+		if oc.InKernel {
+			ik = 1
+		}
+		b = append(b, 0, byte(oc.Target), ik, byte(len(oc.Plans)))
+		for _, p := range oc.Plans {
+			b = append(b, byte(p.Host), byte(p.Mid), byte(p.Threads), byte(p.Threads>>8))
+		}
+		b = append(b, ';')
+	}
+	return string(b)
+}
+
+// configKey builds a canonical memoization key for a configuration: the
+// one-shot form of configKeyer, kept for tests and external callers.
+func configKey(w *prog.Workload, c *prog.Config) string {
+	return newConfigKeyer(w).key(c)
 }
 
 // runTrial executes cfg (memoized) and returns its record plus whether
@@ -305,15 +350,23 @@ func configKey(w *prog.Workload, c *prog.Config) string {
 // counter. The label names the trial's span in the trace.
 func (s *Scaler) runTrial(cfg *prog.Config, label string) (*trialRecord, bool, error) {
 	o := s.opts.Obs
-	key := configKey(s.w, cfg)
+	tr := o.Tracer()
+	key := s.keys.key(cfg)
 	if rec, ok := s.memo[key]; ok {
 		o.Metrics().Counter("trials_memoized").Inc()
-		sp := o.Tracer().Start("trial "+label, "trial", obs.A("config", summarizeConfig(s.w, cfg)))
-		sp.SetAttr("memoized", true)
-		o.Tracer().End(sp)
+		// Span attributes (the config summary string in particular) are
+		// only computed when a tracer is actually attached.
+		if tr != nil {
+			sp := tr.Start("trial "+label, "trial", obs.A("config", summarizeConfig(s.w, cfg)))
+			sp.SetAttr("memoized", true)
+			tr.End(sp)
+		}
 		return rec, true, nil
 	}
-	sp := o.Tracer().Start("trial "+label, "trial", obs.A("config", summarizeConfig(s.w, cfg)))
+	var sp *obs.Span
+	if tr != nil {
+		sp = tr.Start("trial "+label, "trial", obs.A("config", summarizeConfig(s.w, cfg)))
+	}
 	var res *prog.Result
 	if st, ok := s.spec[key]; ok {
 		// Consume a speculative run: replay its runtime callbacks through a
@@ -334,18 +387,20 @@ func (s *Scaler) runTrial(cfg *prog.Config, label string) (*trialRecord, bool, e
 		res = st.res
 	} else {
 		var err error
-		res, err = prog.Run(s.sys, s.w, s.opts.InputSet, cfg, o.RunHook())
+		res, err = prog.RunWithCache(s.sys, s.w, s.opts.InputSet, cfg, s.opts.EvalCache, o.RunHook())
 		if err != nil {
 			return nil, false, err
 		}
 	}
 	s.trials++
-	rec := &trialRecord{res: res, quality: prog.Quality(s.ref, res)}
+	rec := &trialRecord{res: res, quality: s.quality(res)}
 	s.memo[key] = rec
 	o.Advance(res.Total)
-	sp.SetAttr("total_ms", res.Total*1e3)
-	sp.SetAttr("quality", rec.quality)
-	o.Tracer().End(sp)
+	if sp != nil {
+		sp.SetAttr("total_ms", res.Total*1e3)
+		sp.SetAttr("quality", rec.quality)
+		tr.End(sp)
+	}
 	m := o.Metrics()
 	m.Counter("trials_executed").Inc()
 	if rec.quality >= s.opts.TOQ {
@@ -354,6 +409,16 @@ func (s *Scaler) runTrial(cfg *prog.Config, label string) (*trialRecord, bool, e
 		m.Counter("toq_outcome", obs.L("result", "fail")).Inc()
 	}
 	return rec, false, nil
+}
+
+// quality evaluates res against the reference, reusing the sorted output
+// name list across the search's trials (runTrial is sequential, so the
+// lazy initialization is unsynchronized by design).
+func (s *Scaler) quality(res *prog.Result) float64 {
+	if s.refNames == nil {
+		s.refNames = prog.SortedOutputNames(s.ref)
+	}
+	return prog.QualityNamed(s.refNames, s.ref, res)
 }
 
 // summarizeConfig renders a compact object:type summary for span
@@ -450,7 +515,7 @@ func (s *Scaler) Search() (*Result, error) {
 	// Application profiling (also the baseline trial and quality
 	// reference).
 	spProf := tr.Start("profile", "pipeline")
-	info, ref, err := profile.Profile(s.sys, s.w, s.opts.InputSet, o.RunHook())
+	info, ref, err := profile.ProfileCached(s.sys, s.w, s.opts.InputSet, s.opts.EvalCache, o.RunHook())
 	if err != nil {
 		return nil, err
 	}
@@ -459,7 +524,7 @@ func (s *Scaler) Search() (*Result, error) {
 	s.info, s.ref = info, ref
 	s.trials = 1
 	o.Metrics().Counter("trials_executed").Inc()
-	s.memo[configKey(s.w, prog.Baseline(s.w))] = &trialRecord{res: ref, quality: 1}
+	s.memo[s.keys.key(prog.Baseline(s.w))] = &trialRecord{res: ref, quality: 1}
 	if j != nil {
 		j.BaselineTotal = ref.Total
 		for i := range info.Objects {
@@ -683,7 +748,7 @@ func (s *Scaler) searchObject(current *prog.Config, obj *profile.ObjectInfo, typ
 		failed         precision.Type
 	)
 	// The incumbent (object unchanged) is always a valid fallback.
-	if rec, ok := s.memo[configKey(s.w, current)]; ok {
+	if rec, ok := s.memo[s.keys.key(current)]; ok {
 		normalBest, normalBestTime = current, rec.res.Total
 		kernelTime[current.Objects[obj.Name].Target] = rec.res.KernelTime
 	}
@@ -804,7 +869,7 @@ func (s *Scaler) searchObject(current *prog.Config, obj *profile.ObjectInfo, typ
 		// prediction for the wildcard plans.
 		normalCfg := current.Clone()
 		normalCfg.Objects[obj.Name] = prog.ObjectConfig{Target: target, Plans: s.bestDirectPlans(obj, target)}
-		normalRec, ok := s.memo[configKey(s.w, normalCfg)]
+		normalRec, ok := s.memo[s.keys.key(normalCfg)]
 		if !ok {
 			return
 		}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/exper"
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/obs"
 	"repro/internal/polybench"
@@ -96,6 +97,10 @@ func main() {
 	goldenTrials := flag.String("golden-trials", "", "golden fig9 JSON to compare per-benchmark trial counts against; exit 1 on drift")
 	evalcache := flag.Bool("evalcache", true, "incremental trial evaluation: reuse op results across trials within each measurement (results are byte-identical either way; disable to debug)")
 	cacheStats := flag.String("cache-stats", "", "write wall time and evalcache counters as JSON to this file when done")
+	faults := flag.String("faults", "", `inject deterministic runtime faults, e.g. "write:0.01,launch:0.005,alloc:0.002,devlost:1e-4,nan:0.001" (empty disables injection)`)
+	faultSeed := flag.Uint64("fault-seed", 0, "seed for the fault-injection decision stream (same spec+seed reproduces the same faults at any -j)")
+	retries := flag.Int("retries", 2, "bounded retries per search trial and per measurement task after an injected fault (inert without -faults)")
+	checkpointDir := flag.String("checkpoint", "", "directory for per-task result checkpoints; an interrupted run restarted with the same flags resumes without re-executing completed tasks")
 	flag.Parse()
 	start := time.Now()
 
@@ -123,8 +128,25 @@ func main() {
 	r := exper.NewRunner(suite)
 	r.Jobs = *jobs
 	r.EvalCache = *evalcache
+	r.Retries = *retries
 	if !*quiet {
 		r.Log = os.Stderr
+	}
+	if *faults != "" {
+		spec, err := fault.Parse(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		r.Faults = spec.WithSeed(*faultSeed)
+	}
+	if *checkpointDir != "" {
+		ck, err := exper.NewCheckpoint(*checkpointDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		r.Checkpoint = ck
 	}
 
 	var tables []*exper.Table
@@ -300,6 +322,10 @@ func main() {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "evalcache: %d hits, %d misses (%d ops skipped); wall %.2fs\n",
 			st.Hits, st.Misses, st.OpsSkipped, time.Since(start).Seconds())
+		if *checkpointDir != "" {
+			fmt.Fprintf(os.Stderr, "checkpoint: %d tasks executed, %d restored from %s\n",
+				r.TasksRun(), r.TasksRestored(), *checkpointDir)
+		}
 	}
 	if *cacheStats != "" {
 		if err := os.MkdirAll(filepath.Dir(*cacheStats), 0o755); err != nil {

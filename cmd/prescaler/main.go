@@ -20,6 +20,7 @@ import (
 	"runtime"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/obs"
 	"repro/internal/polybench"
@@ -38,6 +39,9 @@ func main() {
 	explain := flag.Bool("explain", false, "print the decision-maker explain report")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "number of concurrent search-trial workers (the search outcome and all artifacts are bit-identical for any value)")
 	evalcache := flag.Bool("evalcache", true, "incremental trial evaluation: reuse op results across search trials (results are byte-identical either way; disable to debug)")
+	faults := flag.String("faults", "", `inject deterministic runtime faults, e.g. "write:0.01,launch:0.005,alloc:0.002,devlost:1e-4,nan:0.001" (empty disables injection)`)
+	faultSeed := flag.Uint64("fault-seed", 0, "seed for the fault-injection decision stream (same spec+seed reproduces the same faults at any -j)")
+	retries := flag.Int("retries", 2, "bounded retries per search trial after an injected fault (inert without -faults)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -58,6 +62,13 @@ func main() {
 	sys := hw.ByName(*system)
 	if sys == nil {
 		fatalf("unknown system %q", *system)
+	}
+	if *faults != "" {
+		spec, err := fault.Parse(*faults)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sys.Faults = spec.WithSeed(*faultSeed)
 	}
 	var set prog.InputSet
 	switch *input {
@@ -98,7 +109,7 @@ func main() {
 	}
 
 	fmt.Fprintf(os.Stderr, "profiling and searching %s (toq=%.2f, input=%s) ...\n", w.Name, *toq, set)
-	sp, err := fw.Scale(w, scaler.Options{TOQ: *toq, InputSet: set, Obs: o, Workers: *jobs, EvalCache: cache})
+	sp, err := fw.Scale(w, scaler.Options{TOQ: *toq, InputSet: set, Obs: o, Workers: *jobs, EvalCache: cache, Retries: *retries})
 	if err != nil {
 		fatalf("%v", err)
 	}

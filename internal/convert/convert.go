@@ -140,6 +140,9 @@ func hostConvertTime(cpu *hw.CPU, n int, src, dst precision.Type, m Method, thre
 	case MethodMT:
 		return cpu.MTConvertTime(n, src, dst, threads)
 	default:
+		// Invariant, not a runtime condition: plans are validated
+		// (Plan.Validate) before execution, so an unknown method here means
+		// a bug in this package, never bad input.
 		panic("convert: hostConvertTime on " + m.String())
 	}
 }
@@ -248,14 +251,17 @@ func ExecuteHtoD(q *ocl.Queue, name string, hostArr *precision.Array, devType pr
 		q.AddHostTime(t, ocl.DirHtoD, nil, n, hostArr.Elem(), plan.Mid)
 	}
 
-	staging := q.Context().CreateBuffer(name, plan.Mid, n)
+	staging, err := q.Context().CreateBuffer(name, plan.Mid, n)
+	if err != nil {
+		return nil, err
+	}
 	if err := q.WriteBuffer(staging, wire); err != nil {
 		return nil, err
 	}
 	if plan.Mid == devType {
 		return staging, nil
 	}
-	return q.DeviceConvertDirected(staging, devType, ocl.DirHtoD), nil
+	return q.DeviceConvertDirected(staging, devType, ocl.DirHtoD)
 }
 
 // ExecuteDtoH performs the reverse chain dev -> Mid -> host(hostType),
@@ -269,9 +275,16 @@ func ExecuteDtoH(q *ocl.Queue, dev *ocl.Buffer, hostType precision.Type, plan Pl
 
 	wireBuf := dev
 	if plan.Mid != dev.Elem() {
-		wireBuf = q.DeviceConvertDirected(dev, plan.Mid, ocl.DirDtoH)
+		var err error
+		wireBuf, err = q.DeviceConvertDirected(dev, plan.Mid, ocl.DirDtoH)
+		if err != nil {
+			return nil, err
+		}
 	}
-	wire := q.ReadBuffer(wireBuf)
+	wire, err := q.ReadBuffer(wireBuf)
+	if err != nil {
+		return nil, err
+	}
 
 	switch plan.Host {
 	case MethodPipelined:

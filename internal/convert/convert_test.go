@@ -197,7 +197,7 @@ func TestExecuteDtoHChains(t *testing.T) {
 	} {
 		ctx := ocl.NewContext(s)
 		q := ocl.NewQueue(ctx)
-		dev := ctx.CreateBuffer("C", precision.Single, 8)
+		dev := ctx.MustCreateBuffer("C", precision.Single, 8)
 		for i := 0; i < 8; i++ {
 			dev.Array().Set(i, float64(i)+0.5)
 		}
@@ -228,7 +228,7 @@ func TestExecuteDtoHDeviceSide(t *testing.T) {
 	s := sys1()
 	ctx := ocl.NewContext(s)
 	q := ocl.NewQueue(ctx)
-	dev := ctx.CreateBuffer("C", precision.Half, 4)
+	dev := ctx.MustCreateBuffer("C", precision.Half, 4)
 	dev.Array().Set(0, 1.5)
 	plan := Direct(precision.Double)
 	got, err := ExecuteDtoH(q, dev, precision.Double, plan)

@@ -8,6 +8,7 @@ package exper
 
 import (
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/convert"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/ocl"
 	"repro/internal/precision"
@@ -101,17 +103,48 @@ type Runner struct {
 	EvalCache bool
 	evalStats prog.EvalStats
 	statsMu   sync.Mutex
+	// Faults, when non-nil, injects deterministic runtime faults into
+	// every measurement task: each task's system model is cloned with the
+	// spec attached before its framework is built. Nil (the default)
+	// leaves execution byte-identical to a build without fault support.
+	Faults *fault.Spec
+	// Retries bounds task-level re-execution after an injected fault or a
+	// recovered worker panic escapes the scaler's own retry/fallback
+	// ladder (and after faults in the baseline techniques, which have no
+	// ladder of their own). Each task attempt gets a distinct fault-salt
+	// high word, so retried attempts see fresh fault decisions while
+	// attempt 0 stays identical across -j values. Inert when Faults is
+	// nil. NewRunner defaults it to 2.
+	Retries int
+	// Checkpoint, when non-nil, persists each completed measurement task
+	// and restores it on a later run instead of re-executing (see
+	// Checkpoint). Tasks carrying an observer bypass it: an observed run
+	// exists to produce traces, not just numbers.
+	Checkpoint *Checkpoint
+	// tasksRun / tasksRestored count measurement tasks executed vs served
+	// from the checkpoint. Both are mutated only on the sequential
+	// control path (task filtering and merging), like the result caches.
+	tasksRun      int
+	tasksRestored int
 }
 
 // NewRunner creates a runner over the given suite.
 func NewRunner(suite []*prog.Workload) *Runner {
 	return &Runner{
-		Suite: suite,
-		fws:   map[string]*core.Framework{},
-		cmps:  map[string]*core.Comparison{},
-		scls:  map[string]*scaler.Result{},
+		Suite:   suite,
+		fws:     map[string]*core.Framework{},
+		cmps:    map[string]*core.Comparison{},
+		scls:    map[string]*scaler.Result{},
+		Retries: 2,
 	}
 }
+
+// TasksRun returns how many measurement tasks were actually executed.
+func (r *Runner) TasksRun() int { return r.tasksRun }
+
+// TasksRestored returns how many measurement tasks were served from the
+// checkpoint directory instead of executing.
+func (r *Runner) TasksRestored() int { return r.tasksRestored }
 
 func (r *Runner) logf(format string, args ...any) {
 	if r.Log == nil {
@@ -166,16 +199,64 @@ func taskKey(sys *hw.System, w *prog.Workload, opts scaler.Options) string {
 		opts.DisableWildcard, opts.DisableFullPrecisionPass)
 }
 
-// Framework returns the (cached) framework for a system.
+// Framework returns the (cached) framework for a system. When the
+// runner injects faults, the framework is built over a clone of sys
+// carrying the spec, so callers' systems are never mutated and every
+// measurement task run through the framework sees the injection.
 func (r *Runner) Framework(sys *hw.System) *core.Framework {
 	key := fwKey(sys)
 	if fw, ok := r.fws[key]; ok {
 		return fw
 	}
 	r.logf("inspecting %s ...", sys.Name)
+	if r.Faults != nil {
+		sys = sys.Clone()
+		sys.Faults = r.Faults
+	}
 	fw := core.NewFramework(sys)
 	r.fws[key] = fw
 	return fw
+}
+
+// runTask executes one measurement task against fw with panic isolation
+// and bounded task-level retry. A panic anywhere in the task — a worker
+// goroutine included — is recovered into a fault.PanicError instead of
+// taking down the process. A failure classified as fault-induced
+// (ocl.IsFault: an injected error, allocation exhaustion, device loss,
+// or a recovered panic) is retried up to r.Retries times; each attempt
+// shifts the system's fault salt by attempt<<16, occupying the high
+// word so it cannot collide with the scaler's own per-trial low-word
+// salts. Programming errors are returned immediately.
+func (r *Runner) runTask(fw *core.Framework, t prefetchTask, opts scaler.Options) (cmp *core.Comparison, scl *scaler.Result, err error) {
+	sys := fw.System()
+	base := sys.FaultSalt
+	defer func() { sys.FaultSalt = base }()
+	for attempt := 0; ; attempt++ {
+		sys.FaultSalt = base + uint64(attempt)<<16
+		err = fault.Guard(func() error {
+			if t.compare {
+				c, e := fw.Compare(t.w, opts)
+				if e != nil {
+					return e
+				}
+				cmp = c
+				return nil
+			}
+			sp, e := fw.Scale(t.w, opts)
+			if e != nil {
+				return e
+			}
+			scl = sp.Search
+			return nil
+		})
+		if err == nil {
+			return cmp, scl, nil
+		}
+		if !ocl.IsFault(err) || attempt >= r.Retries {
+			return nil, nil, err
+		}
+		r.logf("task %s on %s attempt %d failed: %v; retrying", t.w.Name, t.sys.Name, attempt+1, err)
+	}
 }
 
 // Compare returns the (cached) four-technique comparison for one
@@ -185,14 +266,21 @@ func (r *Runner) Compare(sys *hw.System, w *prog.Workload, opts scaler.Options) 
 	if c, ok := r.cmps[key]; ok {
 		return c, nil
 	}
+	t := prefetchTask{sys: sys, w: w, opts: opts, compare: true}
+	if c, _, ok := r.restore(t, key); ok {
+		r.cmps[key] = c
+		return c, nil
+	}
 	r.logf("comparing %s on %s (set=%v toq=%.2f) ...", w.Name, sys.Name, opts.InputSet, opts.TOQ)
+	opts.Retries = r.Retries
 	opts.EvalCache = r.cacheFor()
-	c, err := r.Framework(sys).Compare(w, opts)
+	c, _, err := r.runTask(r.Framework(sys), t, opts)
 	r.addStats(opts.EvalCache)
 	if err != nil {
 		return nil, err
 	}
 	r.cmps[key] = c
+	r.persist(t, key, c, nil)
 	return c, nil
 }
 
@@ -206,15 +294,49 @@ func (r *Runner) scale(sys *hw.System, w *prog.Workload, opts scaler.Options) (*
 	if s, ok := r.scls[key]; ok {
 		return s, nil
 	}
+	t := prefetchTask{sys: sys, w: w, opts: opts}
+	if _, s, ok := r.restore(t, key); ok {
+		r.scls[key] = s
+		return s, nil
+	}
 	r.logf("prescaler %s on %s (set=%v toq=%.2f) ...", w.Name, sys.Name, opts.InputSet, opts.TOQ)
+	opts.Retries = r.Retries
 	opts.EvalCache = r.cacheFor()
-	sp, err := r.Framework(sys).Scale(w, opts)
+	_, s, err := r.runTask(r.Framework(sys), t, opts)
 	r.addStats(opts.EvalCache)
 	if err != nil {
 		return nil, err
 	}
-	r.scls[key] = sp.Search
-	return sp.Search, nil
+	r.scls[key] = s
+	r.persist(t, key, nil, s)
+	return s, nil
+}
+
+// restore serves a task from the checkpoint directory when possible.
+// Observed tasks never restore: their purpose is the execution itself.
+func (r *Runner) restore(t prefetchTask, key string) (*core.Comparison, *scaler.Result, bool) {
+	if r.Checkpoint == nil || t.opts.Obs != nil {
+		return nil, nil, false
+	}
+	cmp, scl, ok := r.Checkpoint.load(t, r.fingerprint(t, key))
+	if ok {
+		r.tasksRestored++
+		r.logf("restored %s on %s from checkpoint", t.w.Name, t.sys.Name)
+	}
+	return cmp, scl, ok
+}
+
+// persist counts an executed task and writes its checkpoint, if any.
+// Write failures are logged, never fatal: the results are already in
+// the in-memory caches.
+func (r *Runner) persist(t prefetchTask, key string, cmp *core.Comparison, scl *scaler.Result) {
+	r.tasksRun++
+	if r.Checkpoint == nil || t.opts.Obs != nil {
+		return
+	}
+	if err := r.Checkpoint.save(t, r.fingerprint(t, key), cmp, scl); err != nil {
+		r.logf("checkpoint write for %s on %s failed: %v", t.w.Name, t.sys.Name, err)
+	}
 }
 
 // prefetchTask is one unit of measurement work: a four-technique
@@ -241,10 +363,12 @@ func (r *Runner) compareTasks(sys *hw.System, opts scaler.Options) []prefetchTas
 // database), so no mutable state is shared; results land in an
 // index-addressed slice and the sequential merge makes cache contents —
 // and therefore every table built from them — independent of worker
-// scheduling. When several tasks fail, the error of the lowest-indexed
-// task is returned, matching what a sequential run would hit first.
-// Tasks carrying an observer are skipped: observed runs must execute in
-// the sequential schedule to keep their traces deterministic.
+// scheduling. When several tasks fail, every distinct failure is
+// reported (joined in task order, lowest index first), so one bad
+// workload cannot mask another. Tasks carrying an observer are skipped:
+// observed runs must execute in the sequential schedule to keep their
+// traces deterministic. Checkpointed tasks are restored during the
+// (sequential) filter, before any worker starts.
 func (r *Runner) prefetch(tasks []prefetchTask) error {
 	if r.Jobs <= 1 {
 		return nil
@@ -273,6 +397,14 @@ func (r *Runner) prefetch(tasks []prefetchTask) error {
 			if _, ok := r.scls[key]; ok {
 				continue
 			}
+		}
+		if cmp, scl, ok := r.restore(t, key); ok {
+			if cmp != nil {
+				r.cmps[key] = cmp
+			} else {
+				r.scls[key] = scl
+			}
+			continue
 		}
 		seen[key] = true
 		todo = append(todo, &slot{task: t, key: key})
@@ -306,19 +438,14 @@ func (r *Runner) prefetch(tasks []prefetchTask) error {
 					fws[key] = fw
 				}
 				opts := t.opts
+				opts.Retries = r.Retries
 				opts.EvalCache = r.cacheFor()
 				if t.compare {
 					r.logf("comparing %s on %s (set=%v toq=%.2f) ...", t.w.Name, t.sys.Name, t.opts.InputSet, t.opts.TOQ)
-					s.cmp, s.err = fw.Compare(t.w, opts)
 				} else {
 					r.logf("prescaler %s on %s (set=%v toq=%.2f) ...", t.w.Name, t.sys.Name, t.opts.InputSet, t.opts.TOQ)
-					sp, err := fw.Scale(t.w, opts)
-					if err != nil {
-						s.err = err
-					} else {
-						s.scl = sp.Search
-					}
 				}
+				s.cmp, s.scl, s.err = r.runTask(fw, t, opts)
 				r.addStats(opts.EvalCache)
 			}
 		}()
@@ -328,17 +455,20 @@ func (r *Runner) prefetch(tasks []prefetchTask) error {
 	}
 	close(work)
 	wg.Wait()
+	var errs []error
 	for _, s := range todo {
 		if s.err != nil {
-			return s.err
+			errs = append(errs, fmt.Errorf("%s on %s: %w", s.task.w.Name, s.task.sys.Name, s.err))
+			continue
 		}
 		if s.cmp != nil {
 			r.cmps[s.key] = s.cmp
 		} else if s.scl != nil {
 			r.scls[s.key] = s.scl
 		}
+		r.persist(s.task, s.key, s.cmp, s.scl)
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }

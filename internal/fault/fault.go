@@ -1,0 +1,271 @@
+// Package fault is a deterministic, seeded fault-injection model for the
+// simulated OpenCL runtime (internal/ocl). It decides — purely as a
+// function of a seed, a caller-chosen salt, and a per-kind decision
+// counter — whether the Nth operation of a given kind fails. Because a
+// decision depends only on the operation sequence of one run (never on
+// wall time, goroutine interleaving, or map order), the same program run
+// twice with the same seed fails at exactly the same points, at any
+// worker count: replayable failures for debugging.
+//
+// The salt lets retry logic re-draw the decision stream without changing
+// the spec: a retry of a failed trial runs under salt base+attempt, so a
+// deterministic transient fault does not recur forever, while the first
+// attempt (salt base) is bit-reproducible across runs and schedules.
+//
+// A nil *Spec (and a nil *Injector) means injection is off; every probe
+// on a nil injector is a cheap no-op, so instrumented runtime paths stay
+// byte-identical to the un-instrumented build when faults are disabled.
+package fault
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind uint8
+
+const (
+	// Write is a transient host-to-device transfer failure.
+	Write Kind = iota
+	// Read is a transient device-to-host transfer failure.
+	Read
+	// Launch is a transient kernel-launch failure (also covers
+	// device-side conversion kernels).
+	Launch
+	// Alloc is a buffer-allocation failure (ENOMEM-like).
+	Alloc
+	// DevLost is a device-lost event: non-transient, and sticky — every
+	// later operation on the same context fails until it is recreated.
+	DevLost
+	// NaN silently poisons one element of a kernel's output with NaN
+	// after a successful launch. It produces no error; it surfaces as a
+	// quality (TOQ) failure in the layers above.
+	NaN
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{"write", "read", "launch", "alloc", "devlost", "nan"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// ScriptRule deterministically forces decisions of one kind to trip, for
+// tests that need a failure at an exact point instead of a sampled rate.
+// A rule matches decision index n (0-based, per kind, per injector) when
+// From <= n and (To == 0 or n < To), and the injector's salt is listed in
+// Salts (nil matches every salt — "this operation fails on every retry").
+type ScriptRule struct {
+	Kind     Kind
+	From, To uint64
+	Salts    []uint64
+}
+
+// Spec is an immutable fault-injection specification: a sampling rate
+// per kind plus the seed of the decision stream, or a script of forced
+// failures for tests. Specs are shared freely (hw.System.Clone aliases
+// the same Spec across workers) and must never be mutated after
+// creation.
+type Spec struct {
+	Rates  [numKinds]float64
+	Seed   uint64
+	Script []ScriptRule
+}
+
+// Parse builds a Spec from a comma-separated rate list such as
+// "write:0.01,launch:0.005,alloc:0.002,devlost:1e-4,nan:0.001". Kinds
+// may appear in any order; omitted kinds get rate 0. An empty string
+// yields a nil Spec (injection off).
+func Parse(s string) (*Spec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	spec := &Spec{}
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(tok, ":")
+		if !ok {
+			return nil, fmt.Errorf("fault: bad spec token %q (want kind:rate)", tok)
+		}
+		k, err := parseKind(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		r, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || r < 0 || r > 1 {
+			return nil, fmt.Errorf("fault: bad rate %q for %s (want 0..1)", val, k)
+		}
+		spec.Rates[k] = r
+	}
+	return spec, nil
+}
+
+func parseKind(name string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown kind %q (want one of %s)", name, strings.Join(kindNames[:], ", "))
+}
+
+// WithSeed returns a copy of the spec with the given decision-stream
+// seed. The receiver is unchanged (Specs are immutable).
+func (s *Spec) WithSeed(seed uint64) *Spec {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Seed = seed
+	return &c
+}
+
+// String renders the spec canonically (non-zero rates in kind order,
+// then the seed), suitable for cache and checkpoint keys.
+func (s *Spec) String() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	for k := Kind(0); k < numKinds; k++ {
+		if s.Rates[k] == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%g", k, s.Rates[k])
+	}
+	if len(s.Script) > 0 {
+		for _, r := range s.Script {
+			if b.Len() > 0 {
+				b.WriteByte(',')
+			}
+			salts := make([]string, len(r.Salts))
+			for i, sl := range r.Salts {
+				salts[i] = strconv.FormatUint(sl, 10)
+			}
+			sort.Strings(salts)
+			fmt.Fprintf(&b, "script(%s:%d-%d@%s)", r.Kind, r.From, r.To, strings.Join(salts, "/"))
+		}
+	}
+	fmt.Fprintf(&b, "#seed=%d", s.Seed)
+	return b.String()
+}
+
+// Injector samples the decision stream for one runtime context. It is
+// not safe for concurrent use; each ocl.Context owns its own instance
+// (contexts are created per run, and a run is single-threaded).
+type Injector struct {
+	spec  *Spec
+	salt  uint64
+	count [numKinds]uint64
+	picks uint64
+}
+
+// NewInjector creates an injector over spec with the given salt.
+// A nil spec yields a nil injector, on which every method is a no-op.
+func NewInjector(spec *Spec, salt uint64) *Injector {
+	if spec == nil {
+		return nil
+	}
+	return &Injector{spec: spec, salt: salt}
+}
+
+// splitmix64 finalizer: a fast, well-mixed 64-bit hash.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Trip consumes the next decision of kind k and reports whether that
+// operation must fail. Safe on a nil injector (always false).
+func (in *Injector) Trip(k Kind) bool {
+	if in == nil {
+		return false
+	}
+	n := in.count[k]
+	in.count[k]++
+	if len(in.spec.Script) > 0 {
+		return in.scripted(k, n)
+	}
+	r := in.spec.Rates[k]
+	if r <= 0 {
+		return false
+	}
+	h := mix(in.spec.Seed ^ mix(in.salt) ^ mix(uint64(k)+1) ^ mix(n))
+	// Top 53 bits to a uniform float64 in [0,1).
+	return float64(h>>11)*(1.0/(1<<53)) < r
+}
+
+func (in *Injector) scripted(k Kind, n uint64) bool {
+	for _, r := range in.spec.Script {
+		if r.Kind != k || n < r.From || (r.To != 0 && n >= r.To) {
+			continue
+		}
+		if r.Salts == nil {
+			return true
+		}
+		for _, s := range r.Salts {
+			if s == in.salt {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Pick returns a deterministic pseudo-random value in [0, n), advancing
+// an internal pick counter so successive calls draw fresh values. Used
+// to choose what a tripped NaN fault poisons. n must be positive.
+func (in *Injector) Pick(n int) int {
+	p := in.picks
+	in.picks++
+	h := mix(in.spec.Seed ^ mix(in.salt^0xa5a5a5a5) ^ mix(p))
+	return int(h % uint64(n))
+}
+
+// Count returns how many decisions of kind k have been consumed.
+func (in *Injector) Count(k Kind) uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.count[k]
+}
+
+// PanicError is a recovered panic converted to a structured error, so a
+// crash in one worker or one trial degrades to a per-task failure
+// instead of tearing down the whole process.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Guard runs fn, converting a panic into a *PanicError. The stack is
+// captured at the panic site (inside the deferred recover).
+func Guard(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}

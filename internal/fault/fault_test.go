@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	spec, err := Parse("write:0.01,launch:0.005,alloc:0.002,devlost:1e-4,nan:0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[Kind]float64{Write: 0.01, Launch: 0.005, Alloc: 0.002, DevLost: 1e-4, NaN: 0.001}
+	for k := Kind(0); k < numKinds; k++ {
+		if spec.Rates[k] != want[k] {
+			t.Errorf("rate[%s] = %v, want %v", k, spec.Rates[k], want[k])
+		}
+	}
+	if spec.Rates[Read] != 0 {
+		t.Error("omitted kind must default to 0")
+	}
+}
+
+func TestParseEmptyIsOff(t *testing.T) {
+	spec, err := Parse("  ")
+	if err != nil || spec != nil {
+		t.Fatalf("empty spec: (%v, %v), want (nil, nil)", spec, err)
+	}
+	if NewInjector(spec, 0) != nil {
+		t.Error("nil spec must yield a nil injector")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"write", "bogus:0.5", "write:2", "write:-1", "write:x"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestStringCanonical(t *testing.T) {
+	// Kind order in the output is fixed regardless of input order.
+	a, _ := Parse("nan:0.001,write:0.01")
+	b, _ := Parse("write:0.01,nan:0.001")
+	if a.String() != b.String() {
+		t.Errorf("canonical strings differ: %q vs %q", a.String(), b.String())
+	}
+	if !strings.HasSuffix(a.String(), "#seed=0") {
+		t.Errorf("seed missing from %q", a.String())
+	}
+	s := a.WithSeed(7)
+	if !strings.HasSuffix(s.String(), "#seed=7") {
+		t.Errorf("WithSeed string: %q", s.String())
+	}
+	if a.Seed != 0 {
+		t.Error("WithSeed must not mutate the receiver")
+	}
+}
+
+// TestTripDeterministic is the core property: the decision stream is a
+// pure function of (seed, salt, kind, index), so two injectors over the
+// same spec agree decision-for-decision.
+func TestTripDeterministic(t *testing.T) {
+	spec := &Spec{Seed: 42}
+	spec.Rates[Write] = 0.3
+	spec.Rates[Launch] = 0.1
+	a, b := NewInjector(spec, 5), NewInjector(spec, 5)
+	for i := 0; i < 1000; i++ {
+		k := Kind(i % 2) // Write, Read alternating; Read rate 0 → never trips
+		if a.Trip(k) != b.Trip(k) {
+			t.Fatalf("decision %d diverged", i)
+		}
+	}
+	if a.Count(Write) != 500 {
+		t.Errorf("count = %d", a.Count(Write))
+	}
+}
+
+func TestTripRateRoughlyHonored(t *testing.T) {
+	spec := &Spec{Seed: 1}
+	spec.Rates[Write] = 0.2
+	in := NewInjector(spec, 0)
+	trips := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if in.Trip(Write) {
+			trips++
+		}
+	}
+	if trips < n*15/100 || trips > n*25/100 {
+		t.Errorf("0.2 rate tripped %d/%d times", trips, n)
+	}
+}
+
+// TestSaltRedraws checks that a different salt draws a genuinely
+// different decision stream — the property retries rely on.
+func TestSaltRedraws(t *testing.T) {
+	spec := &Spec{Seed: 9}
+	spec.Rates[Write] = 0.5
+	a, b := NewInjector(spec, 0), NewInjector(spec, 1)
+	same := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		if a.Trip(Write) == b.Trip(Write) {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("salt 0 and salt 1 produced identical streams")
+	}
+}
+
+func TestScriptRules(t *testing.T) {
+	spec := &Spec{Script: []ScriptRule{
+		{Kind: Launch, From: 2, To: 4},                    // decisions 2,3 at any salt
+		{Kind: Write, From: 0, To: 1, Salts: []uint64{0}}, // decision 0 at salt 0 only
+	}}
+	in := NewInjector(spec, 0)
+	var got []bool
+	for i := 0; i < 5; i++ {
+		got = append(got, in.Trip(Launch))
+	}
+	want := []bool{false, false, true, true, false}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("launch decision %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if !in.Trip(Write) {
+		t.Error("write decision 0 at salt 0 must trip")
+	}
+	retry := NewInjector(spec, 1)
+	if retry.Trip(Write) {
+		t.Error("write decision 0 at salt 1 must not trip")
+	}
+	// From 2: decision 0 never trips regardless of salt.
+	if NewInjector(spec, 1).Trip(Launch) {
+		t.Error("launch decision 0 must not trip")
+	}
+}
+
+func TestNilInjectorNoOps(t *testing.T) {
+	var in *Injector
+	if in.Trip(Write) || in.Count(Write) != 0 {
+		t.Error("nil injector must be inert")
+	}
+}
+
+func TestPickInRangeAndDeterministic(t *testing.T) {
+	spec := &Spec{Seed: 3}
+	a, b := NewInjector(spec, 7), NewInjector(spec, 7)
+	for i := 0; i < 100; i++ {
+		pa, pb := a.Pick(13), b.Pick(13)
+		if pa != pb {
+			t.Fatalf("pick %d diverged: %d vs %d", i, pa, pb)
+		}
+		if pa < 0 || pa >= 13 {
+			t.Fatalf("pick out of range: %d", pa)
+		}
+	}
+}
+
+func TestGuardRecoversPanic(t *testing.T) {
+	err := Guard(func() error { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Guard returned %v, want *PanicError", err)
+	}
+	if pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = %+v", pe)
+	}
+	if !strings.Contains(pe.Error(), "boom") {
+		t.Errorf("message %q", pe.Error())
+	}
+}
+
+func TestGuardPassesThrough(t *testing.T) {
+	if err := Guard(func() error { return nil }); err != nil {
+		t.Errorf("nil fn error: %v", err)
+	}
+	sentinel := errors.New("x")
+	if err := Guard(func() error { return sentinel }); err != sentinel {
+		t.Errorf("error not passed through: %v", err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/precision"
 )
 
@@ -281,13 +282,25 @@ type System struct {
 	// noise.
 	TimingJitter float64
 	JitterSeed   int64
+	// Faults, when non-nil, enables deterministic fault injection in the
+	// simulated runtime (see internal/fault): each ocl.Context created on
+	// the system samples the spec's seeded decision stream. Nil keeps the
+	// runtime failure-free and byte-identical to a build without the
+	// fault layer.
+	Faults *fault.Spec
+	// FaultSalt perturbs the fault decision stream without changing the
+	// spec. Retry logic assigns a distinct salt per attempt so a
+	// deterministic transient fault does not recur on retry forever.
+	FaultSalt uint64
 }
 
 // Clone returns an independent copy of the system. All System fields
-// are plain values (no pointers or slices), so a shallow copy is a deep
-// copy; Clone exists so that concurrent experiment workers can each own
-// a private *System and never alias another worker's hardware model —
-// the audit contract for the parallel runner (see internal/exper).
+// are plain values except Faults, which is an immutable *fault.Spec and
+// is intentionally shared, so a shallow copy is as deep as it needs to
+// be; Clone exists so that concurrent experiment workers can each own
+// a private *System and never alias another worker's mutable hardware
+// model — the audit contract for the parallel runner (see
+// internal/exper).
 func (s *System) Clone() *System {
 	c := *s
 	return &c

@@ -1,0 +1,134 @@
+package ocl
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/fault"
+)
+
+// Status is an OpenCL-style error code. The values mirror the CL_*
+// status taxonomy so failures read like a real runtime's.
+type Status int32
+
+const (
+	// StatusSuccess mirrors CL_SUCCESS.
+	StatusSuccess Status = 0
+	// StatusDeviceNotAvailable mirrors CL_DEVICE_NOT_AVAILABLE: the
+	// device was lost. Sticky — every later operation on the same
+	// context fails with it — and never transient.
+	StatusDeviceNotAvailable Status = -2
+	// StatusMemObjectAllocationFailure mirrors
+	// CL_MEM_OBJECT_ALLOCATION_FAILURE: a buffer allocation failed.
+	StatusMemObjectAllocationFailure Status = -4
+	// StatusOutOfResources mirrors CL_OUT_OF_RESOURCES: a kernel (or
+	// device-side conversion) launch failed.
+	StatusOutOfResources Status = -5
+	// StatusOutOfHostMemory mirrors CL_OUT_OF_HOST_MEMORY: a host-device
+	// transfer failed (DMA staging exhaustion is how drivers commonly
+	// report transient transfer trouble).
+	StatusOutOfHostMemory Status = -6
+	// StatusInvalidValue mirrors CL_INVALID_VALUE: the caller passed
+	// mismatched types or lengths. A programming error, never retryable.
+	StatusInvalidValue Status = -30
+	// StatusInvalidKernelArgs mirrors CL_INVALID_KERNEL_ARGS: the kernel
+	// rejected its argument binding. A programming error, never
+	// retryable.
+	StatusInvalidKernelArgs Status = -52
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "CL_SUCCESS"
+	case StatusDeviceNotAvailable:
+		return "CL_DEVICE_NOT_AVAILABLE"
+	case StatusMemObjectAllocationFailure:
+		return "CL_MEM_OBJECT_ALLOCATION_FAILURE"
+	case StatusOutOfResources:
+		return "CL_OUT_OF_RESOURCES"
+	case StatusOutOfHostMemory:
+		return "CL_OUT_OF_HOST_MEMORY"
+	case StatusInvalidValue:
+		return "CL_INVALID_VALUE"
+	case StatusInvalidKernelArgs:
+		return "CL_INVALID_KERNEL_ARGS"
+	default:
+		return fmt.Sprintf("CL_ERROR(%d)", int32(s))
+	}
+}
+
+// Error is a typed runtime failure. Runtime conditions (injected faults,
+// resource exhaustion) and programming errors (invalid arguments) share
+// the type; Transient and IsFault classify them for retry and
+// degradation logic in the layers above.
+type Error struct {
+	Status Status
+	// Op names the failed operation: "write", "read", "launch",
+	// "convert", "alloc".
+	Op string
+	// Detail identifies the object involved (buffer or kernel name).
+	Detail string
+	// Injected marks failures produced by the fault-injection layer, as
+	// opposed to genuine runtime conditions or programming errors.
+	Injected bool
+	// Err is the wrapped cause, if any.
+	Err error
+}
+
+func (e *Error) Error() string {
+	msg := fmt.Sprintf("ocl: %s %q: %s", e.Op, e.Detail, e.Status)
+	if e.Injected {
+		msg += " (injected)"
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+func (e *Error) Unwrap() error { return e.Err }
+
+// Transient reports whether retrying the operation may succeed. Only
+// injected faults are transient (a genuine condition does not go away on
+// retry), and a lost device stays lost.
+func (e *Error) Transient() bool {
+	return e.Injected && e.Status != StatusDeviceNotAvailable
+}
+
+// IsTransient reports whether err wraps a transient runtime failure.
+func IsTransient(err error) bool {
+	var e *Error
+	return errors.As(err, &e) && e.Transient()
+}
+
+// IsFault reports whether err wraps a runtime-condition failure — an
+// injected fault, a lost device, or resource exhaustion — as opposed to
+// a programming error such as a type mismatch. Layers above treat fault
+// failures as a property of the attempted configuration (retry, then
+// degrade) and programming errors as bugs (abort).
+func IsFault(err error) bool {
+	var e *Error
+	if errors.As(err, &e) {
+		return e.Injected || e.Status == StatusMemObjectAllocationFailure ||
+			e.Status == StatusDeviceNotAvailable
+	}
+	var p *fault.PanicError
+	return errors.As(err, &p)
+}
+
+// statusFor maps an injected fault kind to its CL-style status.
+func statusFor(k fault.Kind) Status {
+	switch k {
+	case fault.Write, fault.Read:
+		return StatusOutOfHostMemory
+	case fault.Launch:
+		return StatusOutOfResources
+	case fault.Alloc:
+		return StatusMemObjectAllocationFailure
+	case fault.DevLost:
+		return StatusDeviceNotAvailable
+	default:
+		return StatusOutOfResources
+	}
+}

@@ -1,0 +1,181 @@
+package ocl
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/hw"
+	"repro/internal/kir"
+	"repro/internal/precision"
+)
+
+// faultCtx builds a context whose system carries the given script.
+func faultCtx(script ...fault.ScriptRule) *Context {
+	sys := hw.System1()
+	sys.Faults = &fault.Spec{Script: script}
+	return NewContext(sys)
+}
+
+func TestInjectedWriteError(t *testing.T) {
+	ctx := faultCtx(fault.ScriptRule{Kind: fault.Write, From: 0, To: 1})
+	q := NewQueue(ctx)
+	b := ctx.MustCreateBuffer("A", precision.Single, 4)
+	err := q.WriteBuffer(b, precision.NewArray(precision.Single, 4))
+	var e *Error
+	if !errors.As(err, &e) {
+		t.Fatalf("want *ocl.Error, got %v", err)
+	}
+	if e.Status != StatusOutOfHostMemory || !e.Injected {
+		t.Errorf("error = %+v", e)
+	}
+	if !e.Transient() || !IsTransient(err) || !IsFault(err) {
+		t.Error("injected write must classify as transient fault")
+	}
+	// Decision 1 is past the script window: the retry succeeds.
+	if err := q.WriteBuffer(b, precision.NewArray(precision.Single, 4)); err != nil {
+		t.Errorf("second write should succeed, got %v", err)
+	}
+}
+
+func TestInjectedAllocError(t *testing.T) {
+	ctx := faultCtx(fault.ScriptRule{Kind: fault.Alloc, From: 0, To: 1})
+	_, err := ctx.CreateBuffer("A", precision.Single, 4)
+	var e *Error
+	if !errors.As(err, &e) {
+		t.Fatalf("want *ocl.Error, got %v", err)
+	}
+	if e.Status != StatusMemObjectAllocationFailure || !IsFault(err) {
+		t.Errorf("error = %+v", e)
+	}
+	// A failed allocation must not leak into the accounting.
+	if ctx.AllocatedBytes() != 0 {
+		t.Errorf("allocated = %d after failed alloc", ctx.AllocatedBytes())
+	}
+	if _, err := ctx.CreateBuffer("A", precision.Single, 4); err != nil {
+		t.Errorf("second alloc should succeed, got %v", err)
+	}
+}
+
+func TestInjectedLaunchError(t *testing.T) {
+	ctx := faultCtx(fault.ScriptRule{Kind: fault.Launch, From: 0, To: 1})
+	q := NewQueue(ctx)
+	k := kir.NewKernel("id", 1).InOut("b").
+		Body(kir.Put("b", kir.Gid(0), kir.At("b", kir.Gid(0)))).MustBuild()
+	b := ctx.MustCreateBuffer("b", precision.Double, 4)
+	err := q.Launch(kir.MustCompile(k), [2]int{4, 1}, []*Buffer{b}, nil, nil)
+	var e *Error
+	if !errors.As(err, &e) || e.Status != StatusOutOfResources {
+		t.Fatalf("want CL_OUT_OF_RESOURCES, got %v", err)
+	}
+	// No kernel event must be recorded for the failed launch.
+	for _, ev := range q.Events() {
+		if ev.Kind == EvKernel {
+			t.Error("failed launch recorded a kernel event")
+		}
+	}
+}
+
+// TestDeviceLostSticky checks that a device-lost fault is permanent for
+// the context: every later operation fails with the same status even
+// though the script window has passed.
+func TestDeviceLostSticky(t *testing.T) {
+	ctx := faultCtx(fault.ScriptRule{Kind: fault.DevLost, From: 0, To: 1})
+	_, err := ctx.CreateBuffer("A", precision.Single, 4)
+	var e *Error
+	if !errors.As(err, &e) || e.Status != StatusDeviceNotAvailable {
+		t.Fatalf("want CL_DEVICE_NOT_AVAILABLE, got %v", err)
+	}
+	if e.Transient() || IsTransient(err) {
+		t.Error("device loss must not classify as transient")
+	}
+	if !IsFault(err) {
+		t.Error("device loss is still a fault")
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := ctx.CreateBuffer("B", precision.Single, 4); !errors.As(err, &e) || e.Status != StatusDeviceNotAvailable {
+			t.Fatalf("op %d after device loss: %v", i, err)
+		}
+	}
+}
+
+// TestNaNPoison checks that a tripped NaN fault corrupts exactly one
+// element of a written buffer after a successful launch, with no error.
+func TestNaNPoison(t *testing.T) {
+	ctx := faultCtx(fault.ScriptRule{Kind: fault.NaN, From: 0, To: 1})
+	q := NewQueue(ctx)
+	k := kir.NewKernel("fill", 1).Out("b").
+		Body(kir.Put("b", kir.Gid(0), kir.F(1))).MustBuild()
+	b := ctx.MustCreateBuffer("b", precision.Double, 16)
+	if err := q.Launch(kir.MustCompile(k), [2]int{16, 1}, []*Buffer{b}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := q.MustReadBuffer(b)
+	nans := 0
+	for i := 0; i < out.Len(); i++ {
+		if math.IsNaN(out.Get(i)) {
+			nans++
+		}
+	}
+	if nans != 1 {
+		t.Errorf("poisoned %d elements, want exactly 1", nans)
+	}
+}
+
+func TestMustCreateBufferPanicsOnInjection(t *testing.T) {
+	ctx := faultCtx(fault.ScriptRule{Kind: fault.Alloc, From: 0, To: 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCreateBuffer must panic on an injected failure")
+		}
+	}()
+	ctx.MustCreateBuffer("A", precision.Single, 4)
+}
+
+// TestInjectionDeterministic runs the same op sequence twice under rate
+// sampling and checks the error sequence is identical.
+func TestInjectionDeterministic(t *testing.T) {
+	run := func() []bool {
+		sys := hw.System1()
+		spec, err := fault.Parse("write:0.3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Faults = spec.WithSeed(42)
+		ctx := NewContext(sys)
+		q := NewQueue(ctx)
+		b := ctx.MustCreateBuffer("A", precision.Single, 4)
+		var fails []bool
+		for i := 0; i < 50; i++ {
+			fails = append(fails, q.WriteBuffer(b, precision.NewArray(precision.Single, 4)) != nil)
+		}
+		return fails
+	}
+	a, b := run(), run()
+	any := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged", i)
+		}
+		any = any || a[i]
+	}
+	if !any {
+		t.Error("0.3 write rate produced no failures in 50 ops")
+	}
+}
+
+func TestIsFaultClassification(t *testing.T) {
+	if !IsFault(&fault.PanicError{Value: "x"}) {
+		t.Error("recovered panics are faults")
+	}
+	if !IsFault(&Error{Status: StatusMemObjectAllocationFailure}) {
+		t.Error("genuine allocation exhaustion is a fault")
+	}
+	if IsFault(&Error{Status: StatusInvalidValue}) {
+		t.Error("a validation error is a programming error, not a fault")
+	}
+	if IsFault(errors.New("plain")) || IsTransient(errors.New("plain")) {
+		t.Error("plain errors are not faults")
+	}
+}

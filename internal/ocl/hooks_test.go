@@ -20,12 +20,12 @@ func makeTrace(t *testing.T) *Queue {
 	t.Helper()
 	ctx := newCtx()
 	q := NewQueue(ctx)
-	b := ctx.CreateBuffer("a", precision.Double, 32)
+	b := ctx.MustCreateBuffer("a", precision.Double, 32)
 	if err := q.WriteBuffer(b, precision.NewArray(precision.Double, 32)); err != nil {
 		t.Fatal(err)
 	}
-	q.DeviceConvert(b, precision.Single)
-	q.ReadBuffer(b)
+	q.MustDeviceConvert(b, precision.Single)
+	q.MustReadBuffer(b)
 	return q
 }
 
@@ -65,12 +65,12 @@ func TestMultiHookDispatch(t *testing.T) {
 	ctx.AddHook(h1)
 	ctx.AddHook(h2)
 	q := NewQueue(ctx)
-	b := ctx.CreateBuffer("a", precision.Double, 16)
+	b := ctx.MustCreateBuffer("a", precision.Double, 16)
 	if err := q.WriteBuffer(b, precision.NewArray(precision.Double, 16)); err != nil {
 		t.Fatal(err)
 	}
-	q.DeviceConvert(b, precision.Half)
-	q.ReadBuffer(b)
+	q.MustDeviceConvert(b, precision.Half)
+	q.MustReadBuffer(b)
 
 	if len(h1.events) != 3 {
 		t.Fatalf("hook 1 saw %d events, want 3", len(h1.events))
@@ -106,7 +106,7 @@ func TestHookPanicNotSwallowed(t *testing.T) {
 	ctx := newCtx()
 	ctx.AddHook(panicHook{})
 	q := NewQueue(ctx)
-	b := ctx.CreateBuffer("a", precision.Double, 8)
+	b := ctx.MustCreateBuffer("a", precision.Double, 8)
 	defer func() {
 		r := recover()
 		if r == nil {

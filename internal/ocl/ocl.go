@@ -13,8 +13,10 @@ package ocl
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/kir"
 	"repro/internal/precision"
@@ -113,11 +115,40 @@ type Context struct {
 	hooks     []Hook
 	nextID    int
 	allocated int
+	// inj samples the system's fault spec (nil when injection is off).
+	// lost marks a sticky device-lost fault: once tripped, every later
+	// operation on the context fails with StatusDeviceNotAvailable.
+	inj  *fault.Injector
+	lost bool
 }
 
-// NewContext creates a context for the given system.
+// NewContext creates a context for the given system. When the system
+// carries a fault spec, the context owns a fresh injector seeded from
+// the spec and the system's FaultSalt, so the failure sequence is a pure
+// function of the operation sequence issued on the context.
 func NewContext(sys *hw.System) *Context {
-	return &Context{sys: sys}
+	return &Context{sys: sys, inj: fault.NewInjector(sys.Faults, sys.FaultSalt)}
+}
+
+// preOp consumes one fault decision ahead of an operation of kind k,
+// returning the injected failure if the operation must fail. The
+// device-lost stream is sampled first on every operation: it is sticky,
+// so after one trip the context only ever reports a lost device.
+func (c *Context) preOp(k fault.Kind, op, detail string) error {
+	if c.inj == nil {
+		return nil
+	}
+	if c.lost {
+		return &Error{Status: StatusDeviceNotAvailable, Op: op, Detail: detail, Injected: true}
+	}
+	if c.inj.Trip(fault.DevLost) {
+		c.lost = true
+		return &Error{Status: StatusDeviceNotAvailable, Op: op, Detail: detail, Injected: true}
+	}
+	if c.inj.Trip(k) {
+		return &Error{Status: statusFor(k), Op: op, Detail: detail, Injected: true}
+	}
+	return nil
 }
 
 // System returns the hardware model behind the context.
@@ -142,18 +173,38 @@ type Buffer struct {
 
 // CreateBuffer allocates a device buffer of n elements at precision t.
 // The name is a debugging label (typically the memory object name).
-// Allocations beyond the device's global memory panic: the simulated
-// workloads are sized orders of magnitude below it, so exceeding it is a
-// programming error, not a runtime condition.
-func (c *Context) CreateBuffer(name string, t precision.Type, n int) *Buffer {
-	c.allocated += n * t.Size()
-	if limit := int(c.sys.GPU.GlobalMemGB * 1e9); limit > 0 && c.allocated > limit {
-		panic(fmt.Sprintf("ocl: device memory exhausted allocating %q: %d bytes > %.0f GB", name, c.allocated, c.sys.GPU.GlobalMemGB))
+// Allocation is the runtime's ENOMEM surface: exceeding the device's
+// global memory — or tripping an injected alloc fault — returns a typed
+// *Error with StatusMemObjectAllocationFailure instead of panicking, so
+// the layers above can retry or degrade.
+func (c *Context) CreateBuffer(name string, t precision.Type, n int) (*Buffer, error) {
+	if err := c.preOp(fault.Alloc, "alloc", name); err != nil {
+		return nil, err
 	}
+	next := c.allocated + n*t.Size()
+	if limit := int(c.sys.GPU.GlobalMemGB * 1e9); limit > 0 && next > limit {
+		return nil, &Error{
+			Status: StatusMemObjectAllocationFailure, Op: "alloc", Detail: name,
+			Err: fmt.Errorf("%d bytes > %.0f GB device memory", next, c.sys.GPU.GlobalMemGB),
+		}
+	}
+	c.allocated = next
 	b := &Buffer{id: c.nextID, name: name, arr: precision.NewArray(t, n), ctx: c}
 	c.nextID++
 	for _, h := range c.hooks {
 		h.BufferCreated(b)
+	}
+	return b, nil
+}
+
+// MustCreateBuffer is CreateBuffer for call sites where failure is
+// impossible by construction (fault-free contexts sized far below device
+// memory — tests, and cache replay of allocations that already succeeded
+// when recorded). It panics on error.
+func (c *Context) MustCreateBuffer(name string, t precision.Type, n int) *Buffer {
+	b, err := c.CreateBuffer(name, t, n)
+	if err != nil {
+		panic(err)
 	}
 	return b
 }
@@ -296,10 +347,15 @@ func bufID(b *Buffer) int {
 // in this runtime (the convert package composes them).
 func (q *Queue) WriteBuffer(dst *Buffer, src *precision.Array) error {
 	if src.Elem() != dst.Elem() {
-		return fmt.Errorf("ocl: write to %s: host data is %v, buffer is %v", dst.name, src.Elem(), dst.Elem())
+		return &Error{Status: StatusInvalidValue, Op: "write", Detail: dst.name,
+			Err: fmt.Errorf("host data is %v, buffer is %v", src.Elem(), dst.Elem())}
 	}
 	if src.Len() != dst.Len() {
-		return fmt.Errorf("ocl: write to %s: host has %d elements, buffer %d", dst.name, src.Len(), dst.Len())
+		return &Error{Status: StatusInvalidValue, Op: "write", Detail: dst.name,
+			Err: fmt.Errorf("host has %d elements, buffer %d", src.Len(), dst.Len())}
+	}
+	if err := q.ctx.preOp(fault.Write, "write", dst.name); err != nil {
+		return err
 	}
 	dst.arr.CopyFrom(src)
 	bytes := src.Bytes()
@@ -314,7 +370,10 @@ func (q *Queue) WriteBuffer(dst *Buffer, src *precision.Array) error {
 
 // ReadBuffer transfers the device buffer back to a host array of the same
 // precision.
-func (q *Queue) ReadBuffer(src *Buffer) *precision.Array {
+func (q *Queue) ReadBuffer(src *Buffer) (*precision.Array, error) {
+	if err := q.ctx.preOp(fault.Read, "read", src.name); err != nil {
+		return nil, err
+	}
 	out := src.arr.Clone()
 	bytes := src.Bytes()
 	q.record(Event{
@@ -323,6 +382,16 @@ func (q *Queue) ReadBuffer(src *Buffer) *precision.Array {
 		Buffer:   src.id, Bytes: bytes, Elems: src.Len(),
 		Src: src.Elem(), Dst: src.Elem(),
 	})
+	return out, nil
+}
+
+// MustReadBuffer is ReadBuffer for fault-free contexts, where a read
+// cannot fail. It panics on error; tests use it.
+func (q *Queue) MustReadBuffer(src *Buffer) *precision.Array {
+	out, err := q.ReadBuffer(src)
+	if err != nil {
+		panic(err)
+	}
 	return out
 }
 
@@ -330,21 +399,39 @@ func (q *Queue) ReadBuffer(src *Buffer) *precision.Array {
 // buffer of the same length at precision dst. Cost is the larger of
 // conversion-instruction throughput and memory traffic, plus a kernel
 // launch. The source buffer is unchanged.
-func (q *Queue) DeviceConvert(src *Buffer, dst precision.Type) *Buffer {
+func (q *Queue) DeviceConvert(src *Buffer, dst precision.Type) (*Buffer, error) {
 	return q.deviceConvert(src, dst, DirNone)
+}
+
+// MustDeviceConvert is DeviceConvert for fault-free contexts; it panics
+// on error. Tests use it.
+func (q *Queue) MustDeviceConvert(src *Buffer, dst precision.Type) *Buffer {
+	out, err := q.DeviceConvert(src, dst)
+	if err != nil {
+		panic(err)
+	}
+	return out
 }
 
 // DeviceConvertDirected is DeviceConvert but tags the event with the
 // transfer direction it serves, for trace attribution.
-func (q *Queue) DeviceConvertDirected(src *Buffer, dst precision.Type, dir Dir) *Buffer {
+func (q *Queue) DeviceConvertDirected(src *Buffer, dst precision.Type, dir Dir) (*Buffer, error) {
 	return q.deviceConvert(src, dst, dir)
 }
 
 // deviceConvert records the conversion with its direction already set,
 // so hooks observe the same event that ends up in the queue's trace
 // (patching the direction after record would let hooks see a stale one).
-func (q *Queue) deviceConvert(src *Buffer, dst precision.Type, dir Dir) *Buffer {
-	out := q.ctx.CreateBuffer(src.name, dst, src.Len())
+// A conversion is a kernel: it draws from the launch fault stream, and
+// its staging allocation from the alloc stream.
+func (q *Queue) deviceConvert(src *Buffer, dst precision.Type, dir Dir) (*Buffer, error) {
+	if err := q.ctx.preOp(fault.Launch, "convert", src.name); err != nil {
+		return nil, err
+	}
+	out, err := q.ctx.CreateBuffer(src.name, dst, src.Len())
+	if err != nil {
+		return nil, err
+	}
 	out.arr.CopyFrom(src.arr)
 	q.record(Event{
 		Kind: EvDeviceConvert, Dir: dir,
@@ -353,7 +440,7 @@ func (q *Queue) deviceConvert(src *Buffer, dst precision.Type, dir Dir) *Buffer 
 		Bytes: src.Bytes() + out.Bytes(),
 		Src:   src.Elem(), Dst: dst,
 	})
-	return out
+	return out, nil
 }
 
 // DeviceConvertTime is the pure timing model behind DeviceConvert,
@@ -375,6 +462,9 @@ func DeviceConvertTime(sys *hw.System, n int, src, dst precision.Type) float64 {
 // In-Kernel scaling view (see kir.ExecEnv.ComputeAs); pass nil for plain
 // execution at buffer precision.
 func (q *Queue) Launch(p *kir.Program, global [2]int, bufs []*Buffer, intArgs []int64, computeAs []precision.Type) error {
+	if err := q.ctx.preOp(fault.Launch, "launch", p.Kernel.Name); err != nil {
+		return err
+	}
 	arrs := make([]*precision.Array, len(bufs))
 	ids := make([]int, len(bufs))
 	for i, b := range bufs {
@@ -388,7 +478,7 @@ func (q *Queue) Launch(p *kir.Program, global [2]int, bufs []*Buffer, intArgs []
 		Global:    global,
 	})
 	if err != nil {
-		return fmt.Errorf("ocl: launch %s: %w", p.Kernel.Name, err)
+		return &Error{Status: StatusInvalidKernelArgs, Op: "launch", Detail: p.Kernel.Name, Err: err}
 	}
 	q.record(Event{
 		Kind: EvKernel, Dir: DirNone,
@@ -398,7 +488,36 @@ func (q *Queue) Launch(p *kir.Program, global [2]int, bufs []*Buffer, intArgs []
 		ArgBuffers: ids,
 		Counts:     counts,
 	})
+	q.maybePoison(p, bufs)
 	return nil
+}
+
+// maybePoison implements the "nan" fault kind: after a successful
+// launch, a trip silently overwrites one element of one kernel-written
+// buffer with NaN. No error is produced — the corruption surfaces later
+// as a quality (TOQ) failure, exactly like silent data corruption on
+// real hardware.
+func (q *Queue) maybePoison(p *kir.Program, bufs []*Buffer) {
+	c := q.ctx
+	if c.inj == nil || c.lost || !c.inj.Trip(fault.NaN) {
+		return
+	}
+	written := p.WrittenParams()
+	var cands []*Buffer
+	for i, b := range bufs {
+		if i < len(written) && written[i] && b.Len() > 0 {
+			cands = append(cands, b)
+		}
+	}
+	if len(cands) == 0 {
+		return
+	}
+	b := cands[c.inj.Pick(len(cands))]
+	b.arr.Data()[c.inj.Pick(b.Len())] = math.NaN()
+	// The poisoned contents no longer match any version the incremental
+	// evaluator may have tagged; drop the tag. (The evaluator is disabled
+	// under injection anyway — this keeps the invariant locally true.)
+	b.contentVersion = 0
 }
 
 // Breakdown sums the trace into the paper's three phases: host-to-device

@@ -13,14 +13,14 @@ func newCtx() *Context { return NewContext(hw.System1()) }
 
 func TestCreateBuffer(t *testing.T) {
 	ctx := newCtx()
-	b := ctx.CreateBuffer("A", precision.Single, 128)
+	b := ctx.MustCreateBuffer("A", precision.Single, 128)
 	if b.Name() != "A" || b.Elem() != precision.Single || b.Len() != 128 {
 		t.Fatalf("buffer fields: %s %v %d", b.Name(), b.Elem(), b.Len())
 	}
 	if b.Bytes() != 128*4 {
 		t.Errorf("Bytes = %d", b.Bytes())
 	}
-	b2 := ctx.CreateBuffer("B", precision.Half, 1)
+	b2 := ctx.MustCreateBuffer("B", precision.Half, 1)
 	if b2.ID() == b.ID() {
 		t.Error("buffer ids must be unique")
 	}
@@ -29,12 +29,12 @@ func TestCreateBuffer(t *testing.T) {
 func TestWriteReadRoundTrip(t *testing.T) {
 	ctx := newCtx()
 	q := NewQueue(ctx)
-	b := ctx.CreateBuffer("A", precision.Double, 4)
+	b := ctx.MustCreateBuffer("A", precision.Double, 4)
 	src := precision.FromSlice(precision.Double, []float64{1, 2, 3, 4})
 	if err := q.WriteBuffer(b, src); err != nil {
 		t.Fatal(err)
 	}
-	got := q.ReadBuffer(b)
+	got := q.MustReadBuffer(b)
 	for i := 0; i < 4; i++ {
 		if got.Get(i) != src.Get(i) {
 			t.Fatalf("elem %d: %v != %v", i, got.Get(i), src.Get(i))
@@ -61,7 +61,7 @@ func TestWriteReadRoundTrip(t *testing.T) {
 func TestWriteMismatches(t *testing.T) {
 	ctx := newCtx()
 	q := NewQueue(ctx)
-	b := ctx.CreateBuffer("A", precision.Single, 4)
+	b := ctx.MustCreateBuffer("A", precision.Single, 4)
 	if err := q.WriteBuffer(b, precision.NewArray(precision.Double, 4)); err == nil {
 		t.Error("type mismatch should error")
 	}
@@ -74,12 +74,12 @@ func TestTransferTimeScalesWithType(t *testing.T) {
 	ctx := newCtx()
 	n := 1 << 20
 	qd := NewQueue(ctx)
-	bd := ctx.CreateBuffer("A", precision.Double, n)
+	bd := ctx.MustCreateBuffer("A", precision.Double, n)
 	if err := qd.WriteBuffer(bd, precision.NewArray(precision.Double, n)); err != nil {
 		t.Fatal(err)
 	}
 	qh := NewQueue(ctx)
-	bh := ctx.CreateBuffer("A", precision.Half, n)
+	bh := ctx.MustCreateBuffer("A", precision.Half, n)
 	if err := qh.WriteBuffer(bh, precision.NewArray(precision.Half, n)); err != nil {
 		t.Fatal(err)
 	}
@@ -94,11 +94,11 @@ func TestTransferTimeScalesWithType(t *testing.T) {
 func TestDeviceConvert(t *testing.T) {
 	ctx := newCtx()
 	q := NewQueue(ctx)
-	b := ctx.CreateBuffer("A", precision.Double, 3)
+	b := ctx.MustCreateBuffer("A", precision.Double, 3)
 	if err := q.WriteBuffer(b, precision.FromSlice(precision.Double, []float64{1, math.Pi, 70000})); err != nil {
 		t.Fatal(err)
 	}
-	h := q.DeviceConvert(b, precision.Half)
+	h := q.MustDeviceConvert(b, precision.Half)
 	if h.Elem() != precision.Half || h.Len() != 3 {
 		t.Fatal("converted buffer shape wrong")
 	}
@@ -124,7 +124,7 @@ func TestDeviceConvert(t *testing.T) {
 func TestDeviceConvertDirected(t *testing.T) {
 	ctx := newCtx()
 	q := NewQueue(ctx)
-	b := ctx.CreateBuffer("A", precision.Double, 2)
+	b := ctx.MustCreateBuffer("A", precision.Double, 2)
 	q.DeviceConvertDirected(b, precision.Single, DirDtoH)
 	if ev := q.Events()[len(q.Events())-1]; ev.Dir != DirDtoH {
 		t.Errorf("directed convert dir = %v", ev.Dir)
@@ -151,15 +151,15 @@ func TestLaunchKernel(t *testing.T) {
 		MustBuild()
 	p := kir.MustCompile(k)
 
-	a := ctx.CreateBuffer("a", precision.Double, 8)
-	b := ctx.CreateBuffer("b", precision.Double, 8)
+	a := ctx.MustCreateBuffer("a", precision.Double, 8)
+	b := ctx.MustCreateBuffer("b", precision.Double, 8)
 	if err := q.WriteBuffer(a, precision.FromSlice(precision.Double, []float64{1, 2, 3, 4, 5, 6, 7, 8})); err != nil {
 		t.Fatal(err)
 	}
 	if err := q.Launch(p, [2]int{8, 1}, []*Buffer{a, b}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	out := q.ReadBuffer(b)
+	out := q.MustReadBuffer(b)
 	if out.Get(3) != 8 {
 		t.Fatalf("b[3] = %v, want 8", out.Get(3))
 	}
@@ -190,7 +190,7 @@ func TestLaunchError(t *testing.T) {
 		Body(kir.Put("b", kir.I(99), kir.F(1))).
 		MustBuild()
 	p := kir.MustCompile(k)
-	b := ctx.CreateBuffer("b", precision.Double, 4)
+	b := ctx.MustCreateBuffer("b", precision.Double, 4)
 	if err := q.Launch(p, [2]int{1, 1}, []*Buffer{b}, nil, nil); err == nil {
 		t.Error("out-of-bounds store should surface as launch error")
 	}
@@ -199,7 +199,7 @@ func TestLaunchError(t *testing.T) {
 func TestBreakdown(t *testing.T) {
 	ctx := newCtx()
 	q := NewQueue(ctx)
-	b := ctx.CreateBuffer("a", precision.Double, 1024)
+	b := ctx.MustCreateBuffer("a", precision.Double, 1024)
 	if err := q.WriteBuffer(b, precision.NewArray(precision.Double, 1024)); err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +210,7 @@ func TestBreakdown(t *testing.T) {
 	if err := q.Launch(kir.MustCompile(k), [2]int{4, 1}, []*Buffer{b}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	q.ReadBuffer(b)
+	q.MustReadBuffer(b)
 	htod, kernel, dtoh := q.Breakdown()
 	if htod <= 0.5 || kernel <= 0 || dtoh <= 0.25 {
 		t.Errorf("breakdown = %v %v %v", htod, kernel, dtoh)
@@ -233,11 +233,11 @@ func TestHooks(t *testing.T) {
 	h := &recordingHook{}
 	ctx.AddHook(h)
 	q := NewQueue(ctx)
-	b := ctx.CreateBuffer("a", precision.Single, 4)
+	b := ctx.MustCreateBuffer("a", precision.Single, 4)
 	if err := q.WriteBuffer(b, precision.NewArray(precision.Single, 4)); err != nil {
 		t.Fatal(err)
 	}
-	q.DeviceConvert(b, precision.Half) // creates a second buffer
+	q.MustDeviceConvert(b, precision.Half) // creates a second buffer
 	if h.buffers != 2 {
 		t.Errorf("hook saw %d buffers, want 2", h.buffers)
 	}
@@ -263,12 +263,12 @@ func TestDeterminism(t *testing.T) {
 	runOnce := func() float64 {
 		ctx := newCtx()
 		q := NewQueue(ctx)
-		b := ctx.CreateBuffer("a", precision.Double, 256)
+		b := ctx.MustCreateBuffer("a", precision.Double, 256)
 		if err := q.WriteBuffer(b, precision.NewArray(precision.Double, 256)); err != nil {
 			t.Fatal(err)
 		}
-		q.DeviceConvert(b, precision.Half)
-		q.ReadBuffer(b)
+		q.MustDeviceConvert(b, precision.Half)
+		q.MustReadBuffer(b)
 		return q.Now()
 	}
 	if runOnce() != runOnce() {
@@ -278,8 +278,8 @@ func TestDeterminism(t *testing.T) {
 
 func TestAllocationTracking(t *testing.T) {
 	ctx := newCtx()
-	ctx.CreateBuffer("a", precision.Double, 100)
-	ctx.CreateBuffer("b", precision.Half, 100)
+	ctx.MustCreateBuffer("a", precision.Double, 100)
+	ctx.MustCreateBuffer("b", precision.Half, 100)
 	if got := ctx.AllocatedBytes(); got != 100*8+100*2 {
 		t.Errorf("AllocatedBytes = %d", got)
 	}
@@ -289,5 +289,5 @@ func TestAllocationTracking(t *testing.T) {
 		}
 	}()
 	// Titan Xp has 12 GB: a 2G-element double buffer (16 GB) exceeds it.
-	ctx.CreateBuffer("huge", precision.Double, 2<<30)
+	ctx.MustCreateBuffer("huge", precision.Double, 2<<30)
 }

@@ -13,18 +13,18 @@ import (
 func TestWriteChromeTrace(t *testing.T) {
 	ctx := newCtx()
 	q := NewQueue(ctx)
-	b := ctx.CreateBuffer("a", precision.Double, 64)
+	b := ctx.MustCreateBuffer("a", precision.Double, 64)
 	if err := q.WriteBuffer(b, precision.NewArray(precision.Double, 64)); err != nil {
 		t.Fatal(err)
 	}
 	q.AddHostTime(1e-6, DirHtoD, b, 64, precision.Double, precision.Single)
-	q.DeviceConvert(b, precision.Half)
+	q.MustDeviceConvert(b, precision.Half)
 	k := kir.NewKernel("noopish", 1).InOut("b").
 		Body(kir.Put("b", kir.Gid(0), kir.At("b", kir.Gid(0)))).MustBuild()
 	if err := q.Launch(kir.MustCompile(k), [2]int{4, 1}, []*Buffer{b}, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	q.ReadBuffer(b)
+	q.MustReadBuffer(b)
 
 	var buf bytes.Buffer
 	if err := WriteChromeTrace(&buf, q.Events()); err != nil {

@@ -157,7 +157,9 @@ type Array struct {
 	data []float64
 }
 
-// NewArray allocates an Array of n zero elements at precision t.
+// NewArray allocates an Array of n zero elements at precision t. The
+// type must be valid and n non-negative; violating either is a
+// programmer error, so it panics rather than returning an error.
 func NewArray(t Type, n int) *Array {
 	if !t.Valid() {
 		panic("precision: NewArray with invalid type " + t.String())

@@ -403,7 +403,10 @@ func bufSpecs(created []*ocl.Buffer) []bufSpec {
 func (x *Exec) replayEntry(e *opEntry, subject *ocl.Buffer, args []*ocl.Buffer) []*ocl.Buffer {
 	created := make([]*ocl.Buffer, len(e.created))
 	for i, bs := range e.created {
-		created[i] = x.ctx.CreateBuffer(bs.name, bs.elem, bs.n)
+		// Must: the cache is bypassed on fault-injecting systems, and a
+		// replay repeats an allocation sequence that already succeeded when
+		// the entry was recorded, so failure here is an invariant violation.
+		created[i] = x.ctx.MustCreateBuffer(bs.name, bs.elem, bs.n)
 	}
 	for _, ce := range e.events {
 		ev := ce.ev

@@ -15,6 +15,7 @@ package prog
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/convert"
@@ -290,8 +291,11 @@ func Run(sys *hw.System, w *Workload, set InputSet, cfg *Config, hooks ...ocl.Ho
 // with bit-identical outputs, events, and timing. A nil cache means
 // plain execution. Systems with timing jitter bypass the cache entirely:
 // jittered durations depend on event position and cannot be replayed.
+// Systems with fault injection bypass it too: splicing cached results
+// would skip the runtime operations that drive the fault decision
+// stream (and could cache a poisoned output), breaking seed-determinism.
 func RunWithCache(sys *hw.System, w *Workload, set InputSet, cfg *Config, cache *EvalCache, hooks ...ocl.Hook) (*Result, error) {
-	if cache != nil && sys.TimingJitter > 0 {
+	if cache != nil && (sys.TimingJitter > 0 || sys.Faults != nil) {
 		cache = nil
 	}
 	if cache != nil {
@@ -432,7 +436,10 @@ func (x *Exec) ensureBuffer(obj string) (*ocl.Buffer, error) {
 		return nil, fmt.Errorf("object %q used before Write", obj)
 	}
 	oc := x.objectConfig(obj)
-	b := x.ctx.CreateBuffer(obj, x.storageType(oc), spec.Len)
+	b, err := x.ctx.CreateBuffer(obj, x.storageType(oc), spec.Len)
+	if err != nil {
+		return nil, err
+	}
 	if x.cache != nil {
 		// All zero-filled buffers of one shape share a content version.
 		b.SetContentVersion(x.cache.zeroVersion(b.Elem(), b.Len()))
@@ -574,18 +581,20 @@ func SortedOutputNames(ref *Result) []string {
 // by the caller. It streams the error sum in a single pass per output
 // array, allocating nothing; the accumulation order (sorted names, then
 // element order) matches Quality exactly, so both return bit-identical
-// values. A missing output counts as total loss for that object, i.e.
-// each element compares against zero.
+// values. Degraded outputs fail deterministically rather than poisoning
+// the comparison: a missing output, or one whose length does not match
+// the reference (a truncated or corrupted result), counts as total loss
+// for that object — each reference element compares against zero — and
+// non-finite elements on either side score the maximum per-element error
+// through precision.ElementError, so the returned quality is always a
+// finite value in [0, 1] and NaN/Inf-poisoned outputs simply fail TOQ.
 func QualityNamed(names []string, ref, res *Result) float64 {
 	var sum float64
 	var n int
 	for _, name := range names {
 		rd := ref.Outputs[name].Data()
-		if g, ok := res.Outputs[name]; ok {
+		if g, ok := res.Outputs[name]; ok && g.Len() == len(rd) {
 			gd := g.Data()
-			if len(rd) != len(gd) {
-				panic(fmt.Sprintf("prog: QualityNamed length mismatch for %q", name))
-			}
 			for i := range rd {
 				sum += precision.ElementError(rd[i], gd[i])
 			}
@@ -600,7 +609,7 @@ func QualityNamed(names []string, ref, res *Result) float64 {
 		return 1
 	}
 	q := 1 - sum/float64(n)
-	if q < 0 {
+	if q < 0 || math.IsNaN(q) {
 		return 0
 	}
 	return q

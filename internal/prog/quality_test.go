@@ -1,0 +1,80 @@
+package prog
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/precision"
+)
+
+// qres builds a Result with a single output holding the given values.
+func qres(vals ...float64) *Result {
+	return &Result{Outputs: map[string]*precision.Array{
+		"c": precision.FromSlice(precision.Double, vals),
+	}}
+}
+
+// TestQualityNaNPoisonedOutput: a NaN-poisoned output must fail TOQ
+// deterministically, never propagate NaN into the quality score.
+func TestQualityNaNPoisonedOutput(t *testing.T) {
+	ref := qres(1, 2, 3, 4)
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		q := Quality(ref, qres(1, bad, 3, 4))
+		if math.IsNaN(q) || math.IsInf(q, 0) {
+			t.Fatalf("quality(%v) = %v, must be finite", bad, q)
+		}
+		if q < 0 || q > 1 {
+			t.Fatalf("quality(%v) = %v, outside [0,1]", bad, q)
+		}
+		// One of four elements at maximum error: quality is 0.75 exactly.
+		if q != 0.75 {
+			t.Errorf("quality with one poisoned element of four = %v, want 0.75", q)
+		}
+	}
+}
+
+// TestQualityNaNInReference: non-finite reference elements also score
+// the maximum per-element error instead of poisoning the sum.
+func TestQualityNaNInReference(t *testing.T) {
+	q := Quality(qres(1, math.NaN()), qres(1, 2))
+	if math.IsNaN(q) || q < 0 || q > 1 {
+		t.Errorf("quality = %v", q)
+	}
+}
+
+// TestQualityAllPoisoned: a fully non-finite output is total loss.
+func TestQualityAllPoisoned(t *testing.T) {
+	n := math.NaN()
+	if q := Quality(qres(1, 2, 3), qres(n, n, n)); q != 0 {
+		t.Errorf("all-NaN quality = %v, want 0", q)
+	}
+}
+
+// TestQualityLengthMismatch: a truncated output counts as total loss for
+// that object rather than panicking.
+func TestQualityLengthMismatch(t *testing.T) {
+	q := Quality(qres(1, 2, 3, 4), qres(1, 2))
+	if math.IsNaN(q) || q > 0.5 {
+		t.Errorf("truncated output quality = %v, want low and finite", q)
+	}
+}
+
+// TestQualityPoisonFailsTOQEndToEnd: a run whose output picked up a NaN
+// scores below any reasonable TOQ against the clean reference.
+func TestQualityPoisonFailsTOQEndToEnd(t *testing.T) {
+	w := testWorkload(16)
+	sys := hw.System1()
+	ref, err := Run(sys, w, InputDefault, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(sys, w, InputDefault, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Outputs["c"].Data()[3] = math.NaN()
+	if q := Quality(ref, res); math.IsNaN(q) || q >= 1 {
+		t.Errorf("poisoned run quality = %v, want finite < 1", q)
+	}
+}

@@ -28,6 +28,7 @@
 package scaler
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -35,6 +36,7 @@ import (
 	"sync"
 
 	"repro/internal/convert"
+	"repro/internal/fault"
 	"repro/internal/hw"
 	"repro/internal/inspect"
 	"repro/internal/obs"
@@ -77,6 +79,18 @@ type Options struct {
 	// artifact are bit-identical for any Workers value (see DESIGN.md,
 	// "Determinism under parallelism").
 	Workers int
+	// Retries bounds how many times a trial whose execution failed with a
+	// transient runtime fault (see internal/fault) is re-attempted before
+	// the candidate is abandoned. Each retry runs under a fresh fault salt
+	// after a deterministic backoff accounted on the virtual clock. With
+	// fault injection off the runtime never fails transiently, so the
+	// value is inert. A candidate that exhausts its retries (or hits a
+	// non-transient fault) is treated exactly like a TOQ failure: the
+	// search degrades around it instead of aborting.
+	Retries int
+	// RetryBackoff is the simulated backoff in seconds before the first
+	// retry; successive retries double it. Zero selects the 1ms default.
+	RetryBackoff float64
 	// EvalCache, when non-nil, shares op-level results across every trial
 	// of the search (and across speculative workers): program ops whose
 	// inputs match a previously recorded execution are spliced from the
@@ -92,7 +106,58 @@ type Options struct {
 
 // DefaultOptions returns the paper's evaluation settings.
 func DefaultOptions() Options {
-	return Options{TOQ: 0.90, InputSet: prog.InputDefault}
+	return Options{TOQ: 0.90, InputSet: prog.InputDefault, Retries: 2}
+}
+
+// defaultRetryBackoff is the simulated pre-retry delay when Options
+// leaves RetryBackoff zero.
+const defaultRetryBackoff = 1e-3
+
+// TrialError reports that a candidate configuration could not be
+// executed because of runtime faults: every bounded retry failed, or a
+// non-transient fault (device lost, allocation failure) made retrying
+// pointless. Callers inside the search treat it as a TOQ failure for
+// that candidate; it escapes Search only if even the baseline
+// configuration cannot run.
+type TrialError struct {
+	// Label names the trial, matching its trace span.
+	Label string
+	// Attempts is the number of executions tried.
+	Attempts int
+	// Err is the last attempt's failure.
+	Err error
+}
+
+func (e *TrialError) Error() string {
+	return fmt.Sprintf("scaler: trial %q failed after %d attempt(s): %v", e.Label, e.Attempts, e.Err)
+}
+
+func (e *TrialError) Unwrap() error { return e.Err }
+
+// IsTrialFailure reports whether err marks a candidate that could not
+// be executed (retries exhausted or a non-transient fault), which the
+// search layers treat as a failed — not fatal — trial.
+func IsTrialFailure(err error) bool {
+	var te *TrialError
+	return errors.As(err, &te)
+}
+
+// isPanicError reports whether err wraps a recovered panic.
+func isPanicError(err error) bool {
+	var pe *fault.PanicError
+	return errors.As(err, &pe)
+}
+
+// faultOp extracts a short label for the failed operation, for metrics.
+func faultOp(err error) string {
+	var oe *ocl.Error
+	if errors.As(err, &oe) {
+		return oe.Op
+	}
+	if isPanicError(err) {
+		return "panic"
+	}
+	return "other"
 }
 
 // trialRecord memoizes one executed configuration.
@@ -215,8 +280,15 @@ func (s *Scaler) speculate(cfgs []*prog.Config) {
 		// both consumes and seeds op entries. Discarded runs may leave
 		// entries behind — they are interchangeable with what a live run
 		// would record, so results stay schedule-independent (only the
-		// hit/miss split varies).
-		res, err := prog.RunWithCache(s.sys.Clone(), s.w, s.opts.InputSet, todo[i], s.opts.EvalCache, rec)
+		// hit/miss split varies). A panicking worker is isolated the same
+		// way a failing one is: its run is dropped and re-executes (and
+		// fails identically, now surfaced) on the sequential path.
+		var res *prog.Result
+		err := fault.Guard(func() error {
+			r, e := prog.RunWithCache(s.sys.Clone(), s.w, s.opts.InputSet, todo[i], s.opts.EvalCache, rec)
+			res = r
+			return e
+		})
 		if err != nil {
 			return
 		}
@@ -386,9 +458,19 @@ func (s *Scaler) runTrial(cfg *prog.Config, label string) (*trialRecord, bool, e
 		}
 		res = st.res
 	} else {
-		var err error
-		res, err = prog.RunWithCache(s.sys, s.w, s.opts.InputSet, cfg, s.opts.EvalCache, o.RunHook())
+		err := s.retryFaults(label, func() error {
+			r, e := prog.RunWithCache(s.sys, s.w, s.opts.InputSet, cfg, s.opts.EvalCache, o.RunHook())
+			if e != nil {
+				return e
+			}
+			res = r
+			return nil
+		})
 		if err != nil {
+			if sp != nil {
+				sp.SetAttr("error", err.Error())
+				tr.End(sp)
+			}
 			return nil, false, err
 		}
 	}
@@ -409,6 +491,56 @@ func (s *Scaler) runTrial(cfg *prog.Config, label string) (*trialRecord, bool, e
 		m.Counter("toq_outcome", obs.L("result", "fail")).Inc()
 	}
 	return rec, false, nil
+}
+
+// retryFaults executes fn — one simulated program run, panic-isolated —
+// with bounded retries. A transient injected fault or a recovered panic
+// is retried under a fresh per-attempt fault salt (base+attempt, so the
+// deterministic decision stream is re-drawn instead of repeating) after
+// a deterministic exponential backoff accounted on the observer's
+// virtual clock. A non-transient fault (device lost, allocation
+// failure) or retry exhaustion returns a *TrialError, which callers
+// treat as a TOQ failure for the candidate; any non-fault error is a
+// programming error and is returned as-is to abort the search.
+func (s *Scaler) retryFaults(label string, fn func() error) error {
+	o := s.opts.Obs
+	baseSalt := s.sys.FaultSalt
+	defer func() { s.sys.FaultSalt = baseSalt }()
+	backoff := s.opts.RetryBackoff
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
+	}
+	for attempt := 0; ; attempt++ {
+		s.sys.FaultSalt = baseSalt + uint64(attempt)
+		err := fault.Guard(fn)
+		if err == nil {
+			return nil
+		}
+		if !ocl.IsFault(err) {
+			return err
+		}
+		m := o.Metrics()
+		m.Counter("trial_faults", obs.L("op", faultOp(err))).Inc()
+		retryable := ocl.IsTransient(err) || isPanicError(err)
+		if !retryable || attempt >= s.opts.Retries {
+			m.Counter("trials_failed").Inc()
+			if j := o.Journal(); j != nil {
+				j.Note("trial %s abandoned after %d attempt(s): %v", label, attempt+1, err)
+			}
+			return &TrialError{Label: label, Attempts: attempt + 1, Err: err}
+		}
+		d := backoff * float64(uint64(1)<<uint(attempt))
+		if tr := o.Tracer(); tr != nil {
+			tr.Emit("retry "+label, "fault", obs.RowPipeline, tr.Now(), d,
+				obs.A("attempt", attempt+1), obs.A("error", err.Error()))
+		}
+		o.Advance(d)
+		m.Counter("trial_retries").Inc()
+		if j := o.Journal(); j != nil {
+			j.Note("trial %s: transient fault (%v); retry %d/%d after %.2gms backoff",
+				label, err, attempt+1, s.opts.Retries, d*1e3)
+		}
+	}
 }
 
 // quality evaluates res against the reference, reusing the sorted output
@@ -513,9 +645,22 @@ func (s *Scaler) Search() (*Result, error) {
 	}
 
 	// Application profiling (also the baseline trial and quality
-	// reference).
+	// reference). The profiling run is retried like any trial, but its
+	// failure is fatal: without a profile and a quality reference there is
+	// no known-safe configuration to degrade to.
 	spProf := tr.Start("profile", "pipeline")
-	info, ref, err := profile.ProfileCached(s.sys, s.w, s.opts.InputSet, s.opts.EvalCache, o.RunHook())
+	var (
+		info *profile.AppInfo
+		ref  *prog.Result
+	)
+	err := s.retryFaults("profile", func() error {
+		i, r, e := profile.ProfileCached(s.sys, s.w, s.opts.InputSet, s.opts.EvalCache, o.RunHook())
+		if e != nil {
+			return e
+		}
+		info, ref = i, r
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -563,14 +708,29 @@ func (s *Scaler) Search() (*Result, error) {
 	}
 
 	// Final measurement (memoized when the last accepted configuration
-	// was already executed). If a wildcard slipped below TOQ without a
-	// validation run, fall back progressively by re-running the decision
-	// with transient conversion disabled — in practice the guarded
-	// wildcard acceptance makes this extremely rare.
+	// was already executed). Two degradation ladders share the fallback
+	// chain: a final config that misses TOQ (an unvalidated wildcard
+	// slipped through — rare) and a final config that cannot execute at
+	// all (fault injection). Either way the search falls back to the best
+	// known-safe configuration instead of aborting: first transient
+	// conversions are stripped, and if even that cannot run, the baseline
+	// configuration — whose profiling run is memoized and therefore
+	// always available — is returned.
 	spFinal := tr.Start("validation", "pipeline")
 	final, _, err := s.runTrial(current, "final")
 	if err != nil {
-		return nil, err
+		if !IsTrialFailure(err) {
+			return nil, err
+		}
+		if j != nil {
+			j.FallbackUsed = true
+			j.Note("final configuration failed to execute (%v): falling back to best-known-safe config", err)
+		}
+		o.Metrics().Counter("final_fallbacks").Inc()
+		current, final, err = s.fallbackSafe(current)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if final.quality < s.opts.TOQ {
 		if j != nil {
@@ -579,8 +739,7 @@ func (s *Scaler) Search() (*Result, error) {
 				final.quality, s.opts.TOQ)
 		}
 		o.Metrics().Counter("final_fallbacks").Inc()
-		current = s.stripTransients(current)
-		final, _, err = s.runTrial(current, "fallback")
+		current, final, err = s.fallbackSafe(current)
 		if err != nil {
 			return nil, err
 		}
@@ -602,6 +761,33 @@ func (s *Scaler) Search() (*Result, error) {
 	tr.End(root)
 	s.recordOutcome(res, j)
 	return res, nil
+}
+
+// fallbackSafe degrades toward the best-known-safe configuration: first
+// cfg with its transient conversions stripped, and — if that cannot
+// execute either — the baseline configuration, whose record is memoized
+// from the profiling run and therefore always served without touching
+// the (possibly failing) runtime.
+func (s *Scaler) fallbackSafe(cfg *prog.Config) (*prog.Config, *trialRecord, error) {
+	o := s.opts.Obs
+	cur := s.stripTransients(cfg)
+	final, _, err := s.runTrial(cur, "fallback")
+	if err == nil {
+		return cur, final, nil
+	}
+	if !IsTrialFailure(err) {
+		return nil, nil, err
+	}
+	if j := o.Journal(); j != nil {
+		j.Note("fallback configuration failed to execute (%v): reverting to the baseline configuration", err)
+	}
+	o.Metrics().Counter("final_fallbacks").Inc()
+	cur = prog.Baseline(s.w)
+	final, _, err = s.runTrial(cur, "fallback-baseline")
+	if err != nil {
+		return nil, nil, err
+	}
+	return cur, final, nil
 }
 
 // recordOutcome fills the journal summary and the final-configuration
@@ -676,7 +862,17 @@ func (s *Scaler) fullPrecisionPass(types []precision.Type) (*prog.Config, error)
 		cfg := cfgs[i]
 		rec, cached, err := s.runTrial(cfg, "uniform "+t.String())
 		if err != nil {
-			return nil, err
+			if !IsTrialFailure(err) {
+				return nil, err
+			}
+			// A candidate that cannot execute is treated as a TOQ failure:
+			// assume monotonicity and stop the pass here.
+			if pass != nil {
+				pass.Attempts = append(pass.Attempts, obs.TrialNote{
+					Target: "all-" + t.String(), Verdict: "exec-fail",
+				})
+			}
+			break
 		}
 		note := obs.TrialNote{
 			Target: "all-" + t.String(), Total: rec.res.Total,
@@ -773,7 +969,18 @@ func (s *Scaler) searchObject(current *prog.Config, obj *profile.ObjectInfo, typ
 		plans := cfg.Objects[obj.Name].Plans
 		rec, cached, err := s.runTrial(cfg, obj.Name+" "+target.String())
 		if err != nil {
-			return nil, err
+			if !IsTrialFailure(err) {
+				return nil, err
+			}
+			// Treat an unexecutable candidate as a TOQ failure: stop the
+			// descent here and let the wildcard/fallback logic proceed from
+			// what has been accepted so far.
+			failed = target
+			note.AddAttempt(obs.TrialNote{Target: target.String(), Verdict: "exec-fail"})
+			if note != nil {
+				note.StopReason = "exec-fail at " + target.String()
+			}
+			break
 		}
 		kernelTime[target] = rec.res.KernelTime
 		tn := obs.TrialNote{
@@ -905,7 +1112,18 @@ func (s *Scaler) searchObject(current *prog.Config, obj *profile.ObjectInfo, typ
 			// accuracy check is required (lines 24-28).
 			rec, cached, err := s.runTrial(wildBest, obj.Name+" wildcard")
 			if err != nil {
-				return nil, err
+				if !IsTrialFailure(err) {
+					return nil, err
+				}
+				// The validation run could not execute: reject the wildcard
+				// and keep the validated normal-search result.
+				if wild != nil {
+					wildNote.Verdict = "rejected"
+					wild.UsedFailedType = true
+					wild.Best = &wildNote
+					wild.Reason = "validation trial failed to execute; normal-search result kept"
+				}
+				return normalBest, nil
 			}
 			if wild != nil {
 				wildNote.Predicted = false

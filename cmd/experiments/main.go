@@ -14,14 +14,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/exper"
@@ -104,6 +107,12 @@ func main() {
 	flag.Parse()
 	start := time.Now()
 
+	// Ctrl-C / SIGTERM cancels the run: the context is threaded through
+	// the runner into every framework call, so an in-flight search stops
+	// within one trial boundary instead of running the suite to the end.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	suite := polybench.Suite()
 	if *quick {
 		suite = polybench.SmallSuite()
@@ -126,20 +135,19 @@ func main() {
 		suite = filtered
 	}
 	r := exper.NewRunner(suite)
+	r.Ctx = ctx
 	r.Jobs = *jobs
 	r.EvalCache = *evalcache
 	r.Retries = *retries
 	if !*quiet {
 		r.Log = os.Stderr
 	}
-	if *faults != "" {
-		spec, err := fault.Parse(*faults)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
-		}
-		r.Faults = spec.WithSeed(*faultSeed)
+	spec, err := fault.ParseSeeded(*faults, *faultSeed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
 	}
+	r.Faults = spec
 	if *checkpointDir != "" {
 		ck, err := exper.NewCheckpoint(*checkpointDir)
 		if err != nil {
@@ -158,7 +166,12 @@ func main() {
 		tables = append(tables, t)
 	}
 
-	opts := scaler.DefaultOptions()
+	opts, err := scaler.DefaultOptions().Normalize()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	opts.EvalCache = nil // the runner manages per-task caches itself
 	sys1 := hw.System1()
 	fig9Ran := false
 	for _, id := range strings.Split(*exps, ",") {
@@ -268,7 +281,7 @@ func main() {
 			o := obs.New()
 			sOpts := opts
 			sOpts.Obs = o
-			if _, err := fw.Scale(w, sOpts); err != nil {
+			if _, err := fw.Scale(ctx, w, sOpts); err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: trace %s: %v\n", w.Name, err)
 				os.Exit(1)
 			}

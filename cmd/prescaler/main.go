@@ -10,15 +10,19 @@
 //	prescaler -bench ATAX -toq 0.95 -input random
 //	prescaler -bench 2DCONV -db system1.db.json
 //	prescaler -bench gemm -trace out.json -metrics out.csv -explain
+//	prescaler -bench gemm -json decision.json
 //	prescaler -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
+	"os/signal"
+	"syscall"
 
+	"repro/internal/api"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/hw"
@@ -31,13 +35,14 @@ import (
 func main() {
 	bench := flag.String("bench", "GEMM", "benchmark name (see -list)")
 	system := flag.String("system", "system1", "system preset")
-	toq := flag.Float64("toq", 0.90, "target output quality in [0,1]")
+	toq := flag.Float64("toq", 0, "target output quality in (0,1]; 0 selects the paper's 0.90")
 	input := flag.String("input", "default", "input set: default, image, random")
 	dbPath := flag.String("db", "", "precollected inspector database (JSON); empty runs inspection")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event timeline of the whole search pipeline to this file")
 	metricsPath := flag.String("metrics", "", "write the search metrics as CSV to this file")
 	explain := flag.Bool("explain", false, "print the decision-maker explain report")
-	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "number of concurrent search-trial workers (the search outcome and all artifacts are bit-identical for any value)")
+	jsonPath := flag.String("json", "", `write the decision as prescaler/v1 JSON to this file ("-" for stdout); byte-identical to the prescalerd POST /v1/scale response body`)
+	jobs := flag.Int("j", 0, "number of concurrent search-trial workers; 0 selects GOMAXPROCS (the search outcome and all artifacts are bit-identical for any value)")
 	evalcache := flag.Bool("evalcache", true, "incremental trial evaluation: reuse op results across search trials (results are byte-identical either way; disable to debug)")
 	faults := flag.String("faults", "", `inject deterministic runtime faults, e.g. "write:0.01,launch:0.005,alloc:0.002,devlost:1e-4,nan:0.001" (empty disables injection)`)
 	faultSeed := flag.Uint64("fault-seed", 0, "seed for the fault-injection decision stream (same spec+seed reproduces the same faults at any -j)")
@@ -55,6 +60,10 @@ func main() {
 		return
 	}
 
+	// Ctrl-C / SIGTERM cancels the search at the next trial boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	w := polybench.ByName(*bench)
 	if w == nil {
 		fatalf("unknown benchmark %q (use -list)", *bench)
@@ -63,23 +72,14 @@ func main() {
 	if sys == nil {
 		fatalf("unknown system %q", *system)
 	}
-	if *faults != "" {
-		spec, err := fault.Parse(*faults)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		sys.Faults = spec.WithSeed(*faultSeed)
+	spec, err := fault.ParseSeeded(*faults, *faultSeed)
+	if err != nil {
+		fatalf("%v", err)
 	}
-	var set prog.InputSet
-	switch *input {
-	case "default":
-		set = prog.InputDefault
-	case "image":
-		set = prog.InputImage
-	case "random":
-		set = prog.InputRandom
-	default:
-		fatalf("unknown input set %q", *input)
+	sys.Faults = spec
+	set, err := prog.ParseInputSet(*input)
+	if err != nil {
+		fatalf("%v", err)
 	}
 
 	var fw *core.Framework
@@ -103,18 +103,28 @@ func main() {
 		o = obs.New()
 	}
 
-	var cache *prog.EvalCache
-	if *evalcache {
-		cache = prog.NewEvalCache()
-	}
-
-	fmt.Fprintf(os.Stderr, "profiling and searching %s (toq=%.2f, input=%s) ...\n", w.Name, *toq, set)
-	sp, err := fw.Scale(w, scaler.Options{TOQ: *toq, InputSet: set, Obs: o, Workers: *jobs, EvalCache: cache, Retries: *retries})
+	// Every defaultable knob (TOQ, workers, backoff, eval cache) is
+	// filled by Normalize — the same path the daemon uses — so the two
+	// entry points cannot drift.
+	opts, err := scaler.Options{
+		TOQ:              *toq,
+		InputSet:         set,
+		Obs:              o,
+		Workers:          *jobs,
+		DisableEvalCache: !*evalcache,
+		Retries:          *retries,
+	}.Normalize()
 	if err != nil {
 		fatalf("%v", err)
 	}
-	if cache != nil {
-		st := cache.Stats()
+
+	fmt.Fprintf(os.Stderr, "profiling and searching %s (toq=%.2f, input=%s) ...\n", w.Name, opts.TOQ, set)
+	sp, err := fw.Scale(ctx, w, opts)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if opts.EvalCache != nil {
+		st := opts.EvalCache.Stats()
 		fmt.Fprintf(os.Stderr, "evalcache: %d hits, %d misses (%d ops skipped)\n", st.Hits, st.Misses, st.OpsSkipped)
 	}
 
@@ -124,10 +134,28 @@ func main() {
 	fmt.Printf("prescaler      %12.6f ms (kernel %.6f, HtoD %.6f, DtoH %.6f)\n",
 		res.Final.Total*1e3, res.Final.KernelTime*1e3, res.Final.HtoDTime*1e3, res.Final.DtoHTime*1e3)
 	fmt.Printf("speedup        %12.2fx\n", res.Speedup)
-	fmt.Printf("quality        %12.4f (TOQ %.2f)\n", res.Quality, *toq)
+	fmt.Printf("quality        %12.4f (TOQ %.2f)\n", res.Quality, opts.TOQ)
 	fmt.Printf("trials         %12d of %.3g possible configurations (%.2g tested)\n",
 		res.Trials, res.SearchSpace, float64(res.Trials)/res.SearchSpace)
 
+	if *jsonPath != "" {
+		d := api.NewDecision(sys, w, res, opts.TOQ, set)
+		out := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := api.EncodeDecision(out, d); err != nil {
+			fatalf("%v", err)
+		}
+		if *jsonPath != "-" {
+			fmt.Fprintf(os.Stderr, "wrote decision JSON to %s\n", *jsonPath)
+		}
+	}
 	if *explain {
 		fmt.Print("\n" + o.Explain())
 	}

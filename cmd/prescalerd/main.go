@@ -1,0 +1,93 @@
+// Command prescalerd serves PreScaler precision-scaling decisions over
+// a versioned HTTP/JSON API (see internal/service and internal/api).
+// It keeps the System Inspector databases resident, runs searches on a
+// bounded worker pool, and memoizes completed decisions, so repeat
+// traffic costs a cache lookup instead of a full search.
+//
+// Usage:
+//
+//	prescalerd -addr 127.0.0.1:8080 -workers 4
+//	curl -s -X POST localhost:8080/v1/scale -d '{"benchmark":"GEMM"}'
+//	curl -s localhost:8080/v1/healthz
+//
+// SIGINT/SIGTERM drains gracefully: the listener closes immediately,
+// in-flight searches get -drain to finish, and whatever remains is
+// canceled at its next trial boundary.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrent searches; 0 selects GOMAXPROCS")
+	cacheSize := flag.Int("cache-size", 0, "decision LRU capacity in entries; 0 selects 128")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight searches before they are canceled")
+	flag.Parse()
+
+	srv, err := service.New(service.Config{
+		Workers:   *workers,
+		CacheSize: *cacheSize,
+		Obs:       obs.New(),
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	// baseCtx parents every request context. It stays alive through the
+	// graceful drain so in-flight searches can finish, and is canceled
+	// only when the drain budget runs out — at which point every search
+	// aborts at its next trial boundary.
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	defer cancelBase()
+	hs := &http.Server{
+		Addr:        *addr,
+		Handler:     srv.Handler(),
+		BaseContext: func(net.Listener) context.Context { return baseCtx },
+	}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "prescalerd: serving v1 API on %s (workers=%d)\n", *addr, srv.Workers())
+
+	select {
+	case err := <-errc:
+		fatalf("%v", err)
+	case <-sigCtx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "prescalerd: shutting down, draining for up to %s\n", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		// Drain budget exhausted: cancel the base context so remaining
+		// searches abort at their next trial boundary, then close.
+		fmt.Fprintf(os.Stderr, "prescalerd: drain expired (%v), canceling in-flight searches\n", err)
+		cancelBase()
+		if err := hs.Close(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatalf("%v", err)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "prescalerd: bye")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "prescalerd: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 
 	fmt.Println("\n-- input-set adaptivity (TOQ 0.90) --")
 	for _, set := range prog.InputSets {
-		sp, err := fw.Scale(w, scaler.Options{TOQ: 0.90, InputSet: set})
+		sp, err := fw.Scale(context.Background(), w, scaler.Options{TOQ: 0.90, InputSet: set})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -41,7 +42,7 @@ func main() {
 
 	fmt.Println("\n-- TOQ adaptivity (random input) --")
 	for _, toq := range []float64{0.90, 0.99, 0.999} {
-		sp, err := fw.Scale(w, scaler.Options{TOQ: toq, InputSet: prog.InputRandom})
+		sp, err := fw.Scale(context.Background(), w, scaler.Options{TOQ: toq, InputSet: prog.InputRandom})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -99,7 +100,7 @@ func main() {
 	fmt.Printf("inspecting %s...\n", sys.Name)
 	fw := core.NewFramework(sys)
 
-	sp, err := fw.Scale(w, scaler.DefaultOptions())
+	sp, err := fw.Scale(context.Background(), w, scaler.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,14 +29,14 @@ func main() {
 		fmt.Printf("== %s (%s) ==\n", sys.Name, sys.Bus.String())
 		fw := core.NewFramework(sys)
 
-		htod, kernel, dtoh, err := fw.Categorize(w, prog.InputDefault)
+		htod, kernel, dtoh, err := fw.Categorize(context.Background(), w, prog.InputDefault)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("baseline split: HtoD %.0f%%  kernel %.0f%%  DtoH %.0f%%\n",
 			htod*100, kernel*100, dtoh*100)
 
-		sp, err := fw.Scale(w, scaler.DefaultOptions())
+		sp, err := fw.Scale(context.Background(), w, scaler.DefaultOptions())
 		if err != nil {
 			log.Fatal(err)
 		}

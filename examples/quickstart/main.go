@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 	w := polybench.ByName("GEMM")
 
 	// Profile, search, and generate the scaled program.
-	sp, err := fw.Scale(w, scaler.DefaultOptions())
+	sp, err := fw.Scale(context.Background(), w, scaler.DefaultOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

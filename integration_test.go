@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestPipelineAcrossSystems(t *testing.T) {
 		t.Run(sys.Name, func(t *testing.T) {
 			fw := core.NewFramework(sys)
 			for _, w := range polybench.SmallSuite() {
-				sp, err := fw.Scale(w, scaler.DefaultOptions())
+				sp, err := fw.Scale(context.Background(), w, scaler.DefaultOptions())
 				if err != nil {
 					t.Fatalf("%s: %v", w.Name, err)
 				}
@@ -65,11 +66,11 @@ func TestInspectorDatabaseRoundTripPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := polybench.Gemm(24)
-	a, err := fw.Scale(w, scaler.DefaultOptions())
+	a, err := fw.Scale(context.Background(), w, scaler.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := fw2.Scale(w, scaler.DefaultOptions())
+	b, err := fw2.Scale(context.Background(), w, scaler.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,6 +16,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/convert"
@@ -37,11 +38,31 @@ func observer(os []*obs.Observer) *obs.Observer {
 	return nil
 }
 
+// ctxErr reports a canceled context as an error wrapping its cause, or
+// nil. A nil context is treated as context.Background().
+func ctxErr(ctx context.Context, label string) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		if cause := context.Cause(ctx); cause != nil {
+			err = cause
+		}
+		return fmt.Errorf("baseline: %s canceled: %w", label, err)
+	}
+	return nil
+}
+
 // tracedRun executes one trial with the observer's runtime hook
 // attached, wrapped in a labeled trial span on the virtual clock. An
 // optional incremental-evaluation cache shares op results across trials
 // (and across techniques, when the caller passes one cache to all).
-func tracedRun(o *obs.Observer, label string, sys *hw.System, w *prog.Workload, set prog.InputSet, cfg *prog.Config, cache *prog.EvalCache) (*prog.Result, error) {
+// Every technique funnels each program execution through here, so the
+// context check makes each trial a cancellation boundary.
+func tracedRun(ctx context.Context, o *obs.Observer, label string, sys *hw.System, w *prog.Workload, set prog.InputSet, cfg *prog.Config, cache *prog.EvalCache) (*prog.Result, error) {
+	if err := ctxErr(ctx, label); err != nil {
+		return nil, err
+	}
 	sp := o.Tracer().Start("trial "+label, "trial")
 	res, err := prog.RunWithCache(sys, w, set, cfg, cache, o.RunHook())
 	if err != nil {
@@ -75,14 +96,14 @@ type Outcome struct {
 
 // Baseline runs the unscaled program and reports it as an outcome with
 // speedup 1. An optional observer traces the run.
-func Baseline(sys *hw.System, w *prog.Workload, set prog.InputSet, os ...*obs.Observer) (*Outcome, error) {
-	return BaselineCached(sys, w, set, nil, os...)
+func Baseline(ctx context.Context, sys *hw.System, w *prog.Workload, set prog.InputSet, os ...*obs.Observer) (*Outcome, error) {
+	return BaselineCached(ctx, sys, w, set, nil, os...)
 }
 
 // BaselineCached is Baseline with an optional shared
 // incremental-evaluation cache.
-func BaselineCached(sys *hw.System, w *prog.Workload, set prog.InputSet, cache *prog.EvalCache, os ...*obs.Observer) (*Outcome, error) {
-	res, err := tracedRun(observer(os), "baseline", sys, w, set, nil, cache)
+func BaselineCached(ctx context.Context, sys *hw.System, w *prog.Workload, set prog.InputSet, cache *prog.EvalCache, os ...*obs.Observer) (*Outcome, error) {
+	res, err := tracedRun(ctx, observer(os), "baseline", sys, w, set, nil, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -123,16 +144,16 @@ const InKernelExhaustiveLimit = 30
 // configuration. The search is exhaustive up to
 // InKernelExhaustiveLimit assignments, greedy beyond that. An optional
 // observer traces every trial.
-func InKernel(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, os ...*obs.Observer) (*Outcome, error) {
-	return InKernelCached(sys, w, set, toq, nil, os...)
+func InKernel(ctx context.Context, sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, os ...*obs.Observer) (*Outcome, error) {
+	return InKernelCached(ctx, sys, w, set, toq, nil, os...)
 }
 
 // InKernelCached is InKernel with an optional shared
 // incremental-evaluation cache. In-kernel trials leave every transfer op
 // untouched, so all of them hit the cached baseline transfers.
-func InKernelCached(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, cache *prog.EvalCache, os ...*obs.Observer) (*Outcome, error) {
+func InKernelCached(ctx context.Context, sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, cache *prog.EvalCache, os ...*obs.Observer) (*Outcome, error) {
 	o := observer(os)
-	ref, err := tracedRun(o, "in-kernel", sys, w, set, nil, cache)
+	ref, err := tracedRun(ctx, o, "in-kernel", sys, w, set, nil, cache)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +167,7 @@ func InKernelCached(sys *hw.System, w *prog.Workload, set prog.InputSet, toq flo
 		total *= len(types)
 	}
 	if total > InKernelExhaustiveLimit {
-		return inKernelGreedy(sys, w, set, toq, ref, types, o, cache)
+		return inKernelGreedy(ctx, sys, w, set, toq, ref, types, o, cache)
 	}
 
 	best := prog.Baseline(w)
@@ -181,7 +202,7 @@ func InKernelCached(sys *hw.System, w *prog.Workload, set prog.InputSet, toq flo
 				InKernel: t != w.Original,
 			}
 		}
-		res, err := tracedRun(o, "in-kernel", sys, w, set, cfg, cache)
+		res, err := tracedRun(ctx, o, "in-kernel", sys, w, set, cfg, cache)
 		if err != nil {
 			return nil, err
 		}
@@ -206,7 +227,7 @@ func InKernelCached(sys *hw.System, w *prog.Workload, set prog.InputSet, toq flo
 
 // inKernelGreedy lowers one object at a time (declaration order), keeping
 // a precision change only when it passes TOQ and improves total time.
-func inKernelGreedy(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, ref *prog.Result, types []precision.Type, o *obs.Observer, cache *prog.EvalCache) (*Outcome, error) {
+func inKernelGreedy(ctx context.Context, sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, ref *prog.Result, types []precision.Type, o *obs.Observer, cache *prog.EvalCache) (*Outcome, error) {
 	best := prog.Baseline(w)
 	bestRes := ref
 	bestQ := 1.0
@@ -218,7 +239,7 @@ func inKernelGreedy(sys *hw.System, w *prog.Workload, set prog.InputSet, toq flo
 			}
 			cfg := best.Clone()
 			cfg.Objects[spec.Name] = prog.ObjectConfig{Target: t, InKernel: true}
-			res, err := tracedRun(o, "in-kernel", sys, w, set, cfg, cache)
+			res, err := tracedRun(ctx, o, "in-kernel", sys, w, set, cfg, cache)
 			if err != nil {
 				return nil, err
 			}
@@ -266,13 +287,16 @@ func pfpPlan(sys *hw.System, ev profile.TransferEvent, orig, target precision.Ty
 // PFP searches the uniform program-level full-precision configurations
 // and returns the fastest TOQ-passing one. An optional observer traces
 // every trial.
-func PFP(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, os ...*obs.Observer) (*Outcome, error) {
-	return PFPCached(sys, w, set, toq, nil, os...)
+func PFP(ctx context.Context, sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, os ...*obs.Observer) (*Outcome, error) {
+	return PFPCached(ctx, sys, w, set, toq, nil, os...)
 }
 
 // PFPCached is PFP with an optional shared incremental-evaluation cache.
-func PFPCached(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, cache *prog.EvalCache, os ...*obs.Observer) (*Outcome, error) {
+func PFPCached(ctx context.Context, sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64, cache *prog.EvalCache, os ...*obs.Observer) (*Outcome, error) {
 	o := observer(os)
+	if err := ctxErr(ctx, "pfp"); err != nil {
+		return nil, err
+	}
 	sp := o.Tracer().Start("trial pfp profile", "trial")
 	info, ref, err := profile.ProfileCached(sys, w, set, cache, o.RunHook())
 	if err != nil {
@@ -299,7 +323,7 @@ func PFPCached(sys *hw.System, w *prog.Workload, set prog.InputSet, toq float64,
 			}
 			cfg.Objects[obj.Name] = prog.ObjectConfig{Target: t, Plans: plans}
 		}
-		res, err := tracedRun(o, "pfp", sys, w, set, cfg, cache)
+		res, err := tracedRun(ctx, o, "pfp", sys, w, set, cfg, cache)
 		if err != nil {
 			return nil, err
 		}

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -77,10 +78,13 @@ type ScaledProgram struct {
 }
 
 // Scale runs profiling and the decision-maker search for w and returns
-// the scaled program.
-func (f *Framework) Scale(w *prog.Workload, opts scaler.Options) (*ScaledProgram, error) {
+// the scaled program. The context is threaded into the search and
+// checked at every trial boundary: canceling it aborts the search
+// within one trial with an error matching errors.Is(err,
+// context.Canceled).
+func (f *Framework) Scale(ctx context.Context, w *prog.Workload, opts scaler.Options) (*ScaledProgram, error) {
 	s := scaler.New(f.sys, f.db, w, opts)
-	res, err := s.Search()
+	res, err := s.Search(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: scale %s: %w", w.Name, err)
 	}
@@ -149,32 +153,34 @@ type Comparison struct {
 // opts.Obs is set, each technique's trials appear as a span group in the
 // trace. When opts.EvalCache is set, all four techniques share it: they
 // run on the same system and workload, so op results recorded by one
-// technique's trials are spliced into the others'.
-func (f *Framework) Compare(w *prog.Workload, opts scaler.Options) (*Comparison, error) {
+// technique's trials are spliced into the others'. The context is
+// checked at every technique's trial boundaries; canceling it aborts
+// the comparison mid-technique.
+func (f *Framework) Compare(ctx context.Context, w *prog.Workload, opts scaler.Options) (*Comparison, error) {
 	if opts.TOQ == 0 {
 		opts.TOQ = 0.90
 	}
 	cache := opts.EvalCache
 	tr := opts.Obs.Tracer()
 	sp := tr.Start("baseline "+w.Name, "pipeline")
-	base, err := baseline.BaselineCached(f.sys, w, opts.InputSet, cache, opts.Obs)
+	base, err := baseline.BaselineCached(ctx, f.sys, w, opts.InputSet, cache, opts.Obs)
 	tr.End(sp)
 	if err != nil {
 		return nil, fmt.Errorf("core: baseline %s: %w", w.Name, err)
 	}
 	sp = tr.Start("in-kernel "+w.Name, "pipeline")
-	ik, err := baseline.InKernelCached(f.sys, w, opts.InputSet, opts.TOQ, cache, opts.Obs)
+	ik, err := baseline.InKernelCached(ctx, f.sys, w, opts.InputSet, opts.TOQ, cache, opts.Obs)
 	tr.End(sp)
 	if err != nil {
 		return nil, fmt.Errorf("core: in-kernel %s: %w", w.Name, err)
 	}
 	sp = tr.Start("pfp "+w.Name, "pipeline")
-	pfp, err := baseline.PFPCached(f.sys, w, opts.InputSet, opts.TOQ, cache, opts.Obs)
+	pfp, err := baseline.PFPCached(ctx, f.sys, w, opts.InputSet, opts.TOQ, cache, opts.Obs)
 	tr.End(sp)
 	if err != nil {
 		return nil, fmt.Errorf("core: pfp %s: %w", w.Name, err)
 	}
-	ps, err := scaler.New(f.sys, f.db, w, opts).Search()
+	ps, err := scaler.New(f.sys, f.db, w, opts).Search(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: prescaler %s: %w", w.Name, err)
 	}
@@ -188,8 +194,13 @@ func (f *Framework) Compare(w *prog.Workload, opts scaler.Options) (*Comparison,
 }
 
 // Categorize runs the workload at baseline precision and returns the
-// HtoD / kernel / DtoH fractions of total time (Figure 4).
-func (f *Framework) Categorize(w *prog.Workload, set prog.InputSet) (htod, kernel, dtoh float64, err error) {
+// HtoD / kernel / DtoH fractions of total time (Figure 4). The single
+// measurement run is the one trial boundary: a context canceled before
+// the call returns immediately.
+func (f *Framework) Categorize(ctx context.Context, w *prog.Workload, set prog.InputSet) (htod, kernel, dtoh float64, err error) {
+	if err := ctxErr(ctx); err != nil {
+		return 0, 0, 0, err
+	}
 	res, err := prog.Run(f.sys, w, set, nil)
 	if err != nil {
 		return 0, 0, 0, err
@@ -201,10 +212,17 @@ func (f *Framework) Categorize(w *prog.Workload, set prog.InputSet) (htod, kerne
 }
 
 // HalfQuality runs the workload with every memory object forced to half
-// precision and returns the resulting output quality (Figure 6).
-func (f *Framework) HalfQuality(w *prog.Workload, set prog.InputSet) (float64, error) {
+// precision and returns the resulting output quality (Figure 6). The
+// context is checked before each of the two measurement runs.
+func (f *Framework) HalfQuality(ctx context.Context, w *prog.Workload, set prog.InputSet) (float64, error) {
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
 	ref, err := prog.Run(f.sys, w, set, nil)
 	if err != nil {
+		return 0, err
+	}
+	if err := ctxErr(ctx); err != nil {
 		return 0, err
 	}
 	res, err := prog.Run(f.sys, w, set, prog.NewConfig(w, precision.Half))
@@ -212,4 +230,20 @@ func (f *Framework) HalfQuality(w *prog.Workload, set prog.InputSet) (float64, e
 		return 0, err
 	}
 	return prog.Quality(ref, res), nil
+}
+
+// ctxErr adapts a context error for the framework's single-run entry
+// points, preferring the cancellation cause. A nil context is treated
+// as context.Background().
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		if cause := context.Cause(ctx); cause != nil {
+			err = cause
+		}
+		return fmt.Errorf("core: canceled: %w", err)
+	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -19,7 +20,7 @@ func newFW(t *testing.T) *Framework {
 func TestFrameworkScale(t *testing.T) {
 	fw := newFW(t)
 	w := wltest.VecCombine(1 << 14)
-	sp, err := fw.Scale(w, scaler.DefaultOptions())
+	sp, err := fw.Scale(context.Background(), w, scaler.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestFrameworkScale(t *testing.T) {
 func TestDescribe(t *testing.T) {
 	fw := newFW(t)
 	w := wltest.VecCombine(1 << 12)
-	sp, err := fw.Scale(w, scaler.DefaultOptions())
+	sp, err := fw.Scale(context.Background(), w, scaler.DefaultOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestLoadFramework(t *testing.T) {
 func TestCompare(t *testing.T) {
 	fw := newFW(t)
 	w := wltest.VecCombine(1 << 15)
-	cmp, err := fw.Compare(w, scaler.Options{TOQ: 0.9, InputSet: prog.InputDefault})
+	cmp, err := fw.Compare(context.Background(), w, scaler.Options{TOQ: 0.9, InputSet: prog.InputDefault})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestCompare(t *testing.T) {
 
 func TestCategorize(t *testing.T) {
 	fw := newFW(t)
-	htod, kernel, dtoh, err := fw.Categorize(wltest.VecCombine(1<<14), prog.InputDefault)
+	htod, kernel, dtoh, err := fw.Categorize(context.Background(), wltest.VecCombine(1<<14), prog.InputDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestCategorize(t *testing.T) {
 		t.Errorf("fractions: %v %v %v", htod, kernel, dtoh)
 	}
 	// Compute-heavy workload must be kernel-dominated.
-	_, k2, _, err := fw.Categorize(wltest.ComputeHeavy(1<<10, 5000), prog.InputDefault)
+	_, k2, _, err := fw.Categorize(context.Background(), wltest.ComputeHeavy(1<<10, 5000), prog.InputDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,14 +122,14 @@ func TestCategorize(t *testing.T) {
 
 func TestHalfQuality(t *testing.T) {
 	fw := newFW(t)
-	qGood, err := fw.HalfQuality(wltest.VecCombine(1<<12), prog.InputDefault)
+	qGood, err := fw.HalfQuality(context.Background(), wltest.VecCombine(1<<12), prog.InputDefault)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if qGood < 0.9 {
 		t.Errorf("benign workload half quality = %v", qGood)
 	}
-	qBad, err := fw.HalfQuality(wltest.HalfHostile(1<<12), prog.InputDefault)
+	qBad, err := fw.HalfQuality(context.Background(), wltest.HalfHostile(1<<12), prog.InputDefault)
 	if err != nil {
 		t.Fatal(err)
 	}

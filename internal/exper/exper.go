@@ -7,6 +7,7 @@
 package exper
 
 import (
+	"context"
 	"encoding/csv"
 	"errors"
 	"fmt"
@@ -86,9 +87,14 @@ func (t *Table) String() string {
 // (see DESIGN.md, "Determinism under parallelism").
 type Runner struct {
 	Suite []*prog.Workload
-	fws   map[string]*core.Framework
-	cmps  map[string]*core.Comparison
-	scls  map[string]*scaler.Result
+	// Ctx, when non-nil, is threaded into every framework call so a
+	// driver can cancel a whole experiment run (for example on SIGINT);
+	// cancellation aborts the in-flight search within one trial
+	// boundary. Nil behaves like context.Background().
+	Ctx  context.Context
+	fws  map[string]*core.Framework
+	cmps map[string]*core.Comparison
+	scls map[string]*scaler.Result
 	// Jobs bounds the number of concurrent measurement workers; 0 or 1
 	// runs everything sequentially.
 	Jobs int
@@ -126,6 +132,14 @@ type Runner struct {
 	// control path (task filtering and merging), like the result caches.
 	tasksRun      int
 	tasksRestored int
+}
+
+// ctx returns the runner's base context for framework calls.
+func (r *Runner) ctx() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
 }
 
 // NewRunner creates a runner over the given suite.
@@ -235,14 +249,14 @@ func (r *Runner) runTask(fw *core.Framework, t prefetchTask, opts scaler.Options
 		sys.FaultSalt = base + uint64(attempt)<<16
 		err = fault.Guard(func() error {
 			if t.compare {
-				c, e := fw.Compare(t.w, opts)
+				c, e := fw.Compare(r.ctx(), t.w, opts)
 				if e != nil {
 					return e
 				}
 				cmp = c
 				return nil
 			}
-			sp, e := fw.Scale(t.w, opts)
+			sp, e := fw.Scale(r.ctx(), t.w, opts)
 			if e != nil {
 				return e
 			}
@@ -562,7 +576,7 @@ func (r *Runner) Fig4(sys *hw.System) (*Table, error) {
 	}
 	fw := r.Framework(sys)
 	for _, w := range r.Suite {
-		htod, kernel, dtoh, err := fw.Categorize(w, prog.InputDefault)
+		htod, kernel, dtoh, err := fw.Categorize(r.ctx(), w, prog.InputDefault)
 		if err != nil {
 			return nil, err
 		}
@@ -625,7 +639,7 @@ func (r *Runner) Fig6(sys *hw.System) (*Table, error) {
 	for _, w := range r.Suite {
 		row := []string{w.Name}
 		for _, set := range prog.InputSets {
-			q, err := fw.HalfQuality(w, set)
+			q, err := fw.HalfQuality(r.ctx(), w, set)
 			if err != nil {
 				return nil, err
 			}

@@ -38,7 +38,7 @@ func (r *Runner) NoiseSweep(base *hw.System, amplitudes []float64) (*Table, erro
 		passing := 0
 		for _, w := range r.Suite {
 			r.logf("noise %.0f%%: %s ...", amp*100, w.Name)
-			sp, err := fw.Scale(w, opts)
+			sp, err := fw.Scale(r.ctx(), w, opts)
 			if err != nil {
 				return nil, err
 			}

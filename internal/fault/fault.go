@@ -121,6 +121,19 @@ func parseKind(name string) (Kind, error) {
 	return 0, fmt.Errorf("fault: unknown kind %q (want one of %s)", name, strings.Join(kindNames[:], ", "))
 }
 
+// ParseSeeded combines Parse and WithSeed: it builds a Spec from the
+// rate list and stamps it with the decision-stream seed. Both CLI
+// binaries and the decision service parse their fault flags through it,
+// so the spec/seed composition cannot diverge between entry points. An
+// empty spec string yields a nil Spec regardless of seed.
+func ParseSeeded(s string, seed uint64) (*Spec, error) {
+	spec, err := Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	return spec.WithSeed(seed), nil
+}
+
 // WithSeed returns a copy of the spec with the given decision-stream
 // seed. The receiver is unchanged (Specs are immutable).
 func (s *Spec) WithSeed(seed uint64) *Spec {

@@ -117,6 +117,48 @@ func IsFault(err error) bool {
 	return errors.As(err, &p)
 }
 
+// Sentinels for the CL_* failure classes. (*Error).Is maps each status
+// onto one of these, so callers anywhere above the runtime — the scaler
+// retry ladder, the experiment runner, the decision service's HTTP
+// error mapper — can classify a failure with plain errors.Is through
+// any number of fmt.Errorf("...: %w") wrappings, without reaching for
+// the concrete *Error.
+var (
+	// ErrDeviceLost matches CL_DEVICE_NOT_AVAILABLE: the device is gone
+	// and every later operation on the context fails. Never transient.
+	ErrDeviceLost = errors.New("ocl: device lost")
+	// ErrAllocFailed matches CL_MEM_OBJECT_ALLOCATION_FAILURE.
+	ErrAllocFailed = errors.New("ocl: buffer allocation failed")
+	// ErrLaunchFailed matches CL_OUT_OF_RESOURCES: a kernel or
+	// device-side conversion launch failed.
+	ErrLaunchFailed = errors.New("ocl: launch failed")
+	// ErrTransferFailed matches CL_OUT_OF_HOST_MEMORY: a host-device
+	// transfer (write or read) failed.
+	ErrTransferFailed = errors.New("ocl: transfer failed")
+	// ErrInvalidArgs matches CL_INVALID_VALUE and
+	// CL_INVALID_KERNEL_ARGS: a programming error, never retryable.
+	ErrInvalidArgs = errors.New("ocl: invalid arguments")
+)
+
+// Is reports whether the error's status belongs to target's failure
+// class, making errors.Is(err, ocl.ErrDeviceLost) and friends work for
+// any wrapped *Error.
+func (e *Error) Is(target error) bool {
+	switch target {
+	case ErrDeviceLost:
+		return e.Status == StatusDeviceNotAvailable
+	case ErrAllocFailed:
+		return e.Status == StatusMemObjectAllocationFailure
+	case ErrLaunchFailed:
+		return e.Status == StatusOutOfResources
+	case ErrTransferFailed:
+		return e.Status == StatusOutOfHostMemory
+	case ErrInvalidArgs:
+		return e.Status == StatusInvalidValue || e.Status == StatusInvalidKernelArgs
+	}
+	return false
+}
+
 // statusFor maps an injected fault kind to its CL-style status.
 func statusFor(k fault.Kind) Status {
 	switch k {

@@ -1,0 +1,45 @@
+package ocl
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// Every CL_* status must be reachable through errors.Is with its class
+// sentinel, including through fmt.Errorf("%w") wrappings — the decision
+// service's HTTP error mapper depends on this holding for arbitrary
+// wrap depth.
+func TestErrorSentinels(t *testing.T) {
+	cases := []struct {
+		status Status
+		want   error
+	}{
+		{StatusDeviceNotAvailable, ErrDeviceLost},
+		{StatusMemObjectAllocationFailure, ErrAllocFailed},
+		{StatusOutOfResources, ErrLaunchFailed},
+		{StatusOutOfHostMemory, ErrTransferFailed},
+		{StatusInvalidValue, ErrInvalidArgs},
+		{StatusInvalidKernelArgs, ErrInvalidArgs},
+	}
+	sentinels := []error{ErrDeviceLost, ErrAllocFailed, ErrLaunchFailed, ErrTransferFailed, ErrInvalidArgs}
+	for _, c := range cases {
+		err := error(&Error{Status: c.status, Op: "launch", Detail: "k"})
+		wrapped := fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", err))
+		for _, s := range sentinels {
+			if got := errors.Is(wrapped, s); got != (s == c.want) {
+				t.Errorf("errors.Is(%v, %v) = %v, want %v", c.status, s, got, s == c.want)
+			}
+		}
+	}
+}
+
+// A sentinel must never match a plain non-Error chain.
+func TestSentinelsNoFalsePositives(t *testing.T) {
+	err := fmt.Errorf("something else entirely")
+	for _, s := range []error{ErrDeviceLost, ErrAllocFailed, ErrLaunchFailed, ErrTransferFailed, ErrInvalidArgs} {
+		if errors.Is(err, s) {
+			t.Errorf("errors.Is matched %v against unrelated error", s)
+		}
+	}
+}

@@ -55,6 +55,19 @@ func (s InputSet) String() string {
 // InputSets lists all input sets in paper order.
 var InputSets = []InputSet{InputDefault, InputImage, InputRandom}
 
+// ParseInputSet maps the canonical lowercase name — "default", "image",
+// or "random" — back to its InputSet, the inverse of String. It is the
+// single parser the CLI flags and the service wire layer share, so the
+// accepted spellings cannot drift between entry points.
+func ParseInputSet(name string) (InputSet, error) {
+	for _, s := range InputSets {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("prog: unknown input set %q (want default, image, or random)", name)
+}
+
 // ObjKind classifies a memory object's role in the program.
 type ObjKind uint8
 

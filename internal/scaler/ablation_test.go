@@ -1,6 +1,7 @@
 package scaler
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/convert"
@@ -12,11 +13,11 @@ import (
 func TestAblationDisableWildcard(t *testing.T) {
 	sys := hw.System1x8()
 	w := wltest.VecCombine(1 << 16)
-	full, err := New(sys, dbFor(sys), w, DefaultOptions()).Search()
+	full, err := New(sys, dbFor(sys), w, DefaultOptions()).Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	noWild, err := New(sys, dbFor(sys), w, Options{TOQ: 0.90, DisableWildcard: true}).Search()
+	noWild, err := New(sys, dbFor(sys), w, Options{TOQ: 0.90, DisableWildcard: true}).Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,11 +43,11 @@ func TestAblationDisableWildcard(t *testing.T) {
 func TestAblationDisableFullPrecisionPass(t *testing.T) {
 	sys := hw.System2()
 	w := wltest.VecCombine(1 << 16)
-	base, err := New(sys, dbFor(sys), w, DefaultOptions()).Search()
+	base, err := New(sys, dbFor(sys), w, DefaultOptions()).Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	ablated, err := New(sys, dbFor(sys), w, Options{TOQ: 0.90, DisableFullPrecisionPass: true}).Search()
+	ablated, err := New(sys, dbFor(sys), w, Options{TOQ: 0.90, DisableFullPrecisionPass: true}).Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestSearchUnderTimingJitter(t *testing.T) {
 	sys.JitterSeed = 42
 	w := wltest.VecCombine(1 << 16)
 	db := dbFor(hw.System1()) // inspector measured without noise
-	res, err := New(sys, db, w, DefaultOptions()).Search()
+	res, err := New(sys, db, w, DefaultOptions()).Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestStripTransients(t *testing.T) {
 	sys := hw.System1()
 	w := wltest.VecCombine(1 << 12)
 	s := New(sys, dbFor(sys), w, DefaultOptions())
-	if _, err := s.Search(); err != nil { // populates the profile
+	if _, err := s.Search(context.Background()); err != nil { // populates the profile
 		t.Fatal(err)
 	}
 	cfg := prog.NewConfig(w, 0)
@@ -145,7 +146,7 @@ func TestSearchOnGPUWithoutHalf(t *testing.T) {
 	sys.GPU.Capability = "3.0"
 	db := dbFor(hw.System1()) // conversion costs are CPU/bus-side; reuse
 	w := wltest.VecCombine(1 << 15)
-	res, err := New(sys, db, w, DefaultOptions()).Search()
+	res, err := New(sys, db, w, DefaultOptions()).Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +171,7 @@ func TestSearchHandlesUnusedObject(t *testing.T) {
 	w := wltest.VecCombine(1 << 12)
 	w.Objects = append(w.Objects, prog.ObjectSpec{Name: "ghost", Len: 8, Kind: prog.ObjTemp})
 	sys := hw.System1()
-	res, err := New(sys, dbFor(sys), w, DefaultOptions()).Search()
+	res, err := New(sys, dbFor(sys), w, DefaultOptions()).Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

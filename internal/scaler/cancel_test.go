@@ -1,0 +1,82 @@
+package scaler
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/wltest"
+)
+
+// A context canceled before Search starts must abort before any trial.
+func TestSearchPreCanceled(t *testing.T) {
+	sys := hw.System1()
+	w := wltest.VecCombine(1 << 10)
+	s := New(sys, dbFor(sys), w, DefaultOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := s.Search(ctx)
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Search = (%v, %v), want nil result wrapping context.Canceled", res, err)
+	}
+	if s.trials != 0 {
+		t.Errorf("ran %d trials under a pre-canceled context", s.trials)
+	}
+}
+
+// WithCancelCause's cause must surface through the search error chain.
+func TestSearchCancelCause(t *testing.T) {
+	sys := hw.System1()
+	w := wltest.VecCombine(1 << 10)
+	s := New(sys, dbFor(sys), w, DefaultOptions())
+	ctx, cancel := context.WithCancelCause(context.Background())
+	reason := errors.New("client vanished")
+	cancel(reason)
+	_, err := s.Search(ctx)
+	if !errors.Is(err, reason) {
+		t.Fatalf("Search error %v does not wrap the cancellation cause", err)
+	}
+}
+
+// countdownCtx reports cancellation after its Err budget is spent —
+// each trial-boundary check consumes budget, so the search aborts at a
+// deterministic mid-search boundary without goroutines or timing.
+type countdownCtx struct {
+	context.Context
+	budget int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.budget <= 0 {
+		return context.Canceled
+	}
+	c.budget--
+	return nil
+}
+
+// A cancellation arriving mid-search must abort within one trial
+// boundary: strictly fewer trials than the uncanceled search runs.
+func TestSearchCancelMidway(t *testing.T) {
+	sys := hw.System1()
+	w := wltest.VecCombine(1 << 10)
+
+	full := New(sys, dbFor(sys), w, DefaultOptions())
+	if _, err := full.Search(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if full.trials < 3 {
+		t.Skipf("search too short to cancel midway (%d trials)", full.trials)
+	}
+
+	s := New(sys, dbFor(sys), w, DefaultOptions())
+	// A budget of a few boundary checks lands the cancellation after
+	// profiling but well before the search completes.
+	res, err := s.Search(&countdownCtx{Context: context.Background(), budget: 4})
+	if res != nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Search = (%v, %v), want nil result wrapping context.Canceled", res, err)
+	}
+	if s.trials >= full.trials {
+		t.Errorf("canceled search ran %d trials, full search ran %d — no early abort", s.trials, full.trials)
+	}
+}

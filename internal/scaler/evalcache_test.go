@@ -2,6 +2,7 @@ package scaler
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/hw"
@@ -19,7 +20,7 @@ func observedCachedSearch(t *testing.T, w *prog.Workload, sys *hw.System, worker
 	opts.EvalCache = cache
 	o := obs.New()
 	opts.Obs = o
-	res, err := New(sys, dbFor(sys), w, opts).Search()
+	res, err := New(sys, dbFor(sys), w, opts).Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestEvalCacheSearchSavesWork(t *testing.T) {
 	cache := prog.NewEvalCache()
 	opts := DefaultOptions()
 	opts.EvalCache = cache
-	if _, err := New(sys, dbFor(sys), w, opts).Search(); err != nil {
+	if _, err := New(sys, dbFor(sys), w, opts).Search(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	st := cache.Stats()

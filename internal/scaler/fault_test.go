@@ -1,6 +1,7 @@
 package scaler
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -116,7 +117,7 @@ func TestSearchRecoversFromScriptedFault(t *testing.T) {
 	w := wltest.VecCombine(1 << 12)
 	clean := hw.System1()
 	sClean := New(clean, dbFor(clean), w, DefaultOptions())
-	want, err := sClean.Search()
+	want, err := sClean.Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestSearchRecoversFromScriptedFault(t *testing.T) {
 	opts := DefaultOptions()
 	opts.Obs = o
 	s := New(sys, dbFor(sys), w, opts)
-	got, err := s.Search()
+	got, err := s.Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestSearchDegradesUnderFaults(t *testing.T) {
 		opts := DefaultOptions()
 		opts.Obs = o
 		s := New(sys, dbFor(sys), wltest.VecCombine(1<<12), opts)
-		res, err := s.Search()
+		res, err := s.Search(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,7 +196,7 @@ func TestSearchProfilingFailureIsFatal(t *testing.T) {
 	sys := hw.System1()
 	sys.Faults = spec.WithSeed(22) // scanned: profiling exhausts its retries
 	s := New(sys, dbFor(sys), wltest.VecCombine(1<<12), DefaultOptions())
-	_, err = s.Search()
+	_, err = s.Search(context.Background())
 	if err == nil {
 		t.Fatal("seed 22 should make profiling fail")
 	}
@@ -220,7 +221,7 @@ func TestSearchFaultDeterminismAcrossWorkers(t *testing.T) {
 		opts.Obs = o
 		opts.Workers = workers
 		s := New(sys, dbFor(sys), wltest.VecCombine(1<<12), opts)
-		res, err := s.Search()
+		res, err := s.Search(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package scaler
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func tracedSearch(t *testing.T, n int) (*Result, *obs.Observer, []byte, []byte) 
 	o := obs.New()
 	opts.Obs = o
 	s := New(sys, dbFor(sys), w, opts)
-	res, err := s.Search()
+	res, err := s.Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestObserverDoesNotPerturbSearch(t *testing.T) {
 	w := wltest.VecCombine(1 << 12)
 
 	plain := New(sys, dbFor(sys), w, DefaultOptions())
-	base, err := plain.Search()
+	base, err := plain.Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

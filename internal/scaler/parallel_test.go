@@ -2,6 +2,7 @@ package scaler
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/hw"
@@ -19,7 +20,7 @@ func observedSearch(t *testing.T, w *prog.Workload, sys *hw.System, workers int)
 	opts.Workers = workers
 	o := obs.New()
 	opts.Obs = o
-	res, err := New(sys, dbFor(sys), w, opts).Search()
+	res, err := New(sys, dbFor(sys), w, opts).Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +94,11 @@ func TestParallelSearchWithoutObserver(t *testing.T) {
 	} {
 		seqOpts, parOpts := opts, opts
 		seqOpts.Workers, parOpts.Workers = 1, 8
-		seq, err := New(sys, dbFor(sys), w, seqOpts).Search()
+		seq, err := New(sys, dbFor(sys), w, seqOpts).Search(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
-		par, err := New(sys, dbFor(sys), w, parOpts).Search()
+		par, err := New(sys, dbFor(sys), w, parOpts).Search(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

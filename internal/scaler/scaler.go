@@ -28,6 +28,7 @@
 package scaler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -102,6 +103,10 @@ type Options struct {
 	// changes. The cache binds to one (system, workload) pair on first
 	// use — pass a fresh prog.NewEvalCache() per search.
 	EvalCache *prog.EvalCache
+	// DisableEvalCache stops Normalize from allocating an EvalCache when
+	// none was supplied. It never disables an explicitly set EvalCache
+	// and has no effect outside Normalize.
+	DisableEvalCache bool
 }
 
 // DefaultOptions returns the paper's evaluation settings.
@@ -112,6 +117,19 @@ func DefaultOptions() Options {
 // defaultRetryBackoff is the simulated pre-retry delay when Options
 // leaves RetryBackoff zero.
 const defaultRetryBackoff = 1e-3
+
+// ErrProfiling marks a search that failed during application profiling.
+// Profiling failure is fatal — without a profile and quality reference
+// there is no known-safe configuration to degrade to — so this is the
+// one place runtime faults escape Search without a fallback. The
+// underlying *ocl.Error (and its class sentinel, e.g. ocl.ErrDeviceLost)
+// stays reachable through the chain.
+var ErrProfiling = errors.New("scaler: profiling failed for")
+
+// ErrUnsupported marks a search that cannot run at all on the target
+// system because the device executes no precision at or below the
+// workload's original type.
+var ErrUnsupported = errors.New("scaler: unsupported workload")
 
 // TrialError reports that a candidate configuration could not be
 // executed because of runtime faults: every bounded retry failed, or a
@@ -188,6 +206,11 @@ type Scaler struct {
 	w    *prog.Workload
 	opts Options
 
+	// ctx is the Search call's context, polled at every trial boundary
+	// (the points where the virtual clock advances) so an in-flight
+	// search aborts within one trial of cancellation.
+	ctx context.Context
+
 	info     *profile.AppInfo
 	ref      *prog.Result
 	refNames []string
@@ -250,6 +273,11 @@ func (s *Scaler) forEach(n int, fn func(int)) {
 // fails identically) only if the sequential path actually asks for it.
 func (s *Scaler) speculate(cfgs []*prog.Config) {
 	if s.opts.Workers <= 1 {
+		return
+	}
+	// A canceled search must not fan out new work; the sequential loop
+	// will notice the cancellation at its next trial boundary.
+	if s.checkCtx() != nil {
 		return
 	}
 	var todo []*prog.Config
@@ -417,10 +445,33 @@ func configKey(w *prog.Workload, c *prog.Config) string {
 	return newConfigKeyer(w).key(c)
 }
 
+// checkCtx reports whether the search's context has been canceled,
+// wrapping the cause so callers can match it with errors.Is
+// (context.Canceled / context.DeadlineExceeded). It is the single
+// cancellation point of the search: every trial boundary funnels
+// through it.
+func (s *Scaler) checkCtx() error {
+	if s.ctx == nil {
+		return nil
+	}
+	if err := s.ctx.Err(); err != nil {
+		if cause := context.Cause(s.ctx); cause != nil {
+			err = cause
+		}
+		return fmt.Errorf("scaler: search %s canceled after %d trial(s): %w", s.w.Name, s.trials, err)
+	}
+	return nil
+}
+
 // runTrial executes cfg (memoized) and returns its record plus whether
 // it was served from the memo. New executions increment the trial
-// counter. The label names the trial's span in the trace.
+// counter. The label names the trial's span in the trace. The search
+// context is checked first, so a canceled search aborts at the next
+// trial boundary without touching the runtime.
 func (s *Scaler) runTrial(cfg *prog.Config, label string) (*trialRecord, bool, error) {
+	if err := s.checkCtx(); err != nil {
+		return nil, false, err
+	}
 	o := s.opts.Obs
 	tr := o.Tracer()
 	key := s.keys.key(cfg)
@@ -511,6 +562,9 @@ func (s *Scaler) retryFaults(label string, fn func() error) error {
 		backoff = defaultRetryBackoff
 	}
 	for attempt := 0; ; attempt++ {
+		if err := s.checkCtx(); err != nil {
+			return err
+		}
 		s.sys.FaultSalt = baseSalt + uint64(attempt)
 		err := fault.Guard(fn)
 		if err == nil {
@@ -633,8 +687,17 @@ func measuredObjTransfer(res *prog.Result, obj string) float64 {
 }
 
 // Search runs the full decision-maker pipeline and returns the chosen
-// configuration with its measurements.
-func (s *Scaler) Search() (*Result, error) {
+// configuration with its measurements. The context is checked at every
+// trial boundary (profiling, each candidate trial, each retry backoff):
+// canceling it aborts the search within one trial and returns an error
+// matching errors.Is(err, context.Canceled) — or the context's cause —
+// so servers can cancel in-flight searches on client disconnect. A nil
+// context behaves like context.Background().
+func (s *Scaler) Search(ctx context.Context) (*Result, error) {
+	s.ctx = ctx
+	if err := s.checkCtx(); err != nil {
+		return nil, err
+	}
 	o := s.opts.Obs
 	tr := o.Tracer()
 	j := o.Journal()
@@ -662,7 +725,7 @@ func (s *Scaler) Search() (*Result, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w %s: %w", ErrProfiling, s.w.Name, err)
 	}
 	o.Advance(ref.Total)
 	tr.End(spProf)
@@ -679,7 +742,7 @@ func (s *Scaler) Search() (*Result, error) {
 
 	types := s.availableTypes()
 	if len(types) == 0 {
-		return nil, fmt.Errorf("scaler: device supports no precision at or below %v", s.w.Original)
+		return nil, fmt.Errorf("%w: device supports no precision at or below %v", ErrUnsupported, s.w.Original)
 	}
 
 	// Pre-full-precision scaling: pick the fastest TOQ-passing uniform

@@ -1,6 +1,7 @@
 package scaler
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -26,7 +27,7 @@ func TestSearchMeetsTOQ(t *testing.T) {
 	sys := hw.System1()
 	w := wltest.VecCombine(1 << 16)
 	s := New(sys, dbFor(sys), w, DefaultOptions())
-	res, err := s.Search()
+	res, err := s.Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestSearchAvoidsHalfWhenItOverflows(t *testing.T) {
 	sys := hw.System2()
 	w := wltest.HalfHostile(1 << 15)
 	s := New(sys, dbFor(sys), w, DefaultOptions())
-	res, err := s.Search()
+	res, err := s.Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestSearchPrefersLowPrecisionWhenSafe(t *testing.T) {
 	sys := hw.System2()
 	w := wltest.VecCombine(1 << 18)
 	s := New(sys, dbFor(sys), w, DefaultOptions())
-	res, err := s.Search()
+	res, err := s.Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestSystem1AvoidsHalfCompute(t *testing.T) {
 	sys := hw.System1()
 	w := wltest.ComputeHeavy(1<<12, 2000)
 	s := New(sys, dbFor(sys), w, DefaultOptions())
-	res, err := s.Search()
+	res, err := s.Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestSystem1AvoidsHalfCompute(t *testing.T) {
 	// The same workload on system 2 (FP16 at 128/cycle) may use half; at
 	// minimum it must not be slower than system 1's relative outcome.
 	s2 := New(hw.System2(), dbFor(hw.System2()), w, DefaultOptions())
-	res2, err := s2.Search()
+	res2, err := s2.Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestSearchSpaceEquations(t *testing.T) {
 	sys := hw.System1()
 	w := wltest.VecCombine(4096)
 	s := New(sys, dbFor(sys), w, DefaultOptions())
-	res, err := s.Search()
+	res, err := s.Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestTrialsBoundedByTree(t *testing.T) {
 	sys := hw.System3()
 	w := wltest.VecCombine(1 << 14)
 	s := New(sys, dbFor(sys), w, DefaultOptions())
-	res, err := s.Search()
+	res, err := s.Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +161,7 @@ func TestHigherTOQNeverLowersQuality(t *testing.T) {
 	w := wltest.HalfHostile(1 << 14)
 	for _, toq := range []float64{0.90, 0.95, 0.99} {
 		s := New(sys, dbFor(sys), w, Options{TOQ: toq, InputSet: prog.InputDefault})
-		res, err := s.Search()
+		res, err := s.Search(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -179,7 +180,7 @@ func TestLowerBandwidthScalesMore(t *testing.T) {
 	w := wltest.VecCombine(1 << 18)
 	run := func(sys *hw.System) (int, float64) {
 		s := New(sys, dbFor(sys), w, DefaultOptions())
-		res, err := s.Search()
+		res, err := s.Search(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -204,11 +205,11 @@ func TestLowerBandwidthScalesMore(t *testing.T) {
 func TestDeterministicSearch(t *testing.T) {
 	sys := hw.System1()
 	w := wltest.VecCombine(1 << 14)
-	r1, err := New(sys, dbFor(sys), w, DefaultOptions()).Search()
+	r1, err := New(sys, dbFor(sys), w, DefaultOptions()).Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := New(sys, dbFor(sys), w, DefaultOptions()).Search()
+	r2, err := New(sys, dbFor(sys), w, DefaultOptions()).Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestDeterministicSearch(t *testing.T) {
 func TestTypeAndConvDists(t *testing.T) {
 	sys := hw.System2()
 	w := wltest.VecCombine(1 << 16)
-	res, err := New(sys, dbFor(sys), w, DefaultOptions()).Search()
+	res, err := New(sys, dbFor(sys), w, DefaultOptions()).Search(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

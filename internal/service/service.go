@@ -1,0 +1,521 @@
+// Package service implements the PreScaler decision service: the HTTP
+// layer of cmd/prescalerd. It turns the one-shot offline pipeline
+// (System Inspector → Application Profiler → Decision Maker) into a
+// resident daemon that amortizes inspection across requests, memoizes
+// completed decisions, and cancels in-flight searches when the client
+// goes away.
+//
+// Endpoints (all JSON, schema "prescaler/v1", see internal/api):
+//
+//	POST /v1/scale          submit a workload, get a Decision
+//	GET  /v1/decisions/{id} re-fetch a completed Decision
+//	GET  /v1/systems        system presets + inspector DB inventory
+//	GET  /v1/healthz        liveness + pool occupancy
+//	GET  /v1/metricsz       the obs metrics registry as CSV
+//
+// Requests run on a bounded worker pool. Each search runs on a clone
+// of a per-system base Framework (the same isolation pattern as the
+// parallel experiment runner) and shares one EvalCache per
+// (system, benchmark) pair, so repeat traffic for the same pair reuses
+// op results across requests. Completed decisions land in an LRU cache
+// keyed by an FNV-64a fingerprint of everything that determines the
+// result — inspector database, workload identity, and the
+// decision-affecting options — so a repeated request is O(lookup) and
+// returns the byte-identical body (the fingerprint deliberately
+// excludes Workers and the eval cache, which change only wall-clock
+// time, never the decision).
+package service
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/hw"
+	"repro/internal/obs"
+	"repro/internal/ocl"
+	"repro/internal/polybench"
+	"repro/internal/prog"
+	"repro/internal/scaler"
+)
+
+// Config parameterizes a Server. The zero value is a working default.
+type Config struct {
+	// Workers bounds the number of concurrent searches; requests beyond
+	// it queue until a slot frees (or their client disconnects). 0
+	// selects GOMAXPROCS via scaler.Options.Normalize.
+	Workers int
+	// CacheSize is the decision LRU capacity in entries; 0 selects 128.
+	CacheSize int
+	// Obs receives the service metrics (request counters, cache
+	// hit/miss, pool occupancy) and is what /v1/metricsz renders. Nil
+	// allocates a private observer so the endpoint always works.
+	Obs *obs.Observer
+	// Workload resolves a benchmark name; nil selects polybench.ByName.
+	// Tests inject synthetic workloads here.
+	Workload func(name string) *prog.Workload
+}
+
+// defaultCacheSize is the decision LRU capacity when Config leaves it 0.
+const defaultCacheSize = 128
+
+// Server is the decision service. Create with New, serve via Handler.
+type Server struct {
+	obs      *obs.Observer
+	mux      *http.ServeMux
+	slots    chan struct{}
+	workload func(name string) *prog.Workload
+
+	mu     sync.Mutex
+	bases  map[string]*core.Framework // per system preset, inspected once
+	caches map[string]*prog.EvalCache // per (system, benchmark) pair
+
+	cmu     sync.Mutex
+	lru     *list.List               // front = most recent; values are *entry
+	byID    map[string]*list.Element // fingerprint hex -> element
+	hits    int64
+	misses  int64
+	maxSize int
+
+	// testSearchStarted, when set, is called by the worker after the
+	// slot is acquired and before the search runs — a deterministic
+	// point for tests to cancel the request context.
+	testSearchStarted func(ctx context.Context, bench string)
+}
+
+// entry is one cached decision: the canonical response body and the id
+// it is addressable under.
+type entry struct {
+	id   string
+	body []byte
+}
+
+// New builds a Server. The worker pool and caches start empty; system
+// inspection happens lazily on first use of each preset.
+func New(cfg Config) (*Server, error) {
+	opts, err := scaler.Options{Workers: cfg.Workers}.Normalize()
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	o := cfg.Obs
+	if o == nil {
+		o = obs.New()
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = defaultCacheSize
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("service: negative CacheSize %d", cfg.CacheSize)
+	}
+	wl := cfg.Workload
+	if wl == nil {
+		wl = polybench.ByName
+	}
+	s := &Server{
+		obs:      o,
+		slots:    make(chan struct{}, opts.Workers),
+		workload: wl,
+		bases:    map[string]*core.Framework{},
+		caches:   map[string]*prog.EvalCache{},
+		lru:      list.New(),
+		byID:     map[string]*list.Element{},
+		maxSize:  size,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/scale", s.handleScale)
+	mux.HandleFunc("GET /v1/decisions/{id}", s.handleDecision)
+	mux.HandleFunc("GET /v1/systems", s.handleSystems)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metricsz", s.handleMetricsz)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the HTTP handler serving the v1 API.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Workers returns the resolved worker-pool capacity.
+func (s *Server) Workers() int { return cap(s.slots) }
+
+// framework returns the base Framework for a system preset, inspecting
+// it on first use. The base is never used to run searches directly —
+// callers clone it so concurrent requests cannot alias one hardware
+// model (the parallel-runner audit contract).
+func (s *Server) framework(name string) (*core.Framework, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fw, ok := s.bases[name]; ok {
+		return fw, nil
+	}
+	sys := hw.ByName(name)
+	if sys == nil {
+		return nil, &notFoundError{what: "system", name: name}
+	}
+	fw := core.NewFramework(sys)
+	s.bases[name] = fw
+	return fw, nil
+}
+
+// evalCache returns the shared per-(system, benchmark) eval cache.
+// EvalCache binds to one (system, workload) pair, so the key must pin
+// both; sharing across requests is what makes repeat traffic for the
+// same pair cheap even on a decision-cache miss (different TOQ, say).
+func (s *Server) evalCache(sys, bench string) *prog.EvalCache {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := sys + "\x00" + bench
+	c, ok := s.caches[key]
+	if !ok {
+		c = prog.NewEvalCache()
+		s.caches[key] = c
+	}
+	return c
+}
+
+// notFoundError marks an unknown benchmark or system preset.
+type notFoundError struct{ what, name string }
+
+func (e *notFoundError) Error() string { return fmt.Sprintf("unknown %s %q", e.what, e.name) }
+
+// scaleJob is a validated POST /v1/scale request, ready to fingerprint
+// and run.
+type scaleJob struct {
+	fw    *core.Framework
+	w     *prog.Workload
+	opts  scaler.Options
+	spec  *fault.Spec
+	id    string
+	cache *prog.EvalCache
+}
+
+// prepare validates a wire request against the registries and option
+// rules and computes the decision fingerprint.
+func (s *Server) prepare(req *api.ScaleRequest) (*scaleJob, error) {
+	w := s.workload(req.Benchmark)
+	if w == nil {
+		return nil, &notFoundError{what: "benchmark", name: req.Benchmark}
+	}
+	sysName := req.System
+	if sysName == "" {
+		sysName = "system1"
+	}
+	fw, err := s.framework(sysName)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := fault.ParseSeeded(req.Faults, req.FaultSeed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", scaler.ErrBadOptions, err)
+	}
+	set := prog.InputDefault
+	if req.InputSet != "" {
+		if set, err = prog.ParseInputSet(req.InputSet); err != nil {
+			return nil, fmt.Errorf("%w: %v", scaler.ErrBadOptions, err)
+		}
+	}
+	retries := scaler.DefaultOptions().Retries
+	if req.Retries != nil {
+		retries = *req.Retries
+	}
+	opts, err := scaler.Options{
+		TOQ:      req.TOQ,
+		InputSet: set,
+		Retries:  retries,
+		// The shared cache is attached after fingerprinting; under fault
+		// injection it stays off (replayed op results would mask the
+		// injected faults the request asked for).
+		DisableEvalCache: true,
+	}.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	job := &scaleJob{fw: fw, w: w, opts: opts, spec: spec}
+	if spec == nil {
+		job.cache = s.evalCache(sysName, w.Name)
+	}
+	job.id, err = s.fingerprint(fw, w, opts, spec)
+	if err != nil {
+		return nil, err
+	}
+	return job, nil
+}
+
+// fingerprint hashes everything that determines the decision: the
+// inspector database (timing curves drive every plan choice), the
+// system and workload identity, and the decision-affecting options.
+// Workers and the eval cache are deliberately excluded — the search
+// outcome and all artifacts are byte-identical for any value of either
+// (the determinism invariant) — as are Retries when no faults are
+// injected, since retry logic never fires on a clean runtime.
+func (s *Server) fingerprint(fw *core.Framework, w *prog.Workload, opts scaler.Options, spec *fault.Spec) (string, error) {
+	db, err := json.Marshal(fw.DB())
+	if err != nil {
+		return "", fmt.Errorf("service: fingerprint: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write(db)
+	fmt.Fprintf(h, "|sys=%s|w=%s|toq=%x|set=%s", fw.System().Name, w.Name, opts.TOQ, opts.InputSet)
+	if spec != nil {
+		fmt.Fprintf(h, "|faults=%s|retries=%d", spec.String(), opts.Retries)
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// cached returns the response body for a fingerprint, refreshing its
+// LRU position.
+func (s *Server) cached(id string) ([]byte, bool) {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	el, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*entry).body, true
+}
+
+// store inserts a decision body, evicting the least recently used
+// entry beyond capacity.
+func (s *Server) store(id string, body []byte) {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	if el, ok := s.byID[id]; ok {
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.byID[id] = s.lru.PushFront(&entry{id: id, body: body})
+	for s.lru.Len() > s.maxSize {
+		el := s.lru.Back()
+		s.lru.Remove(el)
+		delete(s.byID, el.Value.(*entry).id)
+		s.obs.Metrics().Counter("service_cache_evictions").Inc()
+	}
+}
+
+// handleScale is POST /v1/scale: fingerprint, serve from cache, or run
+// the search on the worker pool under the request context.
+func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
+	m := s.obs.Metrics()
+	m.Counter("service_requests", obs.L("endpoint", "scale")).Inc()
+	req, err := api.DecodeScaleRequest(r.Body)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	job, err := s.prepare(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if body, ok := s.cached(job.id); ok {
+		s.cmu.Lock()
+		s.hits++
+		s.cmu.Unlock()
+		m.Counter("service_cache", obs.L("result", "hit")).Inc()
+		s.writeDecision(w, job.id, "hit", body)
+		return
+	}
+	m.Counter("service_cache", obs.L("result", "miss")).Inc()
+
+	ctx := r.Context()
+	// Acquire a pool slot; a client that disconnects while queued never
+	// occupies one.
+	select {
+	case s.slots <- struct{}{}:
+	case <-ctx.Done():
+		s.writeError(w, ctxCause(ctx))
+		return
+	}
+	defer func() { <-s.slots }()
+	m.Gauge("service_workers_busy").Set(float64(len(s.slots)))
+	if s.testSearchStarted != nil {
+		s.testSearchStarted(ctx, job.w.Name)
+	}
+
+	body, err := s.runSearch(ctx, job)
+	if err != nil {
+		m.Counter("service_searches", obs.L("result", resultLabel(err))).Inc()
+		s.writeError(w, err)
+		return
+	}
+	m.Counter("service_searches", obs.L("result", "ok")).Inc()
+	s.cmu.Lock()
+	s.misses++
+	s.cmu.Unlock()
+	s.store(job.id, body)
+	s.writeDecision(w, job.id, "miss", body)
+}
+
+// runSearch executes the decision search for a prepared job on a clone
+// of the base framework and renders the canonical decision body. The
+// body is a pure function of the search result — no ids, timestamps,
+// or cache state — which keeps it byte-identical to cmd/prescaler
+// -json for the same workload and options.
+func (s *Server) runSearch(ctx context.Context, job *scaleJob) ([]byte, error) {
+	fw := job.fw.Clone()
+	sys := fw.System()
+	sys.Faults = job.spec
+	opts := job.opts
+	opts.EvalCache = job.cache
+	var sp *core.ScaledProgram
+	err := fault.Guard(func() error {
+		var e error
+		sp, e = fw.Scale(ctx, job.w, opts)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	d := api.NewDecision(sys, job.w, sp.Search, opts.TOQ, opts.InputSet)
+	var buf strings.Builder
+	if err := api.EncodeDecision(&buf, d); err != nil {
+		return nil, err
+	}
+	return []byte(buf.String()), nil
+}
+
+// handleDecision is GET /v1/decisions/{id}.
+func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
+	s.obs.Metrics().Counter("service_requests", obs.L("endpoint", "decisions")).Inc()
+	id := r.PathValue("id")
+	body, ok := s.cached(id)
+	if !ok {
+		s.writeError(w, &notFoundError{what: "decision", name: id})
+		return
+	}
+	s.writeDecision(w, id, "hit", body)
+}
+
+// handleSystems is GET /v1/systems: every preset with its inspector
+// database inventory (inspecting lazily, so the first call pays the
+// one-time inspection cost for presets not yet used by a search).
+func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
+	s.obs.Metrics().Counter("service_requests", obs.L("endpoint", "systems")).Inc()
+	var names []string
+	for _, sys := range hw.Systems() {
+		names = append(names, sys.Name)
+	}
+	sort.Strings(names)
+	out := make([]*api.System, 0, len(names))
+	for _, name := range names {
+		fw, err := s.framework(name)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		out = append(out, api.NewSystem(fw.System(), fw.DB().NumCurves(), fw.DB().Sizes()))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	api.Encode(w, out)
+}
+
+// handleHealthz is GET /v1/healthz: liveness plus pool and cache
+// occupancy, cheap enough for tight probe loops.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.cmu.Lock()
+	cached := s.lru.Len()
+	hits, misses := s.hits, s.misses
+	s.cmu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	api.Encode(w, map[string]any{
+		"schema":     api.Schema,
+		"status":     "ok",
+		"workers":    cap(s.slots),
+		"busy":       len(s.slots),
+		"decisions":  cached,
+		"cache_hits": hits,
+		"cache_miss": misses,
+	})
+}
+
+// handleMetricsz is GET /v1/metricsz: the obs registry as CSV — the
+// same rendering cmd/prescaler -metrics writes, so existing tooling
+// parses both.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/csv")
+	if err := s.obs.Metrics().WriteCSV(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// writeDecision serves a canonical decision body. The id and cache
+// status travel as headers, never in the body, which must stay a pure
+// function of the search result.
+func (s *Server) writeDecision(w http.ResponseWriter, id, cache string, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Decision-Id", id)
+	h.Set("X-Cache", cache)
+	w.Write(body)
+}
+
+// ctxCause extracts the most specific cancellation error.
+func ctxCause(ctx context.Context) error {
+	if cause := context.Cause(ctx); cause != nil {
+		return cause
+	}
+	return ctx.Err()
+}
+
+// resultLabel classifies a search failure for the metrics counter.
+func resultLabel(err error) string {
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return "canceled"
+	case ocl.IsFault(err):
+		return "fault"
+	default:
+		return "error"
+	}
+}
+
+// statusClientClosedRequest is nginx's nonstandard 499: the client went
+// away before the response was ready. Nothing receives the body, but
+// the code keeps access logs and tests honest about why the search
+// ended.
+const statusClientClosedRequest = 499
+
+// writeError maps an error onto the deterministic (status, code) pair
+// of the v1 error envelope, classifying through the exported sentinels
+// (scaler.ErrBadOptions, ocl.ErrDeviceLost, ...) however deeply the
+// error is wrapped.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status, code := http.StatusInternalServerError, "internal"
+	var nf *notFoundError
+	var pe *fault.PanicError
+	switch {
+	case errors.As(err, &nf):
+		status, code = http.StatusNotFound, "not_found"
+	case errors.Is(err, scaler.ErrBadOptions), errors.Is(err, api.ErrBadRequest):
+		status, code = http.StatusBadRequest, "bad_request"
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		status, code = statusClientClosedRequest, "canceled"
+	case errors.Is(err, scaler.ErrUnsupported):
+		status, code = http.StatusUnprocessableEntity, "unsupported"
+	case errors.Is(err, ocl.ErrDeviceLost):
+		status, code = http.StatusBadGateway, "device_lost"
+	case errors.Is(err, ocl.ErrAllocFailed):
+		status, code = http.StatusBadGateway, "alloc_failed"
+	case errors.Is(err, ocl.ErrLaunchFailed):
+		status, code = http.StatusBadGateway, "launch_failed"
+	case errors.Is(err, ocl.ErrTransferFailed):
+		status, code = http.StatusBadGateway, "transfer_failed"
+	case errors.As(err, &pe):
+		status, code = http.StatusInternalServerError, "panic"
+	}
+	s.obs.Metrics().Counter("service_errors", obs.L("code", code)).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	api.Encode(w, &api.Error{Schema: api.Schema, Code: code, Message: err.Error()})
+}

@@ -1,0 +1,301 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/api"
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/obs"
+	"repro/internal/prog"
+	"repro/internal/scaler"
+	"repro/internal/wltest"
+)
+
+// testWorkloads resolves the synthetic test benchmarks the way
+// polybench.ByName resolves the real ones.
+func testWorkloads(name string) *prog.Workload {
+	switch name {
+	case "veccombine":
+		return wltest.VecCombine(1 << 12)
+	case "halfhostile":
+		return wltest.HalfHostile(1 << 10)
+	}
+	return nil
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Workload == nil {
+		cfg.Workload = testWorkloads
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postScale(t *testing.T, ts *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/scale", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// The daemon's decision body must be byte-identical to what
+// cmd/prescaler -json produces for the same workload and options: the
+// same Normalize defaults, the same core search, the same canonical
+// encoder.
+func TestScaleMatchesCLIOutput(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, got := postScale(t, ts, `{"benchmark":"veccombine"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	if c := resp.Header.Get("X-Cache"); c != "miss" {
+		t.Errorf("X-Cache = %q, want miss", c)
+	}
+
+	// The CLI path, verbatim: defaults via Normalize, search via
+	// core.Framework.Scale, canonical encoding via api.EncodeDecision.
+	sys := hw.System1()
+	fw := core.NewFramework(sys)
+	opts, err := scaler.Options{Retries: 2}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := fw.Scale(context.Background(), wltest.VecCombine(1<<12), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := api.NewDecision(sys, wltest.VecCombine(1<<12), sp.Search, opts.TOQ, opts.InputSet)
+	var want bytes.Buffer
+	if err := api.EncodeDecision(&want, d); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("daemon body differs from CLI encoding:\ndaemon:\n%s\ncli:\n%s", got, want.Bytes())
+	}
+}
+
+// A repeated request must be served from the decision cache — hit
+// counter up, X-Cache: hit — with the byte-identical body, and the
+// decision must stay addressable under GET /v1/decisions/{id}.
+func TestScaleCacheHit(t *testing.T) {
+	o := obs.New()
+	_, ts := newTestServer(t, Config{Obs: o})
+	req := `{"benchmark":"veccombine","toq":0.95}`
+	resp1, body1 := postScale(t, ts, req)
+	resp2, body2 := postScale(t, ts, req)
+	if resp1.StatusCode != http.StatusOK || resp2.StatusCode != http.StatusOK {
+		t.Fatalf("status %d / %d", resp1.StatusCode, resp2.StatusCode)
+	}
+	if c := resp2.Header.Get("X-Cache"); c != "hit" {
+		t.Errorf("second X-Cache = %q, want hit", c)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("cache hit body differs from the original")
+	}
+	id1, id2 := resp1.Header.Get("X-Decision-Id"), resp2.Header.Get("X-Decision-Id")
+	if id1 == "" || id1 != id2 {
+		t.Errorf("decision ids %q / %q, want equal and non-empty", id1, id2)
+	}
+	if v := o.Metrics().Counter("service_cache", obs.L("result", "hit")).Value(); v != 1 {
+		t.Errorf("cache hit counter = %v, want 1", v)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/decisions/" + id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body3, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Equal(body3, body1) {
+		t.Errorf("GET /v1/decisions/%s: status %d, body equal %v", id1, resp.StatusCode, bytes.Equal(body3, body1))
+	}
+
+	// A decision-affecting option must miss: different fingerprint.
+	resp3, _ := postScale(t, ts, `{"benchmark":"veccombine","toq":0.5}`)
+	if c := resp3.Header.Get("X-Cache"); c != "miss" {
+		t.Errorf("different TOQ X-Cache = %q, want miss", c)
+	}
+	if id3 := resp3.Header.Get("X-Decision-Id"); id3 == id1 {
+		t.Error("different TOQ produced the same fingerprint")
+	}
+}
+
+// A client disconnect must cancel the in-flight search at a trial
+// boundary and release the worker slot for the next request.
+func TestCancelReleasesWorkerSlot(t *testing.T) {
+	o := obs.New()
+	srv, ts := newTestServer(t, Config{Workers: 1, Obs: o})
+	started := make(chan struct{})
+	// The hook runs after the slot is acquired and before the search:
+	// hold the first search until its request context actually dies, so
+	// the very first trial-boundary check sees the cancellation. Later
+	// searches pass straight through (the hook is installed once, before
+	// any traffic, and never mutated — handlers read it concurrently).
+	var once sync.Once
+	srv.testSearchStarted = func(ctx context.Context, bench string) {
+		first := false
+		once.Do(func() { first = true })
+		if first {
+			close(started)
+			<-ctx.Done()
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/scale",
+		strings.NewReader(`{"benchmark":"veccombine"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("canceled request returned a response")
+	}
+
+	// The slot must be free again: a second request completes.
+	resp, body := postScale(t, ts, `{"benchmark":"veccombine"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-cancel request: status %d: %s", resp.StatusCode, body)
+	}
+	if v := o.Metrics().Counter("service_searches", obs.L("result", "canceled")).Value(); v != 1 {
+		t.Errorf("canceled-search counter = %v, want 1", v)
+	}
+	if v := o.Metrics().Counter("service_searches", obs.L("result", "ok")).Value(); v != 1 {
+		t.Errorf("ok-search counter = %v, want 1", v)
+	}
+}
+
+// Every error class maps to its deterministic (status, code) pair.
+func TestErrorMapping(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		code   string
+	}{
+		{"unknown benchmark", `{"benchmark":"NOPE"}`, http.StatusNotFound, "not_found"},
+		{"unknown system", `{"benchmark":"veccombine","system":"system9"}`, http.StatusNotFound, "not_found"},
+		{"bad toq", `{"benchmark":"veccombine","toq":1.5}`, http.StatusBadRequest, "bad_request"},
+		{"bad input set", `{"benchmark":"veccombine","input_set":"weird"}`, http.StatusBadRequest, "bad_request"},
+		{"bad fault spec", `{"benchmark":"veccombine","faults":"gremlins:1"}`, http.StatusBadRequest, "bad_request"},
+		{"malformed json", `{`, http.StatusBadRequest, "bad_request"},
+		{"future schema", `{"schema":"prescaler/v2","benchmark":"veccombine"}`, http.StatusBadRequest, "bad_request"},
+		{"unknown field", `{"benchmark":"veccombine","tooq":0.9}`, http.StatusBadRequest, "bad_request"},
+		{"device lost", `{"benchmark":"veccombine","faults":"devlost:1"}`, http.StatusBadGateway, "device_lost"},
+	}
+	for _, c := range cases {
+		resp, body := postScale(t, ts, c.body)
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d (%s)", c.name, resp.StatusCode, c.status, body)
+			continue
+		}
+		var e api.Error
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Errorf("%s: non-envelope error body %s", c.name, body)
+			continue
+		}
+		if e.Code != c.code || e.Schema != api.Schema {
+			t.Errorf("%s: envelope %+v, want code %q", c.name, e, c.code)
+		}
+	}
+
+	// Unknown decision id.
+	resp, err := http.Get(ts.URL + "/v1/decisions/ffffffffffffffff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown decision: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// GET /v1/systems lists every preset with its inspector inventory;
+// healthz and metricsz respond and reflect traffic.
+func TestIntrospectionEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("inspects all system presets")
+	}
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/systems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("systems: status %d", resp.StatusCode)
+	}
+	var systems []*api.System
+	if err := json.Unmarshal(body, &systems); err != nil {
+		t.Fatal(err)
+	}
+	if len(systems) != len(hw.Systems()) {
+		t.Errorf("systems: %d entries, want %d", len(systems), len(hw.Systems()))
+	}
+	for _, s := range systems {
+		if s.Schema != api.Schema || s.Curves == 0 || len(s.Sizes) == 0 {
+			t.Errorf("system %s: incomplete inventory %+v", s.Name, s)
+		}
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var health struct {
+		Status  string `json:"status"`
+		Workers int    `json:"workers"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Workers < 1 {
+		t.Errorf("healthz: %s", body)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "service_requests") {
+		t.Errorf("metricsz missing request counters:\n%s", body)
+	}
+}

@@ -11,6 +11,7 @@
 //	prescaler -bench 2DCONV -db system1.db.json
 //	prescaler -bench gemm -trace out.json -metrics out.csv -explain
 //	prescaler -bench gemm -json decision.json
+//	prescaler -bench gemm -progress
 //	prescaler -list
 package main
 
@@ -47,6 +48,7 @@ func main() {
 	faults := flag.String("faults", "", `inject deterministic runtime faults, e.g. "write:0.01,launch:0.005,alloc:0.002,devlost:1e-4,nan:0.001" (empty disables injection)`)
 	faultSeed := flag.Uint64("fault-seed", 0, "seed for the fault-injection decision stream (same spec+seed reproduces the same faults at any -j)")
 	retries := flag.Int("retries", 2, "bounded retries per search trial after an injected fault (inert without -faults)")
+	progress := flag.Bool("progress", false, "stream search progress (one line per trial/decision) to stderr as it happens")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
 
@@ -117,6 +119,12 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
+	if *progress {
+		// The hook fires from the sequential decision loop, so lines
+		// appear in deterministic order at any -j. Same side channel the
+		// daemon streams over SSE.
+		opts.Progress = printProgress
+	}
 
 	fmt.Fprintf(os.Stderr, "profiling and searching %s (toq=%.2f, input=%s) ...\n", w.Name, opts.TOQ, set)
 	sp, err := fw.Scale(ctx, w, opts)
@@ -184,6 +192,28 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", *metricsPath)
+	}
+}
+
+// printProgress renders one search milestone per line on stderr.
+func printProgress(ev scaler.ProgressEvent) {
+	switch ev.Kind {
+	case "start":
+		fmt.Fprintf(os.Stderr, "progress: search started (toq=%.2f)\n", ev.TOQ)
+	case "profile":
+		fmt.Fprintf(os.Stderr, "progress: profiled baseline: %.6f ms\n", ev.SimMs)
+	case "trial":
+		memo := ""
+		if ev.Memoized {
+			memo = " (memoized)"
+		}
+		fmt.Fprintf(os.Stderr, "progress: trial %3d %-24s %-9s quality %.4f, %.6f ms%s\n",
+			ev.Trial, ev.Label, ev.Verdict, ev.Quality, ev.SimMs, memo)
+	case "object":
+		fmt.Fprintf(os.Stderr, "progress: object %-12s -> %s\n", ev.Object, ev.Target)
+	case "final":
+		fmt.Fprintf(os.Stderr, "progress: done after %d trials: quality %.4f, %.6f ms, %.2fx\n",
+			ev.Trial, ev.Quality, ev.SimMs, ev.Speedup)
 	}
 }
 

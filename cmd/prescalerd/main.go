@@ -9,19 +9,32 @@
 //	prescalerd -addr 127.0.0.1:8080 -workers 4
 //	curl -s -X POST localhost:8080/v1/scale -d '{"benchmark":"GEMM"}'
 //	curl -s localhost:8080/v1/healthz
+//	curl -s localhost:8080/metrics
+//	curl -N localhost:8080/v1/decisions/<id>/events
+//
+// Every request gets a structured log line (slog; -log-format/-log-level)
+// carrying an X-Request-Id that is also echoed to the client.
+// -debug-addr opens a second listener serving net/http/pprof — never
+// the main port, so profiling endpoints cannot leak into production
+// exposure by default.
 //
 // SIGINT/SIGTERM drains gracefully: the listener closes immediately,
 // in-flight searches get -drain to finish, and whatever remains is
-// canceled at its next trial boundary.
+// canceled at its next trial boundary. With -health-artifact the final
+// health summary (the /v1/healthz document, including latency
+// quantiles) is written to the given file after the drain.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,12 +49,22 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrent searches; 0 selects GOMAXPROCS")
 	cacheSize := flag.Int("cache-size", 0, "decision LRU capacity in entries; 0 selects 128")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight searches before they are canceled")
+	logFormat := flag.String("log-format", "text", "request log format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	debugAddr := flag.String("debug-addr", "", "optional second listener serving net/http/pprof (e.g. 127.0.0.1:6060); empty disables")
+	healthArtifact := flag.String("health-artifact", "", "file to write the final health summary JSON to on shutdown; empty disables")
 	flag.Parse()
+
+	logger, err := newLogger(*logFormat, *logLevel)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	srv, err := service.New(service.Config{
 		Workers:   *workers,
 		CacheSize: *cacheSize,
 		Obs:       obs.New(),
+		Logger:    logger,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -59,12 +82,16 @@ func main() {
 		BaseContext: func(net.Listener) context.Context { return baseCtx },
 	}
 
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, logger)
+	}
+
 	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "prescalerd: serving v1 API on %s (workers=%d)\n", *addr, srv.Workers())
+	logger.Info("serving v1 API", "addr", *addr, "workers", srv.Workers())
 
 	select {
 	case err := <-errc:
@@ -72,19 +99,70 @@ func main() {
 	case <-sigCtx.Done():
 	}
 
-	fmt.Fprintf(os.Stderr, "prescalerd: shutting down, draining for up to %s\n", *drain)
+	logger.Info("shutting down", "drain", drain.String())
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
 		// Drain budget exhausted: cancel the base context so remaining
 		// searches abort at their next trial boundary, then close.
-		fmt.Fprintf(os.Stderr, "prescalerd: drain expired (%v), canceling in-flight searches\n", err)
+		logger.Warn("drain expired, canceling in-flight searches", "err", err.Error())
 		cancelBase()
 		if err := hs.Close(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatalf("%v", err)
 		}
 	}
-	fmt.Fprintln(os.Stderr, "prescalerd: bye")
+	if *healthArtifact != "" {
+		if err := writeHealthArtifact(*healthArtifact, srv); err != nil {
+			fatalf("health artifact: %v", err)
+		}
+		logger.Info("wrote health artifact", "path", *healthArtifact)
+	}
+	logger.Info("bye")
+}
+
+// newLogger builds the process logger from the -log-format/-log-level
+// flags. Logs go to stderr; stdout stays free for tooling.
+func newLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
+
+// serveDebug runs the pprof listener. It is deliberately a separate
+// server on a separate address: the main API mux never mounts pprof, so
+// exposing the service port never exposes the profiler.
+func serveDebug(addr string, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	logger.Info("serving pprof", "addr", addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		logger.Error("pprof listener failed", "addr", addr, "err", err.Error())
+	}
+}
+
+// writeHealthArtifact renders the final health summary — the same
+// document /v1/healthz serves, latency quantiles included — so a run's
+// service-side latency profile survives the process.
+func writeHealthArtifact(path string, srv *service.Server) error {
+	b, err := json.MarshalIndent(srv.Health(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func fatalf(format string, args ...any) {

@@ -162,9 +162,95 @@ func (h *Histogram) Max() float64 {
 	return h.max
 }
 
+// Buckets returns the histogram's upper bounds and the cumulative
+// observation counts: cumulative[i] counts observations <= bounds[i],
+// and cumulative[len(bounds)] is the total count (the implicit +Inf
+// bucket). Both slices are copies. This is the Prometheus bucket
+// semantic, so the text exposition renders straight from it.
+func (h *Histogram) Buckets() (bounds []float64, cumulative []int) {
+	if h == nil {
+		return nil, nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	bounds = append([]float64(nil), h.bounds...)
+	cumulative = make([]int, len(h.counts))
+	sum := 0
+	for i, c := range h.counts {
+		sum += c
+		cumulative[i] = sum
+	}
+	return bounds, cumulative
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear
+// interpolation inside the bucket containing the target rank — the same
+// estimator as Prometheus's histogram_quantile, refined with the
+// tracked min/max: the first bucket interpolates from the observed
+// minimum instead of zero, observations landing in the +Inf bucket
+// report the observed maximum, and the result is clamped to
+// [min, max]. Returns 0 on an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.n)
+	cum := 0.0
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) < rank {
+			cum += float64(c)
+			continue
+		}
+		if i == len(h.bounds) {
+			// Target rank falls in the +Inf bucket: no finite upper bound
+			// to interpolate toward, report the observed maximum.
+			return h.max
+		}
+		lower := h.min
+		if i > 0 {
+			lower = h.bounds[i-1]
+		}
+		upper := h.bounds[i]
+		if lower > upper {
+			lower = upper
+		}
+		v := lower + (upper-lower)*(rank-cum)/float64(c)
+		if v < h.min {
+			v = h.min
+		}
+		if v > h.max {
+			v = h.max
+		}
+		return v
+	}
+	return h.max
+}
+
 // DefaultErrorBuckets is the bucket grid used for relative-error
 // histograms (1% to 50%).
 var DefaultErrorBuckets = []float64{0.01, 0.02, 0.05, 0.10, 0.20, 0.50}
+
+// DefaultLatencyBuckets is the bucket grid for wall-clock latency
+// histograms, in seconds (0.5ms to 10s, roughly logarithmic — the
+// service's request and queue-wait histograms use it).
+var DefaultLatencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
 
 // Registry holds named, labeled metrics. A nil *Registry hands out nil
 // instruments, whose methods are all no-ops. Instrument lookup and the
@@ -175,6 +261,7 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	hbounds  map[string][]float64 // histogram bucket grids by key
+	labels   map[string][]Label   // canonical sorted label sets by key
 }
 
 // NewRegistry creates an empty registry.
@@ -184,7 +271,20 @@ func NewRegistry() *Registry {
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
 		hbounds:  map[string][]float64{},
+		labels:   map[string][]Label{},
 	}
+}
+
+// recordLabels remembers the canonical (sorted, copied) label set for a
+// metric key, so exposition formats can render label pairs without
+// re-parsing the key string. Caller holds r.mu.
+func (r *Registry) recordLabels(key string, labels []Label) {
+	if _, ok := r.labels[key]; ok {
+		return
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	r.labels[key] = ls
 }
 
 func metricKey(name string, labels []Label) string {
@@ -203,6 +303,7 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	if !ok {
 		c = &Counter{}
 		r.counters[key] = c
+		r.recordLabels(key, labels)
 	}
 	return c
 }
@@ -219,6 +320,7 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	if !ok {
 		g = &Gauge{}
 		r.gauges[key] = g
+		r.recordLabels(key, labels)
 	}
 	return g
 }
@@ -243,6 +345,7 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 		h = &Histogram{bounds: b, counts: make([]int, len(b)+1)}
 		r.hists[key] = h
 		r.hbounds[key] = b
+		r.recordLabels(key, labels)
 	}
 	return h
 }

@@ -23,6 +23,14 @@ func New() *Observer {
 	return &Observer{trace: NewTracer(), metrics: NewRegistry(), journal: &Journal{}}
 }
 
+// Compose builds an observer from explicit pillars, any of which may be
+// nil (that pillar is then inert). The decision service uses it to give
+// every request its own tracer and journal while all requests share the
+// process-wide metrics registry that /metrics renders.
+func Compose(t *Tracer, m *Registry, j *Journal) *Observer {
+	return &Observer{trace: t, metrics: m, journal: j}
+}
+
 // Tracer returns the span tracer (nil on a nil observer).
 func (o *Observer) Tracer() *Tracer {
 	if o == nil {

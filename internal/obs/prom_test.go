@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// populate fills a registry with one of every instrument shape.
+func populate(r *Registry) {
+	r.Counter("requests", L("endpoint", "scale")).Add(3)
+	r.Counter("requests", L("endpoint", "healthz")).Inc()
+	r.Counter("plain").Inc()
+	r.Gauge("busy").Set(2)
+	r.Gauge("space", L("eq", "tree")).Set(1.5)
+	h := r.Histogram("latency_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.02, 0.02, 0.5, 3} {
+		h.Observe(v)
+	}
+}
+
+func TestWritePrometheusDeterministicAndValid(t *testing.T) {
+	r := NewRegistry()
+	populate(r)
+	var a, b bytes.Buffer
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("exposition not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+
+	samples, err := LintPrometheus(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition does not lint: %v\n%s", err, a.String())
+	}
+	for _, fam := range []string{"requests", "plain", "busy", "space", "latency_seconds"} {
+		if samples[fam] == 0 {
+			t.Errorf("family %s missing from exposition:\n%s", fam, a.String())
+		}
+	}
+
+	out := a.String()
+	// Cumulative histogram semantics: bucket counts are running totals
+	// and +Inf equals the count.
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.01"} 1`,
+		`latency_seconds_bucket{le="0.1"} 3`,
+		`latency_seconds_bucket{le="1"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		"latency_seconds_count 5",
+		`requests{endpoint="healthz"} 1`,
+		`requests{endpoint="scale"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families are name-sorted: busy < latency_seconds < plain < requests < space.
+	idx := func(s string) int { return strings.Index(out, "# TYPE "+s+" ") }
+	order := []string{"busy", "latency_seconds", "plain", "requests", "space"}
+	for i := 1; i < len(order); i++ {
+		if idx(order[i-1]) >= idx(order[i]) {
+			t.Errorf("families out of order: %s before %s expected\n%s", order[i-1], order[i], out)
+		}
+	}
+}
+
+func TestPromLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("odd", L("msg", "a\"b\\c\nd")).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `odd{msg="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("escaped sample %q missing:\n%s", want, buf.String())
+	}
+	if _, err := LintPrometheus(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Errorf("escaped exposition does not lint: %v", err)
+	}
+}
+
+func TestLintPrometheusRejectsMalformed(t *testing.T) {
+	cases := []struct{ name, text string }{
+		{"sample before TYPE", "foo 1\n"},
+		{"bad value", "# TYPE foo counter\nfoo notanumber\n"},
+		{"bad name", "# TYPE 1foo counter\n"},
+		{"unterminated labels", "# TYPE foo counter\nfoo{a=\"b\" 1\n"},
+		{"non-cumulative buckets", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n"},
+		{"bucket without le", "# TYPE h histogram\nh_bucket{a=\"b\"} 5\n"},
+	}
+	for _, c := range cases {
+		if _, err := LintPrometheus(strings.NewReader(c.text)); err == nil {
+			t.Errorf("%s: lint accepted %q", c.name, c.text)
+		}
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{10, 20, 30})
+	// 10 observations uniform in (0, 10], 10 in (10, 20], 10 in (20, 30].
+	for i := 1; i <= 30; i++ {
+		h.Observe(float64(i))
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 3 || len(cum) != 4 {
+		t.Fatalf("Buckets() = %v, %v", bounds, cum)
+	}
+	for i, want := range []int{10, 20, 30, 30} {
+		if cum[i] != want {
+			t.Errorf("cumulative[%d] = %d, want %d", i, cum[i], want)
+		}
+	}
+
+	// Median of 1..30 is ~15; the interpolated estimate must land in the
+	// middle bucket.
+	if q := h.Quantile(0.5); q < 14 || q > 16 {
+		t.Errorf("Quantile(0.5) = %v, want ~15", q)
+	}
+	if q := h.Quantile(0.99); q < 29 || q > 30 {
+		t.Errorf("Quantile(0.99) = %v, want ~30", q)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %v, want min 1", q)
+	}
+	if q := h.Quantile(1); q != 30 {
+		t.Errorf("Quantile(1) = %v, want max 30", q)
+	}
+
+	// Observations past the last bound report the maximum.
+	h2 := r.Histogram("h2", []float64{1})
+	h2.Observe(100)
+	h2.Observe(200)
+	if q := h2.Quantile(0.9); q != 200 {
+		t.Errorf("+Inf-bucket Quantile = %v, want max 200", q)
+	}
+
+	var nilH *Histogram
+	if q := nilH.Quantile(0.5); q != 0 {
+		t.Errorf("nil Quantile = %v", q)
+	}
+	empty := r.Histogram("empty", nil)
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Errorf("empty Quantile = %v", q)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", DefaultLatencyBuckets)
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.0001 * float64(i%200))
+	}
+	prev := math.Inf(-1)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9, 0.99, 0.999} {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Errorf("Quantile(%v) = %v < previous %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+// TestConcurrentScrape hammers the registry from writer goroutines
+// while scraping the Prometheus exposition — the /metrics race contract
+// (run under -race in CI).
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	populate(r)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("requests", L("endpoint", "scale")).Inc()
+				r.Histogram("latency_seconds", []float64{0.01, 0.1, 1}).Observe(float64(i%100) * 0.001)
+				r.Gauge("busy").Set(float64(w))
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LintPrometheus(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatalf("scrape %d does not lint: %v\n%s", i, err, buf.String())
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestLintScrapeFile validates a real /metrics scrape captured by the
+// CI service-smoke job (path in PROM_SCRAPE_FILE); it is skipped in
+// ordinary test runs. Keeping the validator in Go means the smoke job
+// exercises the same parser the unit tests pin down.
+func TestLintScrapeFile(t *testing.T) {
+	path := os.Getenv("PROM_SCRAPE_FILE")
+	if path == "" {
+		t.Skip("PROM_SCRAPE_FILE not set")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	families, err := LintPrometheus(f)
+	if err != nil {
+		t.Fatalf("scrape invalid: %v", err)
+	}
+	for _, want := range []string{"service_requests", "http_request_seconds"} {
+		if families[want] == 0 {
+			t.Errorf("scrape missing family %s", want)
+		}
+	}
+	t.Logf("scrape ok: %d families", len(families))
+}

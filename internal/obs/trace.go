@@ -210,22 +210,30 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]chromeEvent, 0, len(t.spans)+4)
-	rows := make([]int, 0, len(rowNames))
-	for row := range rowNames {
+	return writeChromeEvents(w, t.spans, t.now, rowNames)
+}
+
+// writeChromeEvents renders spans as Chrome trace-event JSON: metadata
+// rows first (sorted by row id), then the spans in recorded order,
+// still-open spans closed at now. Shared by the virtual-clock Tracer
+// and the wall-clock WallTracer; callers hold their own locks.
+func writeChromeEvents(w io.Writer, spans []*Span, now float64, names map[int]string) error {
+	out := make([]chromeEvent, 0, len(spans)+len(names))
+	rows := make([]int, 0, len(names))
+	for row := range names {
 		rows = append(rows, row)
 	}
 	sort.Ints(rows)
 	for _, row := range rows {
 		out = append(out, chromeEvent{
 			Name: "thread_name", Phase: "M", PID: 1, TID: row,
-			Args: map[string]any{"name": rowNames[row]},
+			Args: map[string]any{"name": names[row]},
 		})
 	}
-	for _, s := range t.spans {
+	for _, s := range spans {
 		stop := s.Stop
 		if s.open {
-			stop = t.now
+			stop = now
 		}
 		ce := chromeEvent{
 			Name: s.Name, Cat: s.Cat, Phase: "X",

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"time"
+)
+
+// WallTracer records spans against the real wall clock, in the same
+// Chrome trace-event JSON format as the virtual-clock Tracer. The two
+// tracers answer different questions and deliberately coexist:
+//
+//   - Tracer stamps spans from the simulated clock that pipeline code
+//     advances by each trial's modeled duration. Its exports are
+//     byte-identical across runs — they describe what the *modeled
+//     hardware* did and are golden-testable.
+//   - WallTracer stamps spans from time.Now. Its exports describe what
+//     *this process* actually spent — request handling, queue waits,
+//     real search latency — and are never deterministic. The decision
+//     service records one per decision and serves it from
+//     GET /v1/decisions/{id}/trace.
+//
+// Timestamps are seconds since the tracer's creation, so traces from
+// different requests all start near zero and load side by side. All
+// methods are safe for concurrent use, and a nil *WallTracer is inert.
+type WallTracer struct {
+	mu    sync.Mutex
+	epoch time.Time
+	spans []*Span
+}
+
+// Wall-trace rows: the request lifecycle on one row, individual search
+// trials on another so nesting stays readable.
+const (
+	WallRowRequest = 0
+	WallRowTrials  = 1
+)
+
+// wallRowNames labels the rows in exported wall traces.
+var wallRowNames = map[int]string{
+	WallRowRequest: "request",
+	WallRowTrials:  "trials",
+}
+
+// NewWallTracer creates a wall tracer with its epoch at the current
+// time.
+func NewWallTracer() *WallTracer {
+	return &WallTracer{epoch: time.Now()}
+}
+
+// Now returns the seconds elapsed since the tracer's epoch.
+func (t *WallTracer) Now() float64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.epoch).Seconds()
+}
+
+// Begin opens a span at the current wall clock on the given row.
+func (t *WallTracer) Begin(name, cat string, tid int, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{Name: name, Cat: cat, TID: tid, Start: t.Now(), Attrs: attrs, open: true}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// End closes a span at the current wall clock.
+func (t *WallTracer) End(s *Span) {
+	if t == nil || s == nil {
+		return
+	}
+	now := t.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !s.open {
+		return
+	}
+	s.Stop = now
+	s.open = false
+}
+
+// Emit records a complete span with explicit start and duration in
+// seconds since the epoch.
+func (t *WallTracer) Emit(name, cat string, tid int, start, dur float64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, &Span{
+		Name: name, Cat: cat, TID: tid, Start: start, Stop: start + dur, Attrs: attrs,
+	})
+	t.mu.Unlock()
+}
+
+// WriteChromeTrace exports the recorded spans as Chrome trace-event
+// JSON (chrome://tracing, Perfetto). Still-open spans are closed at the
+// current wall clock.
+func (t *WallTracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := w.Write([]byte("{\"traceEvents\":[]}\n"))
+		return err
+	}
+	now := t.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return writeChromeEvents(w, t.spans, now, wallRowNames)
+}

@@ -1,0 +1,67 @@
+package scaler
+
+// ProgressEvent is one live milestone of a running search, delivered to
+// Options.Progress. Events are emitted only from the sequential
+// decision loop — never from speculative workers — so for a fixed
+// (workload, options) pair the event sequence is deterministic: the
+// same kinds, labels, trial numbers, and qualities in the same order at
+// any Workers value. The struct carries JSON tags because the decision
+// service streams events verbatim over SSE and cmd/prescaler -progress
+// prints them; it is intentionally flat so every kind shares one shape.
+type ProgressEvent struct {
+	// Kind is the milestone: "start" (search began), "profile" (the
+	// profiling/baseline run finished), "trial" (one candidate was
+	// evaluated), "object" (one memory object's precision was decided),
+	// "final" (the search finished).
+	Kind string `json:"kind"`
+	// Workload names the benchmark being searched.
+	Workload string `json:"workload,omitempty"`
+	// Object is the memory object a "object" event decided.
+	Object string `json:"object,omitempty"`
+	// Target is the precision an "object" event chose.
+	Target string `json:"target,omitempty"`
+	// Label names a "trial" event the way its trace span is named, e.g.
+	// "uniform single", "A half", "final".
+	Label string `json:"label,omitempty"`
+	// Trial is the number of executed trials so far (profiling included).
+	Trial int `json:"trial,omitempty"`
+	// Quality is the trial's measured output quality in [0, 1].
+	Quality float64 `json:"quality,omitempty"`
+	// TOQ is the target output quality the search must meet.
+	TOQ float64 `json:"toq,omitempty"`
+	// SimMs is the simulated execution time of the trial (or the final
+	// configuration) in milliseconds.
+	SimMs float64 `json:"sim_ms,omitempty"`
+	// Memoized marks a trial served from the search's memo table instead
+	// of a fresh execution.
+	Memoized bool `json:"memoized,omitempty"`
+	// Verdict classifies the milestone: "pass"/"toq-fail"/"exec-fail"
+	// for trials, "chosen" for objects.
+	Verdict string `json:"verdict,omitempty"`
+	// Speedup is the final configuration's speedup over the baseline
+	// (only on "final" events).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// progress delivers an event to the Progress hook, stamping the fields
+// every event shares. Like the Obs hooks, it must have no effect on the
+// search: the hook only observes. It is called exclusively from the
+// sequential decision loop, so implementations need not be
+// goroutine-safe with respect to one search (concurrent *searches*
+// sharing one hook must still synchronize).
+func (s *Scaler) progress(ev ProgressEvent) {
+	if s.opts.Progress == nil {
+		return
+	}
+	ev.Workload = s.w.Name
+	ev.TOQ = s.opts.TOQ
+	s.opts.Progress(ev)
+}
+
+// trialVerdict classifies a completed trial for its progress event.
+func (s *Scaler) trialVerdict(quality float64) string {
+	if quality >= s.opts.TOQ {
+		return "pass"
+	}
+	return "toq-fail"
+}

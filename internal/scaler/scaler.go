@@ -107,6 +107,15 @@ type Options struct {
 	// none was supplied. It never disables an explicitly set EvalCache
 	// and has no effect outside Normalize.
 	DisableEvalCache bool
+	// Progress, when non-nil, receives a ProgressEvent at every search
+	// milestone: search start, the profiling run, every candidate trial
+	// (with its quality vs TOQ), each object's decision, and the final
+	// result. Events are emitted from the sequential decision loop only,
+	// in deterministic order at any Workers value, and the hook has no
+	// effect on the search outcome — it is a side channel, like Obs. The
+	// hook must not block: the decision service fans events out to SSE
+	// subscribers from it, and cmd/prescaler -progress prints them.
+	Progress func(ProgressEvent)
 }
 
 // DefaultOptions returns the paper's evaluation settings.
@@ -484,6 +493,10 @@ func (s *Scaler) runTrial(cfg *prog.Config, label string) (*trialRecord, bool, e
 			sp.SetAttr("memoized", true)
 			tr.End(sp)
 		}
+		s.progress(ProgressEvent{
+			Kind: "trial", Label: label, Trial: s.trials, Quality: rec.quality,
+			SimMs: rec.res.Total * 1e3, Memoized: true, Verdict: s.trialVerdict(rec.quality),
+		})
 		return rec, true, nil
 	}
 	var sp *obs.Span
@@ -522,6 +535,7 @@ func (s *Scaler) runTrial(cfg *prog.Config, label string) (*trialRecord, bool, e
 				sp.SetAttr("error", err.Error())
 				tr.End(sp)
 			}
+			s.progress(ProgressEvent{Kind: "trial", Label: label, Trial: s.trials, Verdict: "exec-fail"})
 			return nil, false, err
 		}
 	}
@@ -541,6 +555,10 @@ func (s *Scaler) runTrial(cfg *prog.Config, label string) (*trialRecord, bool, e
 	} else {
 		m.Counter("toq_outcome", obs.L("result", "fail")).Inc()
 	}
+	s.progress(ProgressEvent{
+		Kind: "trial", Label: label, Trial: s.trials, Quality: rec.quality,
+		SimMs: rec.res.Total * 1e3, Verdict: s.trialVerdict(rec.quality),
+	})
 	return rec, false, nil
 }
 
@@ -706,6 +724,7 @@ func (s *Scaler) Search(ctx context.Context) (*Result, error) {
 	if j != nil {
 		j.Workload, j.System, j.TOQ = s.w.Name, s.sys.Name, s.opts.TOQ
 	}
+	s.progress(ProgressEvent{Kind: "start"})
 
 	// Application profiling (also the baseline trial and quality
 	// reference). The profiling run is retried like any trial, but its
@@ -733,6 +752,9 @@ func (s *Scaler) Search(ctx context.Context) (*Result, error) {
 	s.trials = 1
 	o.Metrics().Counter("trials_executed").Inc()
 	s.memo[s.keys.key(prog.Baseline(s.w))] = &trialRecord{res: ref, quality: 1}
+	s.progress(ProgressEvent{
+		Kind: "profile", Trial: 1, Quality: 1, SimMs: ref.Total * 1e3, Verdict: "pass",
+	})
 	if j != nil {
 		j.BaselineTotal = ref.Total
 		for i := range info.Objects {
@@ -768,6 +790,14 @@ func (s *Scaler) Search(ctx context.Context) (*Result, error) {
 			return nil, err
 		}
 		current = chosen
+		target := current.Objects[obj.Name].Target
+		if !target.Valid() {
+			target = s.w.Original
+		}
+		s.progress(ProgressEvent{
+			Kind: "object", Object: obj.Name, Target: target.String(),
+			Trial: s.trials, Verdict: "chosen",
+		})
 	}
 
 	// Final measurement (memoized when the last accepted configuration
@@ -823,6 +853,11 @@ func (s *Scaler) Search(ctx context.Context) (*Result, error) {
 	res.SearchSpace, res.TreeSpace, res.PredictedSpace = s.SearchSpace()
 	tr.End(root)
 	s.recordOutcome(res, j)
+	s.progress(ProgressEvent{
+		Kind: "final", Trial: res.Trials, Quality: res.Quality,
+		SimMs: res.Final.Total * 1e3, Verdict: s.trialVerdict(res.Quality),
+		Speedup: res.Speedup,
+	})
 	return res, nil
 }
 

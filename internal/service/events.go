@@ -1,0 +1,149 @@
+package service
+
+import (
+	"sync"
+)
+
+// sseEvent is one rendered server-sent event: the SSE event name plus
+// its JSON data payload. Events are serialized once at publish time and
+// replayed verbatim to every (current and future) subscriber.
+type sseEvent struct {
+	name string // SSE `event:` field — "start", "trial", "done", ...
+	data []byte // SSE `data:` field — one JSON object, no newlines
+}
+
+// terminal reports whether this event ends the stream.
+func (e sseEvent) terminal() bool { return e.name == "done" || e.name == "error" }
+
+// maxStreamHistory bounds the replay buffer per decision. A search
+// emits tens of events; the cap only guards against pathological
+// workloads. The terminal event is always appended so late subscribers
+// still see the stream close.
+const maxStreamHistory = 1024
+
+// maxStreams bounds the hub. Streams for cached decisions are evicted
+// with their LRU entry; the cap only guards against a flood of
+// subscribe-before-start streams for ids that never run.
+const maxStreams = 4096
+
+// eventHub fans decision progress events out to SSE subscribers. Each
+// decision id owns one stream holding the full event history (bounded)
+// so a subscriber attaching mid-search — or after the decision
+// completed — replays everything before going live. Subscribing to an
+// id the hub has never seen creates a pending stream: the natural flow
+// is "compute the fingerprint, subscribe, then POST", and the subscriber
+// must not lose the race against the search's first event.
+type eventHub struct {
+	mu      sync.Mutex
+	streams map[string]*stream
+}
+
+// stream is the event history and live subscriber set of one decision.
+type stream struct {
+	mu      sync.Mutex
+	history []sseEvent
+	dropped int  // events beyond maxStreamHistory
+	done    bool // terminal event published
+	subs    map[chan sseEvent]struct{}
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{streams: map[string]*stream{}}
+}
+
+// get returns the stream for id, creating it when create is set (and
+// the hub has room).
+func (h *eventHub) get(id string, create bool) *stream {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.streams[id]
+	if !ok && create && len(h.streams) < maxStreams {
+		st = &stream{subs: map[chan sseEvent]struct{}{}}
+		h.streams[id] = st
+	}
+	return st
+}
+
+// start returns the stream a fresh search should publish into. An
+// existing open stream is reused (subscribe-before-POST created it, or
+// a concurrent search for the same fingerprint got here first — events
+// then interleave until the first terminal, which is harmless). A
+// stream that already closed — a retried search after an error — is
+// replaced so the retry's events are not swallowed by the done guard.
+// Returns nil when the hub is at capacity; the search then runs with
+// no stream at all.
+func (h *eventHub) start(id string) *stream {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if st, ok := h.streams[id]; ok {
+		st.mu.Lock()
+		done := st.done
+		st.mu.Unlock()
+		if !done {
+			return st
+		}
+	} else if len(h.streams) >= maxStreams {
+		return nil
+	}
+	st := &stream{subs: map[chan sseEvent]struct{}{}}
+	h.streams[id] = st
+	return st
+}
+
+// drop removes a stream (LRU eviction of its decision, or a failed
+// search whose terminal error has been delivered).
+func (h *eventHub) drop(id string) {
+	h.mu.Lock()
+	delete(h.streams, id)
+	h.mu.Unlock()
+}
+
+// publish appends an event to the history and fans it out to live
+// subscribers. A subscriber whose buffer is full loses the event (its
+// own drop counter increments); the history is authoritative, the live
+// channel is best-effort. Publishing after the terminal event is a
+// no-op, so two racing searches for the same fingerprint cannot
+// resurrect a closed stream.
+func (st *stream) publish(ev sseEvent) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.done {
+		return
+	}
+	if len(st.history) < maxStreamHistory || ev.terminal() {
+		st.history = append(st.history, ev)
+	} else {
+		st.dropped++
+	}
+	if ev.terminal() {
+		st.done = true
+	}
+	for ch := range st.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// subscribe returns a snapshot of the history, a live channel for
+// subsequent events, and whether the stream is already closed (the
+// snapshot then ends with the terminal event). Callers must
+// unsubscribe.
+func (st *stream) subscribe() (history []sseEvent, live chan sseEvent, done bool) {
+	live = make(chan sseEvent, 64)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	history = append([]sseEvent(nil), st.history...)
+	if !st.done {
+		st.subs[live] = struct{}{}
+	}
+	return history, live, st.done
+}
+
+// unsubscribe detaches a live channel.
+func (st *stream) unsubscribe(ch chan sseEvent) {
+	st.mu.Lock()
+	delete(st.subs, ch)
+	st.mu.Unlock()
+}

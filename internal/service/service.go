@@ -7,11 +7,22 @@
 //
 // Endpoints (all JSON, schema "prescaler/v1", see internal/api):
 //
-//	POST /v1/scale          submit a workload, get a Decision
-//	GET  /v1/decisions/{id} re-fetch a completed Decision
-//	GET  /v1/systems        system presets + inspector DB inventory
-//	GET  /v1/healthz        liveness + pool occupancy
-//	GET  /v1/metricsz       the obs metrics registry as CSV
+//	POST /v1/scale                  submit a workload, get a Decision
+//	POST /v1/scale?fingerprint=1    validate + fingerprint, don't search
+//	GET  /v1/decisions/{id}         re-fetch a completed Decision
+//	GET  /v1/decisions/{id}/trace   wall-clock Chrome trace of the search
+//	GET  /v1/decisions/{id}/events  live decision progress over SSE
+//	GET  /v1/systems                system presets + inspector DB inventory
+//	GET  /v1/healthz                liveness, pool occupancy, latency quantiles
+//	GET  /v1/metricsz               the obs metrics registry as CSV
+//	GET  /metrics                   the same registry, Prometheus exposition
+//
+// Telemetry is a strict side channel. Decision bodies are a pure
+// function of (inspector DB, workload, options) — request ids travel in
+// the X-Request-Id header and structured logs, cache status in X-Cache,
+// progress over SSE, latency in /metrics — so the bodies stay
+// byte-identical with telemetry on or off, and identical to
+// cmd/prescaler -json output.
 //
 // Requests run on a bounded worker pool. Each search runs on a clone
 // of a per-system base Framework (the same isolation pattern as the
@@ -33,10 +44,12 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/api"
 	"repro/internal/core"
@@ -64,6 +77,16 @@ type Config struct {
 	// Workload resolves a benchmark name; nil selects polybench.ByName.
 	// Tests inject synthetic workloads here.
 	Workload func(name string) *prog.Workload
+	// Logger receives structured request logs (one line per request) and
+	// panic reports. Nil disables logging; everything else still works.
+	Logger *slog.Logger
+	// DisableTelemetry turns off the per-request side channels: the
+	// middleware stack (request ids, access logs, panic recovery,
+	// latency histogram), wall-clock traces, and SSE progress events.
+	// The endpoints stay mounted but have nothing to serve. Exists so
+	// tests can pin that decision bodies are byte-identical with
+	// telemetry on or off.
+	DisableTelemetry bool
 }
 
 // defaultCacheSize is the decision LRU capacity when Config leaves it 0.
@@ -73,8 +96,16 @@ const defaultCacheSize = 128
 type Server struct {
 	obs      *obs.Observer
 	mux      *http.ServeMux
+	handler  http.Handler // mux wrapped in the telemetry middleware
 	slots    chan struct{}
 	workload func(name string) *prog.Workload
+
+	logger       *slog.Logger
+	telemetryOff bool
+	start        time.Time
+	hub          *eventHub
+	latency      *obs.Histogram // http_request_seconds, fed by middleware
+	queueWait    *obs.Histogram // service_queue_wait_seconds, slot waits
 
 	mu     sync.Mutex
 	bases  map[string]*core.Framework // per system preset, inspected once
@@ -93,11 +124,13 @@ type Server struct {
 	testSearchStarted func(ctx context.Context, bench string)
 }
 
-// entry is one cached decision: the canonical response body and the id
-// it is addressable under.
+// entry is one cached decision: the canonical response body, the id it
+// is addressable under, and the wall-clock trace of the search that
+// produced it (nil for telemetry-off servers).
 type entry struct {
-	id   string
-	body []byte
+	id    string
+	body  []byte
+	trace []byte
 }
 
 // New builds a Server. The worker pool and caches start empty; system
@@ -123,27 +156,42 @@ func New(cfg Config) (*Server, error) {
 		wl = polybench.ByName
 	}
 	s := &Server{
-		obs:      o,
-		slots:    make(chan struct{}, opts.Workers),
-		workload: wl,
-		bases:    map[string]*core.Framework{},
-		caches:   map[string]*prog.EvalCache{},
-		lru:      list.New(),
-		byID:     map[string]*list.Element{},
-		maxSize:  size,
+		obs:          o,
+		slots:        make(chan struct{}, opts.Workers),
+		workload:     wl,
+		logger:       cfg.Logger,
+		telemetryOff: cfg.DisableTelemetry,
+		start:        time.Now(),
+		hub:          newEventHub(),
+		latency:      o.Metrics().Histogram("http_request_seconds", obs.DefaultLatencyBuckets),
+		queueWait:    o.Metrics().Histogram("service_queue_wait_seconds", obs.DefaultLatencyBuckets),
+		bases:        map[string]*core.Framework{},
+		caches:       map[string]*prog.EvalCache{},
+		lru:          list.New(),
+		byID:         map[string]*list.Element{},
+		maxSize:      size,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/scale", s.handleScale)
 	mux.HandleFunc("GET /v1/decisions/{id}", s.handleDecision)
+	mux.HandleFunc("GET /v1/decisions/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /v1/decisions/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/systems", s.handleSystems)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metricsz", s.handleMetricsz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux = mux
+	s.handler = s.mux
+	if !cfg.DisableTelemetry {
+		s.handler = s.telemetry(s.mux)
+	}
 	return s, nil
 }
 
-// Handler returns the HTTP handler serving the v1 API.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler serving the v1 API, wrapped in the
+// request-id / access-log / panic-recovery middleware unless
+// Config.DisableTelemetry.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Workers returns the resolved worker-pool capacity.
 func (s *Server) Workers() int { return cap(s.slots) }
@@ -285,22 +333,40 @@ func (s *Server) cached(id string) ([]byte, bool) {
 	return el.Value.(*entry).body, true
 }
 
-// store inserts a decision body, evicting the least recently used
-// entry beyond capacity.
-func (s *Server) store(id string, body []byte) {
+// store inserts a decision body and its wall trace, evicting the least
+// recently used entry beyond capacity. Evicted decisions take their SSE
+// stream with them — the history's lifetime matches the decision's.
+func (s *Server) store(id string, body, trace []byte) {
 	s.cmu.Lock()
 	defer s.cmu.Unlock()
 	if el, ok := s.byID[id]; ok {
 		s.lru.MoveToFront(el)
 		return
 	}
-	s.byID[id] = s.lru.PushFront(&entry{id: id, body: body})
+	s.byID[id] = s.lru.PushFront(&entry{id: id, body: body, trace: trace})
 	for s.lru.Len() > s.maxSize {
 		el := s.lru.Back()
 		s.lru.Remove(el)
-		delete(s.byID, el.Value.(*entry).id)
+		evicted := el.Value.(*entry).id
+		delete(s.byID, evicted)
+		s.hub.drop(evicted)
 		s.obs.Metrics().Counter("service_cache_evictions").Inc()
 	}
+}
+
+// traceFor returns the wall trace recorded for a cached decision.
+func (s *Server) traceFor(id string) ([]byte, bool) {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	el, ok := s.byID[id]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*entry)
+	if e.trace == nil {
+		return nil, false
+	}
+	return e.trace, true
 }
 
 // handleScale is POST /v1/scale: fingerprint, serve from cache, or run
@@ -318,6 +384,10 @@ func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
+	if isFingerprintOnly(r) {
+		s.fingerprintResponse(w, job.id)
+		return
+	}
 	if body, ok := s.cached(job.id); ok {
 		s.cmu.Lock()
 		s.hits++
@@ -329,23 +399,35 @@ func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 	m.Counter("service_cache", obs.L("result", "miss")).Inc()
 
 	ctx := r.Context()
+	var rt *reqTelemetry // nil-safe throughout when telemetry is off
+	if !s.telemetryOff {
+		rt = s.newReqTelemetry(RequestIDFrom(ctx), job)
+	}
+
 	// Acquire a pool slot; a client that disconnects while queued never
 	// occupies one.
+	qWall := rt.now()
+	qStart := time.Now()
 	select {
 	case s.slots <- struct{}{}:
 	case <-ctx.Done():
-		s.writeError(w, ctxCause(ctx))
+		err := ctxCause(ctx)
+		rt.fail(err)
+		s.writeError(w, err)
 		return
 	}
 	defer func() { <-s.slots }()
+	s.queueWait.Observe(time.Since(qStart).Seconds())
+	rt.queueWaited(qWall)
 	m.Gauge("service_workers_busy").Set(float64(len(s.slots)))
 	if s.testSearchStarted != nil {
 		s.testSearchStarted(ctx, job.w.Name)
 	}
 
-	body, err := s.runSearch(ctx, job)
+	body, err := s.runSearch(ctx, job, rt)
 	if err != nil {
 		m.Counter("service_searches", obs.L("result", resultLabel(err))).Inc()
+		rt.fail(err)
 		s.writeError(w, err)
 		return
 	}
@@ -353,7 +435,8 @@ func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 	s.cmu.Lock()
 	s.misses++
 	s.cmu.Unlock()
-	s.store(job.id, body)
+	s.store(job.id, body, rt.closeTrace())
+	rt.done(job.id)
 	s.writeDecision(w, job.id, "miss", body)
 }
 
@@ -362,12 +445,28 @@ func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 // body is a pure function of the search result — no ids, timestamps,
 // or cache state — which keeps it byte-identical to cmd/prescaler
 // -json for the same workload and options.
-func (s *Server) runSearch(ctx context.Context, job *scaleJob) ([]byte, error) {
+func (s *Server) runSearch(ctx context.Context, job *scaleJob, rt *reqTelemetry) ([]byte, error) {
 	fw := job.fw.Clone()
 	sys := fw.System()
 	sys.Faults = job.spec
 	opts := job.opts
 	opts.EvalCache = job.cache
+	var reqObs *obs.Observer
+	if rt != nil {
+		// The per-request journal and virtual tracer share the
+		// process-wide metrics registry: /metrics aggregates across
+		// requests while the explain journal stays request-scoped. The
+		// request id lands in the journal, so an explain report, an
+		// access-log line, and a client's X-Request-Id all join up.
+		j := &obs.Journal{}
+		if rt.id != "" {
+			j.Note("request %s", rt.id)
+		}
+		reqObs = obs.Compose(obs.NewTracer(), s.obs.Metrics(), j)
+		opts.Obs = reqObs
+		opts.Progress = rt.onProgress
+		rt.beginSearch()
+	}
 	var sp *core.ScaledProgram
 	err := fault.Guard(func() error {
 		var e error
@@ -376,6 +475,9 @@ func (s *Server) runSearch(ctx context.Context, job *scaleJob) ([]byte, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if s.logger != nil && reqObs != nil && s.logger.Enabled(ctx, slog.LevelDebug) {
+		s.logger.Debug("decision explain", "request_id", rt.id, "explain", reqObs.Explain())
 	}
 	d := api.NewDecision(sys, job.w, sp.Search, opts.TOQ, opts.InputSet)
 	var buf strings.Builder
@@ -421,22 +523,35 @@ func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz is GET /v1/healthz: liveness plus pool and cache
-// occupancy, cheap enough for tight probe loops.
+// occupancy and the request-latency/queue-wait quantiles, cheap enough
+// for tight probe loops.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	api.Encode(w, s.Health())
+}
+
+// Health returns the healthz document: liveness, pool and cache
+// occupancy, uptime, and p50/p99/max summaries of request latency and
+// queue wait. cmd/prescalerd writes the same document as a JSON
+// artifact when it drains on SIGTERM, so a scrape and the shutdown
+// artifact are directly comparable.
+func (s *Server) Health() map[string]any {
 	s.cmu.Lock()
 	cached := s.lru.Len()
 	hits, misses := s.hits, s.misses
 	s.cmu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	api.Encode(w, map[string]any{
-		"schema":     api.Schema,
-		"status":     "ok",
-		"workers":    cap(s.slots),
-		"busy":       len(s.slots),
-		"decisions":  cached,
-		"cache_hits": hits,
-		"cache_miss": misses,
-	})
+	return map[string]any{
+		"schema":          api.Schema,
+		"status":          "ok",
+		"workers":         cap(s.slots),
+		"busy":            len(s.slots),
+		"decisions":       cached,
+		"cache_hits":      hits,
+		"cache_miss":      misses,
+		"uptime_seconds":  time.Since(s.start).Seconds(),
+		"request_latency": latencySummary(s.latency),
+		"queue_wait":      latencySummary(s.queueWait),
+	}
 }
 
 // handleMetricsz is GET /v1/metricsz: the obs registry as CSV — the

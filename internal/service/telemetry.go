@@ -1,0 +1,264 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+	"repro/internal/scaler"
+)
+
+// reqTelemetry bundles the telemetry side channels of one cache-miss
+// search: the wall-clock trace served from GET /v1/decisions/{id}/trace
+// and the SSE progress stream served from GET /v1/decisions/{id}/events.
+// All of it observes the search without influencing it — decision
+// bodies stay byte-identical with telemetry on or off (pinned by
+// TestTelemetryByteIdentity). A nil *reqTelemetry (Config.
+// DisableTelemetry) is fully inert; every method is nil-safe.
+type reqTelemetry struct {
+	id     string // request id from the middleware, "" outside it
+	wt     *obs.WallTracer
+	stream *stream // nil when the hub is at capacity
+	req    *obs.Span
+	search *obs.Span
+	last   float64 // wall time the previous trial span ended at
+}
+
+// newReqTelemetry opens the request span and the SSE stream for one
+// cache-miss search.
+func (s *Server) newReqTelemetry(rid string, job *scaleJob) *reqTelemetry {
+	rt := &reqTelemetry{id: rid, wt: obs.NewWallTracer(), stream: s.hub.start(job.id)}
+	rt.req = rt.wt.Begin("scale "+job.w.Name, "request", obs.WallRowRequest,
+		obs.A("request_id", rid), obs.A("decision_id", job.id))
+	return rt
+}
+
+// now reads the wall-trace clock (0 when telemetry is off).
+func (rt *reqTelemetry) now() float64 {
+	if rt == nil {
+		return 0
+	}
+	return rt.wt.Now()
+}
+
+// publish sends one SSE event to the decision's stream.
+func (rt *reqTelemetry) publish(name string, data []byte) {
+	if rt == nil || rt.stream == nil {
+		return
+	}
+	rt.stream.publish(sseEvent{name: name, data: data})
+}
+
+// queueWaited records the span spent waiting for a worker slot;
+// start is a wall-tracer timestamp taken before the wait.
+func (rt *reqTelemetry) queueWaited(start float64) {
+	if rt == nil {
+		return
+	}
+	rt.wt.Emit("queue-wait", "request", obs.WallRowRequest, start, rt.wt.Now()-start)
+}
+
+// beginSearch opens the search span and arms the trial-span clock.
+func (rt *reqTelemetry) beginSearch() {
+	if rt == nil {
+		return
+	}
+	rt.search = rt.wt.Begin("search", "request", obs.WallRowRequest)
+	rt.last = rt.wt.Now()
+}
+
+// onProgress is the scaler's Progress hook: each milestone becomes an
+// SSE event, and each executed trial becomes a wall-clock span covering
+// the time since the previous milestone (the hook runs on the search's
+// sequential decision loop, so the spans tile the search without gaps).
+func (rt *reqTelemetry) onProgress(ev scaler.ProgressEvent) {
+	now := rt.wt.Now()
+	switch ev.Kind {
+	case "profile", "trial":
+		name := ev.Label
+		if name == "" {
+			name = ev.Kind
+		}
+		rt.wt.Emit(name, ev.Kind, obs.WallRowTrials, rt.last, now-rt.last,
+			obs.A("trial", ev.Trial),
+			obs.A("quality", ev.Quality),
+			obs.A("verdict", ev.Verdict),
+			obs.A("memoized", ev.Memoized),
+		)
+	}
+	rt.last = now
+	if rt.stream != nil {
+		if data, err := json.Marshal(ev); err == nil {
+			rt.publish(ev.Kind, data)
+		}
+	}
+}
+
+// closeTrace ends the open spans and renders the wall trace for the
+// decision cache. Returns nil when telemetry is off.
+func (rt *reqTelemetry) closeTrace() []byte {
+	if rt == nil {
+		return nil
+	}
+	rt.wt.End(rt.search)
+	rt.wt.End(rt.req)
+	var buf bytes.Buffer
+	if err := rt.wt.WriteChromeTrace(&buf); err != nil {
+		return nil
+	}
+	return buf.Bytes()
+}
+
+// done publishes the terminal success event. Call after the decision is
+// stored, so a subscriber reacting to "done" can immediately fetch it.
+func (rt *reqTelemetry) done(id string) {
+	if rt == nil {
+		return
+	}
+	data, err := json.Marshal(map[string]any{"decision_id": id, "cached": false})
+	if err != nil {
+		return
+	}
+	rt.publish("done", data)
+}
+
+// fail publishes the terminal error event so subscribers do not hang on
+// a search that will never produce a decision.
+func (rt *reqTelemetry) fail(err error) {
+	if rt == nil {
+		return
+	}
+	data, merr := json.Marshal(map[string]any{"error": err.Error()})
+	if merr != nil {
+		return
+	}
+	rt.publish("error", data)
+}
+
+// handleMetrics is GET /metrics: the shared obs registry in Prometheus
+// text exposition format. /v1/metricsz keeps serving the same registry
+// as CSV for the pre-existing tooling.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.obs.Metrics().WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleTrace is GET /v1/decisions/{id}/trace: the wall-clock Chrome
+// trace recorded while the decision was computed. Cache hits and
+// telemetry-off servers have no trace; both answer 404.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.obs.Metrics().Counter("service_requests", obs.L("endpoint", "trace")).Inc()
+	id := r.PathValue("id")
+	trace, ok := s.traceFor(id)
+	if !ok {
+		s.writeError(w, &notFoundError{what: "trace", name: id})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Decision-Id", id)
+	w.Write(trace)
+}
+
+// handleEvents is GET /v1/decisions/{id}/events: live decision progress
+// as server-sent events. The stream replays its full history first, so
+// subscribing after (or during) the search still yields every trial
+// event, then the terminal "done"/"error" event closes the response.
+// Subscribing before the POST is the supported flow: compute the id
+// with POST /v1/scale?fingerprint=1, subscribe, then POST for real.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	s.obs.Metrics().Counter("service_requests", obs.L("endpoint", "events")).Inc()
+	id := r.PathValue("id")
+	st := s.hub.get(id, true)
+	if st == nil {
+		s.writeError(w, fmt.Errorf("event stream capacity exhausted"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+
+	history, live, done := st.subscribe()
+	defer st.unsubscribe(live)
+	for _, ev := range history {
+		writeSSE(w, ev)
+	}
+	rc.Flush()
+	if done {
+		return
+	}
+	// A decision cached before this server recorded any events (hub at
+	// capacity during its search, or a raced eviction) would otherwise
+	// hang the subscriber: synthesize the terminal event directly.
+	if len(history) == 0 {
+		if _, ok := s.cached(id); ok {
+			data, _ := json.Marshal(map[string]any{"decision_id": id, "cached": true})
+			writeSSE(w, sseEvent{name: "done", data: data})
+			rc.Flush()
+			return
+		}
+	}
+	for {
+		select {
+		case ev := <-live:
+			writeSSE(w, ev)
+			rc.Flush()
+			if ev.terminal() {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one event in SSE wire framing.
+func writeSSE(w io.Writer, ev sseEvent) {
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data)
+}
+
+// latencySummary condenses a latency histogram for /v1/healthz and the
+// drain artifact: observation count plus p50/p99/max in milliseconds.
+func latencySummary(h *obs.Histogram) map[string]any {
+	_, cum := h.Buckets()
+	count := 0
+	if len(cum) > 0 {
+		count = cum[len(cum)-1]
+	}
+	return map[string]any{
+		"count":  count,
+		"p50_ms": h.Quantile(0.5) * 1e3,
+		"p99_ms": h.Quantile(0.99) * 1e3,
+		"max_ms": h.Quantile(1) * 1e3,
+	}
+}
+
+// isFingerprintOnly reports whether POST /v1/scale was invoked with
+// ?fingerprint=1: validate and fingerprint the request but do not run
+// the search. SSE clients use it to learn the decision id to subscribe
+// to before submitting the real request. A query parameter (not a body
+// field) keeps the strict v1 request schema untouched.
+func isFingerprintOnly(r *http.Request) bool {
+	v := r.URL.Query().Get("fingerprint")
+	return v == "1" || v == "true"
+}
+
+// fingerprintResponse answers a fingerprint-only scale request.
+func (s *Server) fingerprintResponse(w http.ResponseWriter, id string) {
+	_, hit := s.cached(id)
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Decision-Id", id)
+	api.Encode(w, map[string]any{
+		"schema":      api.Schema,
+		"decision_id": id,
+		"cached":      hit,
+	})
+}

@@ -1,0 +1,297 @@
+// Command benchjson converts `go test -bench` text output into a stable
+// JSON summary (median across -count repetitions per benchmark) and
+// compares summaries against a committed baseline, so benchmark history
+// lives in the repository and every perf claim is checkable in CI.
+//
+// Snapshot mode (default): read bench output from the named files (or
+// stdin) and write the JSON summary to -o.
+//
+//	go test -run - -bench . -benchmem -count 5 ./... | benchjson -o bench.json
+//
+// Compare mode: read a freshly-produced summary (same inputs as snapshot
+// mode) and check it against the committed baseline. A benchmark whose
+// median ns/op regresses by more than -tolerance fails the run; alloc
+// growth warns. When the two summaries were measured on different CPU
+// models, absolute-time regressions are downgraded to warnings — but
+// -min-speedup stays fatal, because it checks the engine-to-engine ratio
+// of */batch vs */tree pairs measured in the same run, which is
+// machine-independent.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const schema = "prescaler-bench/v1"
+
+// Bench is the median summary of one benchmark across repetitions.
+type Bench struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+	Runs     int     `json:"runs"`
+}
+
+// File is the on-disk summary format.
+type File struct {
+	Schema     string           `json:"schema"`
+	Go         string           `json:"go"`
+	CPU        string           `json:"cpu,omitempty"`
+	Count      int              `json:"count"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
+
+type sample struct{ nsOp, bOp, allocsOp float64 }
+
+type parser struct {
+	pkg     string
+	cpu     string
+	samples map[string][]sample
+}
+
+func (p *parser) feed(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			p.pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			p.cpu = strings.TrimPrefix(line, "cpu: ")
+		default:
+			m := benchLine.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			s, ok := parseMetrics(m[3])
+			if !ok {
+				continue
+			}
+			key := p.pkg + "/" + m[1]
+			p.samples[key] = append(p.samples[key], s)
+		}
+	}
+	return sc.Err()
+}
+
+// parseMetrics reads the "value unit" pairs after the iteration count.
+func parseMetrics(rest string) (sample, bool) {
+	fields := strings.Fields(rest)
+	var s sample
+	seen := false
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return s, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			s.nsOp = v
+			seen = true
+		case "B/op":
+			s.bOp = v
+		case "allocs/op":
+			s.allocsOp = v
+		}
+	}
+	return s, seen
+}
+
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
+}
+
+func (p *parser) summarize() *File {
+	f := &File{Schema: schema, Go: runtime.Version(), CPU: p.cpu, Benchmarks: map[string]Bench{}}
+	for name, ss := range p.samples {
+		ns := make([]float64, len(ss))
+		bs := make([]float64, len(ss))
+		as := make([]float64, len(ss))
+		for i, s := range ss {
+			ns[i], bs[i], as[i] = s.nsOp, s.bOp, s.allocsOp
+		}
+		f.Benchmarks[name] = Bench{
+			NsOp: median(ns), BOp: median(bs), AllocsOp: median(as), Runs: len(ss),
+		}
+		if len(ss) > f.Count {
+			f.Count = len(ss)
+		}
+	}
+	return f
+}
+
+func load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, schema)
+	}
+	return &f, nil
+}
+
+// compare checks cur against base; returns the number of fatal findings.
+func compare(base, cur *File, tol float64) int {
+	sameCPU := base.CPU == cur.CPU
+	if !sameCPU {
+		fmt.Printf("note: CPU differs (baseline %q, current %q); absolute-time regressions are warnings only\n", base.CPU, cur.CPU)
+	}
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fatal := 0
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Printf("FAIL %s: present in baseline, missing from current run\n", name)
+			fatal++
+			continue
+		}
+		ratio := c.NsOp / b.NsOp
+		switch {
+		case ratio > 1+tol && sameCPU:
+			fmt.Printf("FAIL %s: %.0f -> %.0f ns/op (%+.1f%%, tolerance %.0f%%)\n",
+				name, b.NsOp, c.NsOp, (ratio-1)*100, tol*100)
+			fatal++
+		case ratio > 1+tol:
+			fmt.Printf("warn %s: %.0f -> %.0f ns/op (%+.1f%%) on different CPU\n",
+				name, b.NsOp, c.NsOp, (ratio-1)*100)
+		default:
+			fmt.Printf("ok   %s: %.0f -> %.0f ns/op (%+.1f%%)\n",
+				name, b.NsOp, c.NsOp, (ratio-1)*100)
+		}
+		if c.AllocsOp > b.AllocsOp {
+			fmt.Printf("warn %s: allocs/op grew %.0f -> %.0f\n", name, b.AllocsOp, c.AllocsOp)
+		}
+	}
+	return fatal
+}
+
+// checkSpeedup enforces the engine-ratio gate: for every benchmark name
+// ending in /tree with a /batch sibling, speedup = tree ns_op / batch
+// ns_op. The geometric mean across pairs must reach min.
+func checkSpeedup(f *File, min float64) int {
+	type pair struct {
+		name    string
+		speedup float64
+	}
+	var pairs []pair
+	for name, tree := range f.Benchmarks {
+		base, ok := strings.CutSuffix(name, "/tree")
+		if !ok {
+			continue
+		}
+		batch, ok := f.Benchmarks[base+"/batch"]
+		if !ok || batch.NsOp == 0 {
+			continue
+		}
+		pairs = append(pairs, pair{base, tree.NsOp / batch.NsOp})
+	}
+	if len(pairs) == 0 {
+		fmt.Println("FAIL speedup gate: no */tree + */batch benchmark pairs found")
+		return 1
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].name < pairs[j].name })
+	logSum := 0.0
+	for _, p := range pairs {
+		fmt.Printf("speedup %s: %.2fx (batch vs tree)\n", p.name, p.speedup)
+		logSum += math.Log(p.speedup)
+	}
+	geo := math.Exp(logSum / float64(len(pairs)))
+	if geo < min {
+		fmt.Printf("FAIL speedup gate: geomean %.2fx < required %.2fx\n", geo, min)
+		return 1
+	}
+	fmt.Printf("ok   speedup gate: geomean %.2fx >= %.2fx over %d kernels\n", geo, min, len(pairs))
+	return 0
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON summary to this file")
+	baseline := flag.String("compare", "", "baseline summary to compare against")
+	tol := flag.Float64("tolerance", 0.15, "fractional ns/op regression that fails a compare")
+	minSpeedup := flag.Float64("min-speedup", 0, "minimum geomean batch-vs-tree speedup over */{batch,tree} pairs (0 disables)")
+	flag.Parse()
+
+	p := &parser{samples: map[string][]sample{}}
+	if flag.NArg() == 0 {
+		if err := p.feed(os.Stdin); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+	}
+	for _, path := range flag.Args() {
+		fh, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		err = p.feed(fh)
+		fh.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+	}
+	cur := p.summarize()
+	if len(cur.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		os.Exit(2)
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+	}
+
+	fatal := 0
+	if *baseline != "" {
+		base, err := load(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		fatal += compare(base, cur, *tol)
+	}
+	if *minSpeedup > 0 {
+		fatal += checkSpeedup(cur, *minSpeedup)
+	}
+	if fatal > 0 {
+		fmt.Printf("%d benchmark gate failure(s)\n", fatal)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Test CPU @ 2.10GHz
+BenchmarkProgRun/gemm/batch-8         	     416	   5000000 ns/op	     222 B/op	       5 allocs/op
+BenchmarkProgRun/gemm/batch-8         	     420	   6000000 ns/op	     222 B/op	       5 allocs/op
+BenchmarkProgRun/gemm/batch-8         	     410	   5500000 ns/op	     222 B/op	       5 allocs/op
+BenchmarkProgRun/gemm/tree-8          	      44	  55000000 ns/op	     504 B/op	       8 allocs/op
+PASS
+pkg: repro/internal/prog
+BenchmarkProgRun-8                    	    8000	    140000 ns/op	    2100 B/op	      30 allocs/op
+ok  	repro/internal/prog	2.0s
+`
+
+func parseSample(t *testing.T) *File {
+	t.Helper()
+	p := &parser{samples: map[string][]sample{}}
+	if err := p.feed(strings.NewReader(sampleOutput)); err != nil {
+		t.Fatal(err)
+	}
+	return p.summarize()
+}
+
+func TestParseAndMedian(t *testing.T) {
+	f := parseSample(t)
+	if len(f.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks: %v", len(f.Benchmarks), f.Benchmarks)
+	}
+	b, ok := f.Benchmarks["repro/BenchmarkProgRun/gemm/batch"]
+	if !ok {
+		t.Fatalf("missing batch entry: %v", f.Benchmarks)
+	}
+	if b.NsOp != 5500000 || b.Runs != 3 || b.AllocsOp != 5 {
+		t.Fatalf("bad median summary: %+v", b)
+	}
+	// The two same-named benchmarks in different packages must not merge.
+	if _, ok := f.Benchmarks["repro/internal/prog/BenchmarkProgRun"]; !ok {
+		t.Fatalf("per-package keying lost: %v", f.Benchmarks)
+	}
+	if f.CPU != "Test CPU @ 2.10GHz" || f.Count != 3 {
+		t.Fatalf("header fields: cpu=%q count=%d", f.CPU, f.Count)
+	}
+}
+
+func TestCompareTolerance(t *testing.T) {
+	base := parseSample(t)
+	cur := parseSample(t)
+	if n := compare(base, cur, 0.15); n != 0 {
+		t.Fatalf("identical summaries produced %d failures", n)
+	}
+	slow := cur.Benchmarks["repro/BenchmarkProgRun/gemm/batch"]
+	slow.NsOp *= 1.5
+	cur.Benchmarks["repro/BenchmarkProgRun/gemm/batch"] = slow
+	if n := compare(base, cur, 0.15); n != 1 {
+		t.Fatalf("50%% regression produced %d failures, want 1", n)
+	}
+	// A different CPU downgrades the absolute-time regression to a warning.
+	cur.CPU = "Other CPU"
+	if n := compare(base, cur, 0.15); n != 0 {
+		t.Fatalf("cross-CPU regression produced %d failures, want 0", n)
+	}
+}
+
+func TestSpeedupGate(t *testing.T) {
+	f := parseSample(t)
+	// tree 55e6 / batch 5.5e6 = 10x.
+	if n := checkSpeedup(f, 5); n != 0 {
+		t.Fatalf("10x pair failed a 5x gate")
+	}
+	if n := checkSpeedup(f, 20); n != 1 {
+		t.Fatalf("10x pair passed a 20x gate")
+	}
+	delete(f.Benchmarks, "repro/BenchmarkProgRun/gemm/batch")
+	if n := checkSpeedup(f, 5); n != 1 {
+		t.Fatalf("missing pairs must fail the gate")
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/hw"
+	"repro/internal/kir"
 	"repro/internal/obs"
 	"repro/internal/polybench"
 	"repro/internal/prog"
@@ -49,8 +50,15 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 0, "seed for the fault-injection decision stream (same spec+seed reproduces the same faults at any -j)")
 	retries := flag.Int("retries", 2, "bounded retries per search trial after an injected fault (inert without -faults)")
 	progress := flag.Bool("progress", false, "stream search progress (one line per trial/decision) to stderr as it happens")
+	interp := flag.String("interp", "batch", "kir interpreter engine: batch (vectorized strips) or tree (reference walker); all artifacts are byte-identical between the two")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
+
+	engine, err := kir.ParseEngine(*interp)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	kir.SetDefaultEngine(engine)
 
 	if *list {
 		for _, name := range polybench.Names() {

@@ -1,0 +1,1270 @@
+package kir
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/fp16"
+	"repro/internal/precision"
+)
+
+// This file implements the vectorized strip engine (EngineBatch). The
+// NDRange is flattened and executed in fixed-size strips of work items;
+// each virtual register becomes a column (one slot per lane), and every
+// instruction runs as a tight loop over the currently-active lane list.
+// Control flow uses lane masking: a loop keeps iterating the lanes whose
+// head condition still holds, an if partitions lanes into then/else
+// lists. Because every lane executes exactly the instruction sequence
+// the tree engine would execute for that work item — same rounding
+// primitives, same operation charging — buffers, counts, and errors are
+// bit-for-bit identical between the engines.
+
+// DefaultStrip is the number of work items per batch strip when
+// ExecEnv.Strip is zero. 256 lanes keep the whole register-file arena in
+// L1/L2 for the kernel suite while amortizing per-instruction dispatch
+// across enough lanes that it disappears from profiles.
+const DefaultStrip = 256
+
+var (
+	errDivZero = errors.New("integer division by zero")
+	errModZero = errors.New("integer modulo by zero")
+)
+
+// laneFault records the first error a lane hit. The strip keeps running
+// the surviving lanes; at strip end the fault with the smallest lane
+// index is reported, which is exactly the error the item-at-a-time tree
+// engine would have returned first.
+type laneFault struct {
+	lane int32
+	err  error
+}
+
+// batchState is the reusable per-launch arena: register columns, gid
+// columns, lane-list scratch for nested control flow, and per-lane death
+// tracking. States are pooled on the batchProg so steady-state execution
+// allocates nothing per work item.
+type batchState struct {
+	strip int
+	icols [][]int64
+	fcols [][]float64
+	// pcols holds per-lane dynamic precision tags for each float
+	// register; allocated only for dyn tapes (see batchProg.dyn).
+	pcols      [][]uint8
+	gidc       [2][]int64
+	ident      []int32   // identity lane list 0..strip-1
+	scratch    [][]int32 // lane-list stack for nested loops/ifs
+	scratchTop int
+
+	dead        []bool
+	anyDead     bool
+	pendingDead bool // set by fault(), cleared after lane compaction
+	faults      []laneFault
+}
+
+func newBatchState(bp *batchProg, strip int) *batchState {
+	p := bp.p
+	st := &batchState{strip: strip}
+	islab := make([]int64, (p.nIReg+2)*strip)
+	st.icols = make([][]int64, p.nIReg)
+	for i := range st.icols {
+		st.icols[i] = islab[i*strip : (i+1)*strip]
+	}
+	st.gidc[0] = islab[p.nIReg*strip : (p.nIReg+1)*strip]
+	st.gidc[1] = islab[(p.nIReg+1)*strip : (p.nIReg+2)*strip]
+	fslab := make([]float64, p.nFReg*strip)
+	st.fcols = make([][]float64, p.nFReg)
+	for i := range st.fcols {
+		st.fcols[i] = fslab[i*strip : (i+1)*strip]
+	}
+	if bp.dyn {
+		pslab := make([]uint8, p.nFReg*strip)
+		st.pcols = make([][]uint8, p.nFReg)
+		for i := range st.pcols {
+			st.pcols[i] = pslab[i*strip : (i+1)*strip]
+		}
+	}
+	st.ident = make([]int32, strip)
+	for i := range st.ident {
+		st.ident[i] = int32(i)
+	}
+	st.scratch = make([][]int32, bp.depth)
+	for i := range st.scratch {
+		st.scratch[i] = make([]int32, strip)
+	}
+	st.dead = make([]bool, strip)
+	return st
+}
+
+// initStrip fills the gid columns for the strip of n items starting at
+// flattened index base. The flattening is x-major (y outer), matching
+// the tree engine's item order.
+func (st *batchState) initStrip(base, n, gx int) {
+	x := int64(base % gx)
+	y := int64(base / gx)
+	g0, g1 := st.gidc[0], st.gidc[1]
+	for l := 0; l < n; l++ {
+		g0[l] = x
+		g1[l] = y
+		x++
+		if x == int64(gx) {
+			x = 0
+			y++
+		}
+	}
+}
+
+// pushLanes hands out the next scratch lane list (full strip capacity).
+func (st *batchState) pushLanes() []int32 {
+	if st.scratchTop == len(st.scratch) {
+		st.scratch = append(st.scratch, make([]int32, st.strip))
+	}
+	s := st.scratch[st.scratchTop]
+	st.scratchTop++
+	return s
+}
+
+func (st *batchState) popLanes() { st.scratchTop-- }
+
+// minFault returns the recorded fault with the smallest lane index: the
+// error the tree engine would have hit first.
+func (st *batchState) minFault() laneFault {
+	best := st.faults[0]
+	for _, f := range st.faults[1:] {
+		if f.lane < best.lane {
+			best = f
+		}
+	}
+	return best
+}
+
+// getState returns a pooled arena for the given strip size, or a fresh
+// one. Pooled states are always clean: faulted states are never
+// returned to the pool.
+func (bp *batchProg) getState(strip int) *batchState {
+	if v := bp.pool.Get(); v != nil {
+		if st := v.(*batchState); st.strip == strip {
+			return st
+		}
+	}
+	return newBatchState(bp, strip)
+}
+
+// batchRun carries one launch's context and dynamic counters.
+type batchRun struct {
+	bp        *batchProg
+	st        *batchState
+	env       *ExecEnv
+	computeAs []precision.Type
+	converts  []bool
+	sizes     []float64
+
+	flops                          [4]float64
+	intOps, convOps, loadB, storeB float64
+}
+
+// run executes the full NDRange in strips. computeAs/converts/sizes are
+// the per-buffer resolutions Program.Run already computed (shared with
+// the tree path).
+func (bp *batchProg) run(env *ExecEnv, computeAs []precision.Type, converts []bool, sizes []float64, gx, gy int) (Counts, error) {
+	strip := env.Strip
+	if strip <= 0 {
+		strip = DefaultStrip
+	}
+	st := bp.getState(strip)
+	r := &batchRun{bp: bp, st: st, env: env, computeAs: computeAs, converts: converts, sizes: sizes}
+	total := gx * gy
+	for base := 0; base < total; base += strip {
+		n := strip
+		if total-base < n {
+			n = total - base
+		}
+		st.initStrip(base, n, gx)
+		r.exec(bp.nodes, st.ident[:n], true)
+		if st.anyDead {
+			// The state's lane lists and dead flags are tainted; drop it
+			// instead of pooling.
+			f := st.minFault()
+			g := base + int(f.lane)
+			return Counts{}, fmt.Errorf("kernel %s at gid (%d,%d): %w", bp.p.Kernel.Name, g%gx, g/gx, f.err)
+		}
+	}
+	bp.pool.Put(st)
+	return gatherCounts(&r.flops, r.intOps, r.convOps, r.loadB, r.storeB, total), nil
+}
+
+// exec runs a node list over the active lanes, returning the surviving
+// (compacted) lane list and whether it is still dense. A lane list is
+// dense when it is exactly 0..n-1: the instruction stepper then runs
+// contiguous column loops (bounds-check-eliminated, cache-linear)
+// instead of indirecting through the lane list.
+func (r *batchRun) exec(nodes []bnode, lanes []int32, dense bool) ([]int32, bool) {
+	for i := range nodes {
+		if len(lanes) == 0 {
+			break
+		}
+		nd := &nodes[i]
+		switch nd.kind {
+		case bSeq:
+			lanes, dense = r.seq(nd, lanes, dense)
+		case bLoop:
+			r.loop(nd, lanes, dense)
+			if r.st.anyDead {
+				n := len(lanes)
+				lanes = r.alive(lanes)
+				dense = dense && len(lanes) == n
+			}
+		case bIf:
+			r.branch(nd, lanes, dense)
+			if r.st.anyDead {
+				n := len(lanes)
+				lanes = r.alive(lanes)
+				dense = dense && len(lanes) == n
+			}
+		}
+	}
+	return lanes, dense
+}
+
+// seq executes a straight-line instruction span, compacting the lane
+// list whenever an instruction faulted some lanes.
+func (r *batchRun) seq(nd *bnode, lanes []int32, dense bool) ([]int32, bool) {
+	code := r.bp.p.code
+	dyn := r.bp.dyn
+	for pc := nd.lo; pc < nd.hi; pc++ {
+		in := &code[pc]
+		switch {
+		case dyn:
+			r.stepDyn(in, pc, lanes)
+		case dense && r.stepDense(in, pc, len(lanes)):
+			// handled on the contiguous fast path
+		default:
+			r.step(in, pc, lanes)
+		}
+		if r.st.pendingDead {
+			r.st.pendingDead = false
+			n := len(lanes)
+			lanes = r.alive(lanes)
+			dense = dense && len(lanes) == n
+			if len(lanes) == 0 {
+				break
+			}
+		}
+	}
+	return lanes, dense
+}
+
+// loop runs a counted loop. Uniform loops (head compare proven
+// lane-invariant by markUniform) evaluate the condition once per strip:
+// the whole lane list stays or exits together, with no per-round filter
+// and no loss of density. Divergent loops re-evaluate the head over the
+// remaining lanes and keep the lanes whose condition holds, so
+// gid-dependent trip counts retire lanes individually.
+func (r *batchRun) loop(nd *bnode, lanes []int32, dense bool) {
+	st := r.st
+	head := &r.bp.p.code[nd.pc]
+	s := st.pushLanes()
+	cur := s[:copy(s, lanes)]
+	if nd.uniform {
+		a, b := st.icols[head.a], st.icols[head.b]
+		dst := st.icols[head.dst]
+		for len(cur) > 0 {
+			// Every live lane is charged for the head compare, exactly as
+			// each surviving item is in the tree engine — including the
+			// final, failing evaluation.
+			r.intOps += float64(len(cur))
+			l0 := cur[0]
+			taken := cmpInt(head.cmp, a[l0], b[l0])
+			if nd.headLive {
+				v := boolToInt(taken)
+				for _, l := range cur {
+					dst[l] = v
+				}
+			}
+			if !taken {
+				break
+			}
+			cur, dense = r.exec(nd.body, cur, dense)
+		}
+		st.popLanes()
+		return
+	}
+	cond := st.icols[head.dst]
+	for len(cur) > 0 {
+		r.step(head, nd.pc, cur) // head ICmp: charges intOps, never faults
+		m := 0
+		for _, l := range cur {
+			if cond[l] != 0 {
+				cur[m] = l
+				m++
+			}
+		}
+		dense = dense && m == len(cur)
+		cur = cur[:m]
+		if m == 0 {
+			break
+		}
+		cur, dense = r.exec(nd.body, cur, dense)
+	}
+	st.popLanes()
+}
+
+// branch partitions lanes by the if condition and runs each side over
+// its partition. A side that receives every lane inherits density.
+func (r *batchRun) branch(nd *bnode, lanes []int32, dense bool) {
+	st := r.st
+	cond := st.icols[r.bp.p.code[nd.pc].a]
+	tl := st.pushLanes()[:0]
+	el := st.pushLanes()[:0]
+	for _, l := range lanes {
+		if cond[l] != 0 {
+			tl = append(tl, l)
+		} else {
+			el = append(el, l)
+		}
+	}
+	if len(tl) > 0 {
+		r.exec(nd.body, tl, dense && len(tl) == len(lanes))
+	}
+	if len(el) > 0 && nd.els != nil {
+		r.exec(nd.els, el, dense && len(el) == len(lanes))
+	}
+	st.popLanes()
+	st.popLanes()
+}
+
+// alive filters dead lanes out of the list in place.
+func (r *batchRun) alive(lanes []int32) []int32 {
+	dead := r.st.dead
+	m := 0
+	for _, l := range lanes {
+		if !dead[l] {
+			lanes[m] = l
+			m++
+		}
+	}
+	return lanes[:m]
+}
+
+// fault marks a lane dead, recording its first error.
+func (r *batchRun) fault(l int32, err error) {
+	st := r.st
+	if st.dead[l] {
+		return
+	}
+	st.dead[l] = true
+	st.anyDead = true
+	st.pendingDead = true
+	st.faults = append(st.faults, laneFault{l, err})
+}
+
+func (r *batchRun) faultOOB(what string, buf, idx int64, l int32) {
+	r.fault(l, fmt.Errorf("%s %s[%d] out of bounds (len %d)", what, r.bp.p.Kernel.Bufs[buf].Name, idx, r.env.Bufs[buf].Len()))
+}
+
+// roundLanes rounds a column's active lanes to precision p, using the
+// same primitives as round() so results stay bit-identical. Double and
+// untyped are the identity and skip the pass entirely.
+func roundLanes(col []float64, lanes []int32, p precision.Type) {
+	switch p {
+	case precision.Half:
+		for _, l := range lanes {
+			col[l] = fp16.Round(col[l])
+		}
+	case precision.Single:
+		for _, l := range lanes {
+			col[l] = float64(float32(col[l]))
+		}
+	}
+}
+
+// cmpIntLanes evaluates an integer compare over lanes with the
+// comparison dispatch hoisted out of the lane loop.
+func cmpIntLanes(dst, a, b []int64, lanes []int32, op CmpOp) {
+	switch op {
+	case CmpLT:
+		for _, l := range lanes {
+			dst[l] = boolToInt(a[l] < b[l])
+		}
+	case CmpLE:
+		for _, l := range lanes {
+			dst[l] = boolToInt(a[l] <= b[l])
+		}
+	case CmpGT:
+		for _, l := range lanes {
+			dst[l] = boolToInt(a[l] > b[l])
+		}
+	case CmpGE:
+		for _, l := range lanes {
+			dst[l] = boolToInt(a[l] >= b[l])
+		}
+	case CmpEQ:
+		for _, l := range lanes {
+			dst[l] = boolToInt(a[l] == b[l])
+		}
+	default:
+		for _, l := range lanes {
+			dst[l] = boolToInt(a[l] != b[l])
+		}
+	}
+}
+
+// cmpFloatLanes is cmpIntLanes for the float register file.
+func cmpFloatLanes(dst []int64, a, b []float64, lanes []int32, op CmpOp) {
+	switch op {
+	case CmpLT:
+		for _, l := range lanes {
+			dst[l] = boolToInt(a[l] < b[l])
+		}
+	case CmpLE:
+		for _, l := range lanes {
+			dst[l] = boolToInt(a[l] <= b[l])
+		}
+	case CmpGT:
+		for _, l := range lanes {
+			dst[l] = boolToInt(a[l] > b[l])
+		}
+	case CmpGE:
+		for _, l := range lanes {
+			dst[l] = boolToInt(a[l] >= b[l])
+		}
+	case CmpEQ:
+		for _, l := range lanes {
+			dst[l] = boolToInt(a[l] == b[l])
+		}
+	default:
+		for _, l := range lanes {
+			dst[l] = boolToInt(a[l] != b[l])
+		}
+	}
+}
+
+// roundDense is roundLanes over the dense lane prefix [0, n).
+func roundDense(col []float64, n int, p precision.Type) {
+	switch p {
+	case precision.Half:
+		col = col[:n]
+		for i, v := range col {
+			col[i] = fp16.Round(v)
+		}
+	case precision.Single:
+		col = col[:n]
+		for i, v := range col {
+			col[i] = float64(float32(v))
+		}
+	}
+}
+
+// cmpIntDense is cmpIntLanes over the dense lane prefix [0, n).
+func cmpIntDense(dst, a, b []int64, n int, op CmpOp) {
+	dst, a, b = dst[:n], a[:n], b[:n]
+	switch op {
+	case CmpLT:
+		for i := range dst {
+			dst[i] = boolToInt(a[i] < b[i])
+		}
+	case CmpLE:
+		for i := range dst {
+			dst[i] = boolToInt(a[i] <= b[i])
+		}
+	case CmpGT:
+		for i := range dst {
+			dst[i] = boolToInt(a[i] > b[i])
+		}
+	case CmpGE:
+		for i := range dst {
+			dst[i] = boolToInt(a[i] >= b[i])
+		}
+	case CmpEQ:
+		for i := range dst {
+			dst[i] = boolToInt(a[i] == b[i])
+		}
+	default:
+		for i := range dst {
+			dst[i] = boolToInt(a[i] != b[i])
+		}
+	}
+}
+
+// cmpFloatDense is cmpFloatLanes over the dense lane prefix [0, n).
+func cmpFloatDense(dst []int64, a, b []float64, n int, op CmpOp) {
+	dst, a, b = dst[:n], a[:n], b[:n]
+	switch op {
+	case CmpLT:
+		for i := range dst {
+			dst[i] = boolToInt(a[i] < b[i])
+		}
+	case CmpLE:
+		for i := range dst {
+			dst[i] = boolToInt(a[i] <= b[i])
+		}
+	case CmpGT:
+		for i := range dst {
+			dst[i] = boolToInt(a[i] > b[i])
+		}
+	case CmpGE:
+		for i := range dst {
+			dst[i] = boolToInt(a[i] >= b[i])
+		}
+	case CmpEQ:
+		for i := range dst {
+			dst[i] = boolToInt(a[i] == b[i])
+		}
+	default:
+		for i := range dst {
+			dst[i] = boolToInt(a[i] != b[i])
+		}
+	}
+}
+
+// stepDense executes one instruction over the dense lane prefix [0, n)
+// with contiguous column slices: the compiler eliminates the bounds
+// checks (all slices are pre-cut to length n) and the indirection through
+// the lane list disappears. Semantics, rounding, and charging are
+// identical to step. Returns false for opcodes it does not specialize
+// (the caller then runs the generic indirect path, which is always
+// correct for dense lists too).
+func (r *batchRun) stepDense(in *inst, pc int, n int) bool {
+	st := r.st
+	nf := float64(n)
+	switch in.op {
+	case opIConst:
+		dst, v := st.icols[in.dst][:n], in.imm
+		for i := range dst {
+			dst[i] = v
+		}
+	case opIMov:
+		dst, a := st.icols[in.dst][:n], st.icols[in.a][:n]
+		copy(dst, a)
+	case opIAdd:
+		dst, a, b := st.icols[in.dst][:n], st.icols[in.a][:n], st.icols[in.b][:n]
+		for i := range dst {
+			dst[i] = a[i] + b[i]
+		}
+		r.intOps += nf
+	case opIAddImm:
+		dst, a, v := st.icols[in.dst][:n], st.icols[in.a][:n], in.imm
+		for i := range dst {
+			dst[i] = a[i] + v
+		}
+		r.intOps += nf
+	case opISub:
+		dst, a, b := st.icols[in.dst][:n], st.icols[in.a][:n], st.icols[in.b][:n]
+		for i := range dst {
+			dst[i] = a[i] - b[i]
+		}
+		r.intOps += nf
+	case opIMul:
+		dst, a, b := st.icols[in.dst][:n], st.icols[in.a][:n], st.icols[in.b][:n]
+		for i := range dst {
+			dst[i] = a[i] * b[i]
+		}
+		r.intOps += nf
+	case opIMin:
+		dst, a, b := st.icols[in.dst][:n], st.icols[in.a][:n], st.icols[in.b][:n]
+		for i := range dst {
+			v, w := a[i], b[i]
+			if w < v {
+				v = w
+			}
+			dst[i] = v
+		}
+		r.intOps += nf
+	case opIMax:
+		dst, a, b := st.icols[in.dst][:n], st.icols[in.a][:n], st.icols[in.b][:n]
+		for i := range dst {
+			v, w := a[i], b[i]
+			if w > v {
+				v = w
+			}
+			dst[i] = v
+		}
+		r.intOps += nf
+	case opINeg:
+		dst, a := st.icols[in.dst][:n], st.icols[in.a][:n]
+		for i := range dst {
+			dst[i] = -a[i]
+		}
+		r.intOps += nf
+	case opIAbs:
+		dst, a := st.icols[in.dst][:n], st.icols[in.a][:n]
+		for i := range dst {
+			v := a[i]
+			if v < 0 {
+				v = -v
+			}
+			dst[i] = v
+		}
+		r.intOps += nf
+	case opIParam:
+		dst, v := st.icols[in.dst][:n], r.env.IntArgs[in.imm]
+		for i := range dst {
+			dst[i] = v
+		}
+	case opGID:
+		copy(st.icols[in.dst][:n], st.gidc[in.imm][:n])
+
+	case opFConst:
+		dst, v := st.fcols[in.dst][:n], in.fimm
+		for i := range dst {
+			dst[i] = v
+		}
+	case opFMov:
+		copy(st.fcols[in.dst][:n], st.fcols[in.a][:n])
+	case opFAdd:
+		dst, a, b := st.fcols[in.dst][:n], st.fcols[in.a][:n], st.fcols[in.b][:n]
+		for i := range dst {
+			dst[i] = a[i] + b[i]
+		}
+		p := r.bp.prec[pc]
+		roundDense(dst, n, p)
+		r.flops[p] += nf
+	case opFSub:
+		dst, a, b := st.fcols[in.dst][:n], st.fcols[in.a][:n], st.fcols[in.b][:n]
+		for i := range dst {
+			dst[i] = a[i] - b[i]
+		}
+		p := r.bp.prec[pc]
+		roundDense(dst, n, p)
+		r.flops[p] += nf
+	case opFMul:
+		dst, a, b := st.fcols[in.dst][:n], st.fcols[in.a][:n], st.fcols[in.b][:n]
+		for i := range dst {
+			dst[i] = a[i] * b[i]
+		}
+		p := r.bp.prec[pc]
+		roundDense(dst, n, p)
+		r.flops[p] += nf
+	case opFDiv:
+		dst, a, b := st.fcols[in.dst][:n], st.fcols[in.a][:n], st.fcols[in.b][:n]
+		for i := range dst {
+			dst[i] = a[i] / b[i]
+		}
+		p := r.bp.prec[pc]
+		roundDense(dst, n, p)
+		r.flops[p] += weightDiv * nf
+	case opFFMA:
+		dst, a, b, c := st.fcols[in.dst][:n], st.fcols[in.a][:n], st.fcols[in.b][:n], st.fcols[in.c][:n]
+		for i := range dst {
+			dst[i] = math.FMA(a[i], b[i], c[i])
+		}
+		p := r.bp.prec[pc]
+		roundDense(dst, n, p)
+		r.flops[p] += nf
+	case opItoF:
+		dst, a := st.fcols[in.dst][:n], st.icols[in.a][:n]
+		for i := range dst {
+			dst[i] = float64(a[i])
+		}
+
+	case opLoad:
+		data := r.env.Bufs[in.imm].Data()
+		bound := int64(len(data))
+		idx, dst := st.icols[in.a][:n], st.fcols[in.dst][:n]
+		for i, ix := range idx {
+			if uint64(ix) >= uint64(bound) {
+				r.faultOOB("load", in.imm, ix, int32(i))
+				continue
+			}
+			dst[i] = data[ix]
+		}
+		if r.converts[in.imm] {
+			roundDense(dst, n, r.computeAs[in.imm])
+			r.convOps += nf
+		}
+		r.loadB += r.sizes[in.imm] * nf
+	case opStore:
+		buf := r.env.Bufs[in.imm]
+		data := buf.Data()
+		bound := int64(len(data))
+		idx, val := st.icols[in.a][:n], st.fcols[in.b][:n]
+		switch buf.Elem() {
+		case precision.Half:
+			for i, ix := range idx {
+				if uint64(ix) >= uint64(bound) {
+					r.faultOOB("store", in.imm, ix, int32(i))
+					continue
+				}
+				data[ix] = fp16.Round(val[i])
+			}
+		case precision.Single:
+			for i, ix := range idx {
+				if uint64(ix) >= uint64(bound) {
+					r.faultOOB("store", in.imm, ix, int32(i))
+					continue
+				}
+				data[ix] = float64(float32(val[i]))
+			}
+		default:
+			for i, ix := range idx {
+				if uint64(ix) >= uint64(bound) {
+					r.faultOOB("store", in.imm, ix, int32(i))
+					continue
+				}
+				data[ix] = val[i]
+			}
+		}
+		if r.converts[in.imm] {
+			r.convOps += nf
+		}
+		r.storeB += r.sizes[in.imm] * nf
+
+	case opICmp:
+		cmpIntDense(st.icols[in.dst], st.icols[in.a], st.icols[in.b], n, in.cmp)
+		r.intOps += nf
+	case opFCmp:
+		cmpFloatDense(st.icols[in.dst], st.fcols[in.a], st.fcols[in.b], n, in.cmp)
+		r.intOps += nf
+	case opSelI:
+		dst, c, a, b := st.icols[in.dst][:n], st.icols[in.a][:n], st.icols[in.b][:n], st.icols[in.c][:n]
+		for i := range dst {
+			if c[i] != 0 {
+				dst[i] = a[i]
+			} else {
+				dst[i] = b[i]
+			}
+		}
+		r.intOps += nf
+	case opSelF:
+		dst, c, a, b := st.fcols[in.dst][:n], st.icols[in.a][:n], st.fcols[in.b][:n], st.fcols[in.c][:n]
+		for i := range dst {
+			if c[i] != 0 {
+				dst[i] = a[i]
+			} else {
+				dst[i] = b[i]
+			}
+		}
+		r.intOps += nf
+
+	default:
+		// opNop, faulting integer div/mod, unary float math, booleans:
+		// the generic indirect path handles them.
+		return false
+	}
+	return true
+}
+
+// step executes one instruction over the active lanes. pc indexes the
+// specialization's static precision tape. Operation charging matches
+// runItem exactly: the same opcodes count, with the same weights, once
+// per executed lane. (Lanes that fault mid-instruction may be charged
+// for it; that is unobservable because a fault always discards the
+// launch's counts.)
+func (r *batchRun) step(in *inst, pc int, lanes []int32) {
+	st := r.st
+	n := float64(len(lanes))
+	switch in.op {
+	case opNop:
+
+	case opIConst:
+		dst, v := st.icols[in.dst], in.imm
+		for _, l := range lanes {
+			dst[l] = v
+		}
+	case opIMov:
+		dst, a := st.icols[in.dst], st.icols[in.a]
+		for _, l := range lanes {
+			dst[l] = a[l]
+		}
+	case opIAdd:
+		dst, a, b := st.icols[in.dst], st.icols[in.a], st.icols[in.b]
+		for _, l := range lanes {
+			dst[l] = a[l] + b[l]
+		}
+		r.intOps += n
+	case opIAddImm:
+		dst, a, v := st.icols[in.dst], st.icols[in.a], in.imm
+		for _, l := range lanes {
+			dst[l] = a[l] + v
+		}
+		r.intOps += n
+	case opISub:
+		dst, a, b := st.icols[in.dst], st.icols[in.a], st.icols[in.b]
+		for _, l := range lanes {
+			dst[l] = a[l] - b[l]
+		}
+		r.intOps += n
+	case opIMul:
+		dst, a, b := st.icols[in.dst], st.icols[in.a], st.icols[in.b]
+		for _, l := range lanes {
+			dst[l] = a[l] * b[l]
+		}
+		r.intOps += n
+	case opIDiv:
+		dst, a, b := st.icols[in.dst], st.icols[in.a], st.icols[in.b]
+		for _, l := range lanes {
+			d := b[l]
+			if d == 0 {
+				r.fault(l, errDivZero)
+				continue
+			}
+			dst[l] = a[l] / d
+		}
+		r.intOps += n
+	case opIMod:
+		dst, a, b := st.icols[in.dst], st.icols[in.a], st.icols[in.b]
+		for _, l := range lanes {
+			d := b[l]
+			if d == 0 {
+				r.fault(l, errModZero)
+				continue
+			}
+			dst[l] = a[l] % d
+		}
+		r.intOps += n
+	case opIMin:
+		dst, a, b := st.icols[in.dst], st.icols[in.a], st.icols[in.b]
+		for _, l := range lanes {
+			v, w := a[l], b[l]
+			if w < v {
+				v = w
+			}
+			dst[l] = v
+		}
+		r.intOps += n
+	case opIMax:
+		dst, a, b := st.icols[in.dst], st.icols[in.a], st.icols[in.b]
+		for _, l := range lanes {
+			v, w := a[l], b[l]
+			if w > v {
+				v = w
+			}
+			dst[l] = v
+		}
+		r.intOps += n
+	case opINeg:
+		dst, a := st.icols[in.dst], st.icols[in.a]
+		for _, l := range lanes {
+			dst[l] = -a[l]
+		}
+		r.intOps += n
+	case opIAbs:
+		dst, a := st.icols[in.dst], st.icols[in.a]
+		for _, l := range lanes {
+			v := a[l]
+			if v < 0 {
+				v = -v
+			}
+			dst[l] = v
+		}
+		r.intOps += n
+	case opIParam:
+		// Uniform scalar argument: read once, broadcast to the strip.
+		dst, v := st.icols[in.dst], r.env.IntArgs[in.imm]
+		for _, l := range lanes {
+			dst[l] = v
+		}
+	case opGID:
+		dst, src := st.icols[in.dst], st.gidc[in.imm]
+		for _, l := range lanes {
+			dst[l] = src[l]
+		}
+
+	case opFConst:
+		dst, v := st.fcols[in.dst], in.fimm
+		for _, l := range lanes {
+			dst[l] = v
+		}
+	case opFMov:
+		dst, a := st.fcols[in.dst], st.fcols[in.a]
+		for _, l := range lanes {
+			dst[l] = a[l]
+		}
+	case opFAdd:
+		dst, a, b := st.fcols[in.dst], st.fcols[in.a], st.fcols[in.b]
+		for _, l := range lanes {
+			dst[l] = a[l] + b[l]
+		}
+		p := r.bp.prec[pc]
+		roundLanes(dst, lanes, p)
+		r.flops[p] += n
+	case opFSub:
+		dst, a, b := st.fcols[in.dst], st.fcols[in.a], st.fcols[in.b]
+		for _, l := range lanes {
+			dst[l] = a[l] - b[l]
+		}
+		p := r.bp.prec[pc]
+		roundLanes(dst, lanes, p)
+		r.flops[p] += n
+	case opFMul:
+		dst, a, b := st.fcols[in.dst], st.fcols[in.a], st.fcols[in.b]
+		for _, l := range lanes {
+			dst[l] = a[l] * b[l]
+		}
+		p := r.bp.prec[pc]
+		roundLanes(dst, lanes, p)
+		r.flops[p] += n
+	case opFDiv:
+		dst, a, b := st.fcols[in.dst], st.fcols[in.a], st.fcols[in.b]
+		for _, l := range lanes {
+			dst[l] = a[l] / b[l]
+		}
+		p := r.bp.prec[pc]
+		roundLanes(dst, lanes, p)
+		r.flops[p] += weightDiv * n
+	case opFMin:
+		dst, a, b := st.fcols[in.dst], st.fcols[in.a], st.fcols[in.b]
+		for _, l := range lanes {
+			dst[l] = math.Min(a[l], b[l])
+		}
+		p := r.bp.prec[pc]
+		roundLanes(dst, lanes, p)
+		r.flops[p] += n
+	case opFMax:
+		dst, a, b := st.fcols[in.dst], st.fcols[in.a], st.fcols[in.b]
+		for _, l := range lanes {
+			dst[l] = math.Max(a[l], b[l])
+		}
+		p := r.bp.prec[pc]
+		roundLanes(dst, lanes, p)
+		r.flops[p] += n
+	case opFNeg:
+		dst, a := st.fcols[in.dst], st.fcols[in.a]
+		for _, l := range lanes {
+			dst[l] = -a[l]
+		}
+		r.flops[r.bp.prec[pc]] += n
+	case opFAbs:
+		dst, a := st.fcols[in.dst], st.fcols[in.a]
+		for _, l := range lanes {
+			dst[l] = math.Abs(a[l])
+		}
+		r.flops[r.bp.prec[pc]] += n
+	case opFSqrt:
+		dst, a := st.fcols[in.dst], st.fcols[in.a]
+		for _, l := range lanes {
+			dst[l] = math.Sqrt(a[l])
+		}
+		p := r.bp.prec[pc]
+		roundLanes(dst, lanes, p)
+		r.flops[p] += weightSqrt * n
+	case opFExp:
+		dst, a := st.fcols[in.dst], st.fcols[in.a]
+		for _, l := range lanes {
+			dst[l] = math.Exp(a[l])
+		}
+		p := r.bp.prec[pc]
+		roundLanes(dst, lanes, p)
+		r.flops[p] += weightTrans * n
+	case opFLog:
+		dst, a := st.fcols[in.dst], st.fcols[in.a]
+		for _, l := range lanes {
+			dst[l] = math.Log(a[l])
+		}
+		p := r.bp.prec[pc]
+		roundLanes(dst, lanes, p)
+		r.flops[p] += weightTrans * n
+	case opFFMA:
+		dst, a, b, c := st.fcols[in.dst], st.fcols[in.a], st.fcols[in.b], st.fcols[in.c]
+		for _, l := range lanes {
+			dst[l] = math.FMA(a[l], b[l], c[l])
+		}
+		p := r.bp.prec[pc]
+		roundLanes(dst, lanes, p)
+		r.flops[p] += n
+	case opItoF:
+		dst, a := st.fcols[in.dst], st.icols[in.a]
+		for _, l := range lanes {
+			dst[l] = float64(a[l])
+		}
+
+	case opLoad:
+		data := r.env.Bufs[in.imm].Data()
+		bound := int64(len(data))
+		idx, dst := st.icols[in.a], st.fcols[in.dst]
+		for _, l := range lanes {
+			i := idx[l]
+			if uint64(i) >= uint64(bound) {
+				r.faultOOB("load", in.imm, i, l)
+				continue
+			}
+			dst[l] = data[i]
+		}
+		if r.converts[in.imm] {
+			roundLanes(dst, lanes, r.computeAs[in.imm])
+			r.convOps += n
+		}
+		r.loadB += r.sizes[in.imm] * n
+	case opStore:
+		buf := r.env.Bufs[in.imm]
+		data := buf.Data()
+		bound := int64(len(data))
+		idx, val := st.icols[in.a], st.fcols[in.b]
+		// Storage-precision rounding dispatch hoisted out of the lane
+		// loop; same primitives as Array.Set.
+		switch buf.Elem() {
+		case precision.Half:
+			for _, l := range lanes {
+				i := idx[l]
+				if uint64(i) >= uint64(bound) {
+					r.faultOOB("store", in.imm, i, l)
+					continue
+				}
+				data[i] = fp16.Round(val[l])
+			}
+		case precision.Single:
+			for _, l := range lanes {
+				i := idx[l]
+				if uint64(i) >= uint64(bound) {
+					r.faultOOB("store", in.imm, i, l)
+					continue
+				}
+				data[i] = float64(float32(val[l]))
+			}
+		default:
+			for _, l := range lanes {
+				i := idx[l]
+				if uint64(i) >= uint64(bound) {
+					r.faultOOB("store", in.imm, i, l)
+					continue
+				}
+				data[i] = val[l]
+			}
+		}
+		if r.converts[in.imm] {
+			r.convOps += n
+		}
+		r.storeB += r.sizes[in.imm] * n
+
+	case opICmp:
+		cmpIntLanes(st.icols[in.dst], st.icols[in.a], st.icols[in.b], lanes, in.cmp)
+		r.intOps += n
+	case opFCmp:
+		cmpFloatLanes(st.icols[in.dst], st.fcols[in.a], st.fcols[in.b], lanes, in.cmp)
+		r.intOps += n
+	case opBAnd:
+		dst, a, b := st.icols[in.dst], st.icols[in.a], st.icols[in.b]
+		for _, l := range lanes {
+			dst[l] = boolToInt(a[l] != 0 && b[l] != 0)
+		}
+		r.intOps += n
+	case opBOr:
+		dst, a, b := st.icols[in.dst], st.icols[in.a], st.icols[in.b]
+		for _, l := range lanes {
+			dst[l] = boolToInt(a[l] != 0 || b[l] != 0)
+		}
+		r.intOps += n
+
+	case opSelI:
+		dst, c, a, b := st.icols[in.dst], st.icols[in.a], st.icols[in.b], st.icols[in.c]
+		for _, l := range lanes {
+			if c[l] != 0 {
+				dst[l] = a[l]
+			} else {
+				dst[l] = b[l]
+			}
+		}
+		r.intOps += n
+	case opSelF:
+		dst, c, a, b := st.fcols[in.dst], st.icols[in.a], st.fcols[in.b], st.fcols[in.c]
+		for _, l := range lanes {
+			if c[l] != 0 {
+				dst[l] = a[l]
+			} else {
+				dst[l] = b[l]
+			}
+		}
+		r.intOps += n
+
+	default:
+		// Unreachable for lowerer-produced programs (jumps never appear
+		// inside bSeq spans); mirror the tree engine's error if it ever
+		// happens.
+		for _, l := range lanes {
+			r.fault(l, fmt.Errorf("unknown opcode %d", in.op))
+		}
+	}
+}
+
+// stepDyn is step for dyn tapes: float instructions carry the tree
+// engine's dynamic precision promotion per lane through the pcols
+// columns. Integer instructions, stores, and control behave exactly as
+// in the static path and are delegated to step.
+func (r *batchRun) stepDyn(in *inst, pc int, lanes []int32) {
+	st := r.st
+	switch in.op {
+	case opFConst:
+		dst, pd, v := st.fcols[in.dst], st.pcols[in.dst], in.fimm
+		for _, l := range lanes {
+			dst[l] = v
+			pd[l] = uint8(precision.Invalid)
+		}
+	case opFMov:
+		dst, a := st.fcols[in.dst], st.fcols[in.a]
+		pd, pa := st.pcols[in.dst], st.pcols[in.a]
+		for _, l := range lanes {
+			dst[l] = a[l]
+			pd[l] = pa[l]
+		}
+	case opFAdd:
+		dst, a, b := st.fcols[in.dst], st.fcols[in.a], st.fcols[in.b]
+		pd, pa, pb := st.pcols[in.dst], st.pcols[in.a], st.pcols[in.b]
+		for _, l := range lanes {
+			p := pa[l]
+			if pb[l] > p {
+				p = pb[l]
+			}
+			dst[l] = round(a[l]+b[l], precision.Type(p))
+			pd[l] = p
+			r.flops[p]++
+		}
+	case opFSub:
+		dst, a, b := st.fcols[in.dst], st.fcols[in.a], st.fcols[in.b]
+		pd, pa, pb := st.pcols[in.dst], st.pcols[in.a], st.pcols[in.b]
+		for _, l := range lanes {
+			p := pa[l]
+			if pb[l] > p {
+				p = pb[l]
+			}
+			dst[l] = round(a[l]-b[l], precision.Type(p))
+			pd[l] = p
+			r.flops[p]++
+		}
+	case opFMul:
+		dst, a, b := st.fcols[in.dst], st.fcols[in.a], st.fcols[in.b]
+		pd, pa, pb := st.pcols[in.dst], st.pcols[in.a], st.pcols[in.b]
+		for _, l := range lanes {
+			p := pa[l]
+			if pb[l] > p {
+				p = pb[l]
+			}
+			dst[l] = round(a[l]*b[l], precision.Type(p))
+			pd[l] = p
+			r.flops[p]++
+		}
+	case opFDiv:
+		dst, a, b := st.fcols[in.dst], st.fcols[in.a], st.fcols[in.b]
+		pd, pa, pb := st.pcols[in.dst], st.pcols[in.a], st.pcols[in.b]
+		for _, l := range lanes {
+			p := pa[l]
+			if pb[l] > p {
+				p = pb[l]
+			}
+			dst[l] = round(a[l]/b[l], precision.Type(p))
+			pd[l] = p
+			r.flops[p] += weightDiv
+		}
+	case opFMin:
+		dst, a, b := st.fcols[in.dst], st.fcols[in.a], st.fcols[in.b]
+		pd, pa, pb := st.pcols[in.dst], st.pcols[in.a], st.pcols[in.b]
+		for _, l := range lanes {
+			p := pa[l]
+			if pb[l] > p {
+				p = pb[l]
+			}
+			dst[l] = round(math.Min(a[l], b[l]), precision.Type(p))
+			pd[l] = p
+			r.flops[p]++
+		}
+	case opFMax:
+		dst, a, b := st.fcols[in.dst], st.fcols[in.a], st.fcols[in.b]
+		pd, pa, pb := st.pcols[in.dst], st.pcols[in.a], st.pcols[in.b]
+		for _, l := range lanes {
+			p := pa[l]
+			if pb[l] > p {
+				p = pb[l]
+			}
+			dst[l] = round(math.Max(a[l], b[l]), precision.Type(p))
+			pd[l] = p
+			r.flops[p]++
+		}
+	case opFNeg:
+		dst, a := st.fcols[in.dst], st.fcols[in.a]
+		pd, pa := st.pcols[in.dst], st.pcols[in.a]
+		for _, l := range lanes {
+			dst[l] = -a[l]
+			pd[l] = pa[l]
+			r.flops[pa[l]]++
+		}
+	case opFAbs:
+		dst, a := st.fcols[in.dst], st.fcols[in.a]
+		pd, pa := st.pcols[in.dst], st.pcols[in.a]
+		for _, l := range lanes {
+			dst[l] = math.Abs(a[l])
+			pd[l] = pa[l]
+			r.flops[pa[l]]++
+		}
+	case opFSqrt:
+		dst, a := st.fcols[in.dst], st.fcols[in.a]
+		pd, pa := st.pcols[in.dst], st.pcols[in.a]
+		for _, l := range lanes {
+			p := pa[l]
+			dst[l] = round(math.Sqrt(a[l]), precision.Type(p))
+			pd[l] = p
+			r.flops[p] += weightSqrt
+		}
+	case opFExp:
+		dst, a := st.fcols[in.dst], st.fcols[in.a]
+		pd, pa := st.pcols[in.dst], st.pcols[in.a]
+		for _, l := range lanes {
+			p := pa[l]
+			dst[l] = round(math.Exp(a[l]), precision.Type(p))
+			pd[l] = p
+			r.flops[p] += weightTrans
+		}
+	case opFLog:
+		dst, a := st.fcols[in.dst], st.fcols[in.a]
+		pd, pa := st.pcols[in.dst], st.pcols[in.a]
+		for _, l := range lanes {
+			p := pa[l]
+			dst[l] = round(math.Log(a[l]), precision.Type(p))
+			pd[l] = p
+			r.flops[p] += weightTrans
+		}
+	case opFFMA:
+		dst, a, b, c := st.fcols[in.dst], st.fcols[in.a], st.fcols[in.b], st.fcols[in.c]
+		pd, pa, pb, pcC := st.pcols[in.dst], st.pcols[in.a], st.pcols[in.b], st.pcols[in.c]
+		for _, l := range lanes {
+			p := pa[l]
+			if pb[l] > p {
+				p = pb[l]
+			}
+			if pcC[l] > p {
+				p = pcC[l]
+			}
+			dst[l] = round(math.FMA(a[l], b[l], c[l]), precision.Type(p))
+			pd[l] = p
+			r.flops[p]++
+		}
+	case opItoF:
+		dst, a, pd := st.fcols[in.dst], st.icols[in.a], st.pcols[in.dst]
+		for _, l := range lanes {
+			dst[l] = float64(a[l])
+			pd[l] = uint8(precision.Invalid)
+		}
+	case opLoad:
+		data := r.env.Bufs[in.imm].Data()
+		bound := int64(len(data))
+		idx, dst, pd := st.icols[in.a], st.fcols[in.dst], st.pcols[in.dst]
+		ca := uint8(r.computeAs[in.imm])
+		for _, l := range lanes {
+			i := idx[l]
+			if uint64(i) >= uint64(bound) {
+				r.faultOOB("load", in.imm, i, l)
+				continue
+			}
+			dst[l] = data[i]
+			pd[l] = ca
+		}
+		if r.converts[in.imm] {
+			roundLanes(dst, lanes, r.computeAs[in.imm])
+			r.convOps += float64(len(lanes))
+		}
+		r.loadB += r.sizes[in.imm] * float64(len(lanes))
+	case opSelF:
+		dst, c, a, b := st.fcols[in.dst], st.icols[in.a], st.fcols[in.b], st.fcols[in.c]
+		pd, pa, pb := st.pcols[in.dst], st.pcols[in.b], st.pcols[in.c]
+		for _, l := range lanes {
+			if c[l] != 0 {
+				dst[l] = a[l]
+				pd[l] = pa[l]
+			} else {
+				dst[l] = b[l]
+				pd[l] = pb[l]
+			}
+		}
+		r.intOps += float64(len(lanes))
+	default:
+		r.step(in, pc, lanes)
+	}
+}

@@ -1,0 +1,359 @@
+package kir
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/precision"
+)
+
+// Differential tests: the batch engine must be observationally identical
+// to the tree engine — bit-identical buffer contents (including NaN/Inf
+// payloads and fp16 subnormals), deeply-equal dynamic counts, and
+// byte-identical error strings, for every kernel shape, precision
+// binding, and strip size.
+
+// diffKernels builds the kernel shapes the differential tests sweep:
+// accumulator loops, divergent (gid-dependent) trip counts, branches,
+// selects, transcendentals, and multi-buffer streaming.
+func diffKernels() map[string]*Kernel {
+	ks := map[string]*Kernel{}
+
+	// Accumulator matmul: the GEMM inner pattern.
+	ks["matmul"] = NewKernel("matmul", 2).In("A").In("B").Out("C").Ints("n").
+		Body(
+			LetF("acc", F(0)),
+			Loop("k", I(0), P("n"),
+				Set("acc", Add(
+					Mul(At("A", Idx2(Gid(0), P("n"), V("k"))), At("B", Idx2(V("k"), P("n"), Gid(1)))),
+					V("acc"),
+				)),
+			),
+			Put("C", Idx2(Gid(0), P("n"), Gid(1)), V("acc")),
+		).MustBuild()
+
+	// Triangular loop with gid-dependent lower bound and two stores per
+	// iteration: corr_mat's divergence pattern.
+	ks["triangular"] = NewKernel("triangular", 1).In("A").Out("S").Ints("n").
+		Body(
+			Put("S", Idx2(Gid(0), P("n"), Gid(0)), F(1)),
+			Loop("j", Add(Gid(0), I(1)), P("n"),
+				LetF("acc", F(0)),
+				Loop("i", I(0), P("n"),
+					Set("acc", Add(
+						Mul(At("A", Idx2(V("i"), P("n"), Gid(0))), At("A", Idx2(V("i"), P("n"), V("j")))),
+						V("acc"),
+					)),
+				),
+				Put("S", Idx2(Gid(0), P("n"), V("j")), V("acc")),
+				Put("S", Idx2(V("j"), P("n"), Gid(0)), V("acc")),
+			),
+		).MustBuild()
+
+	// Branches and selects over possibly-NaN data, plus sqrt/exp/log and
+	// integer min/abs index math. B is read in one branch, so lanes of a
+	// strip diverge on data, not just on gid.
+	ks["branchy"] = NewKernel("branchy", 1).In("A").InOut("B").Ints("n").
+		Body(
+			LetI("i", Min(Gid(0), Abs(Sub(P("n"), I(1))))),
+			LetF("v", At("A", V("i"))),
+			When(Gt(V("v"), F(0)),
+				Put("B", Gid(0), Sqrt(V("v"))),
+			),
+			WhenElse(Le(V("v"), F(0)),
+				[]Stmt{Put("B", Gid(0), Cond(Lt(V("v"), F(-1)), Exp(V("v")), Neg(V("v"))))},
+				[]Stmt{Put("B", Gid(0), Add(At("B", Gid(0)), Log(Max(V("v"), F(1e-300)))))},
+			),
+		).MustBuild()
+
+	// Loop with a data-dependent guard inside (float compare against
+	// loaded values), so active lanes differ per iteration.
+	ks["guarded"] = NewKernel("guarded", 1).In("A").In("B").Out("C").Ints("n").
+		Body(
+			LetF("acc", F(0)),
+			Loop("k", I(0), P("n"),
+				LetF("a", At("A", Idx2(Gid(0), P("n"), V("k")))),
+				When(Ge(V("a"), F(0)),
+					Set("acc", Add(Mul(V("a"), At("B", V("k"))), V("acc"))),
+				),
+			),
+			Put("C", Gid(0), Div(V("acc"), Max(ItoF(P("n")), F(1)))),
+		).MustBuild()
+
+	return ks
+}
+
+// diffData fills a buffer deterministically with values that exercise
+// rounding edge cases: normals of both signs, zeros, fp16 subnormals,
+// NaN and ±Inf payloads.
+func diffData(n int, seed uint64) []float64 {
+	out := make([]float64, n)
+	s := seed*2654435761 + 1
+	for i := range out {
+		s = s*6364136223846793005 + 1442695040888963407
+		switch s >> 61 {
+		case 0:
+			out[i] = math.NaN()
+		case 1:
+			out[i] = math.Inf(int(s&2) - 1)
+		case 2:
+			out[i] = 5.96e-8 * float64(int64(s%7)-3) // fp16 subnormal range
+		default:
+			out[i] = float64(int64(s%4096)-2048) / 37.0
+		}
+	}
+	return out
+}
+
+// mkEnv builds an ExecEnv factory over fresh buffers with the given
+// storage precisions, filled from diffData.
+func mkEnv(bufs []precision.Type, lens []int, computeAs []precision.Type, args []int64, global [2]int) func() *ExecEnv {
+	return func() *ExecEnv {
+		env := &ExecEnv{IntArgs: args, Global: global, ComputeAs: computeAs}
+		for i, t := range bufs {
+			a := precision.NewArray(t, lens[i])
+			precision.RoundSlice(a.Data(), diffData(lens[i], uint64(i+1)), t)
+			env.Bufs = append(env.Bufs, a)
+		}
+		return env
+	}
+}
+
+// runBothEngines runs p through both engines on identically-initialized
+// environments and requires bit-identical buffers, equal counts, and
+// identical errors.
+func runBothEngines(t *testing.T, p *Program, mk func() *ExecEnv) {
+	t.Helper()
+	envT := mk()
+	envT.Engine = EngineTree
+	cT, errT := p.Run(envT)
+	envB := mk()
+	envB.Engine = EngineBatch
+	cB, errB := p.Run(envB)
+
+	switch {
+	case (errT == nil) != (errB == nil):
+		t.Fatalf("error mismatch:\n tree:  %v\n batch: %v", errT, errB)
+	case errT != nil && errT.Error() != errB.Error():
+		t.Fatalf("error text mismatch:\n tree:  %v\n batch: %v", errT, errB)
+	}
+	if errT != nil {
+		// On a fault both engines return the same error for the same
+		// work item, but buffer contents past the faulting item are
+		// unspecified: the tree engine stops mid-range while the batch
+		// engine finishes the strip's surviving lanes. That divergence
+		// is unobservable upstream — a failed launch aborts the trial
+		// and invalidates any cached buffers — so only the error text
+		// is compared here.
+		return
+	}
+	if !reflect.DeepEqual(cT, cB) {
+		t.Fatalf("counts mismatch:\n tree:  %+v\n batch: %+v", cT, cB)
+	}
+	for i := range envT.Bufs {
+		a, b := envT.Bufs[i].Data(), envB.Bufs[i].Data()
+		for j := range a {
+			if math.Float64bits(a[j]) != math.Float64bits(b[j]) {
+				t.Fatalf("buffer %d elem %d: tree %x (%g) batch %x (%g)",
+					i, j, math.Float64bits(a[j]), a[j], math.Float64bits(b[j]), b[j])
+			}
+		}
+	}
+}
+
+// bindings enumerates per-buffer compute precisions: nil (storage), all
+// uniform precisions, and a rotating mixed one.
+func bindings(nb int) [][]precision.Type {
+	out := [][]precision.Type{nil}
+	for _, t := range precision.All {
+		u := make([]precision.Type, nb)
+		for i := range u {
+			u[i] = t
+		}
+		out = append(out, u)
+	}
+	m := make([]precision.Type, nb)
+	for i := range m {
+		m[i] = precision.All[i%3]
+	}
+	out = append(out, m)
+	return out
+}
+
+func TestBatchDifferentialKernels(t *testing.T) {
+	const n = 17 // odd and smaller than any strip size: exercises the tail
+	for name, k := range diffKernels() {
+		k := k
+		t.Run(name, func(t *testing.T) {
+			p := MustCompile(k)
+			var lens []int
+			var storage []precision.Type
+			for range k.Bufs {
+				lens = append(lens, n*n)
+				storage = append(storage, precision.Double)
+			}
+			global := [2]int{n, 1}
+			if k.Dims == 2 {
+				global = [2]int{n, n}
+			}
+			for _, ca := range bindings(len(k.Bufs)) {
+				runBothEngines(t, p, mkEnv(storage, lens, ca, []int64{int64(n)}, global))
+			}
+			// Storage-precision variants (memory-object scaling).
+			for _, st := range precision.All {
+				sto := make([]precision.Type, len(k.Bufs))
+				for i := range sto {
+					sto[i] = st
+				}
+				runBothEngines(t, p, mkEnv(sto, lens, nil, []int64{int64(n)}, global))
+			}
+		})
+	}
+}
+
+func TestBatchDifferentialStripSizes(t *testing.T) {
+	k := diffKernels()["triangular"]
+	p := MustCompile(k)
+	const n = 23
+	for _, strip := range []int{1, 7, 64, 256, 1024} {
+		strip := strip
+		mk := mkEnv([]precision.Type{precision.Double, precision.Double},
+			[]int{n * n, n * n}, nil, []int64{int64(n)}, [2]int{n, 1})
+		runBothEngines(t, p, func() *ExecEnv {
+			env := mk()
+			env.Strip = strip
+			return env
+		})
+	}
+}
+
+// TestBatchFaultIdentity checks that runtime faults — out-of-bounds
+// accesses and integer division by zero — surface the same error text as
+// the tree engine, including which work item faults first when a strip
+// contains several faulting lanes.
+func TestBatchFaultIdentity(t *testing.T) {
+	t.Run("load-oob", func(t *testing.T) {
+		k := NewKernel("oob", 1).In("A").Out("B").Ints("n").
+			Body(Put("B", Gid(0), At("A", Mul(Gid(0), I(3))))).MustBuild()
+		p := MustCompile(k)
+		runBothEngines(t, p, mkEnv([]precision.Type{precision.Double, precision.Double},
+			[]int{16, 64}, nil, []int64{16}, [2]int{64, 1}))
+	})
+	t.Run("store-oob", func(t *testing.T) {
+		k := NewKernel("oobstore", 1).In("A").Out("B").Ints("n").
+			Body(Put("B", Mul(Gid(0), I(5)), At("A", Gid(0)))).MustBuild()
+		p := MustCompile(k)
+		runBothEngines(t, p, mkEnv([]precision.Type{precision.Double, precision.Double},
+			[]int{64, 32}, nil, []int64{64}, [2]int{64, 1}))
+	})
+	t.Run("div-zero", func(t *testing.T) {
+		// Lane 13 divides by zero mid-strip; every other lane stays in
+		// bounds (1/d truncates to 0 or 1).
+		k := NewKernel("divz", 1).In("A").Out("B").Ints("n").
+			Body(
+				LetI("d", Sub(Gid(0), I(13))),
+				LetI("q", Div(I(1), V("d"))),
+				Put("B", Add(Gid(0), V("q")), At("A", Gid(0))),
+			).MustBuild()
+		p := MustCompile(k)
+		runBothEngines(t, p, mkEnv([]precision.Type{precision.Double, precision.Double},
+			[]int{64, 66}, nil, []int64{64}, [2]int{64, 1}))
+	})
+	t.Run("mod-zero", func(t *testing.T) {
+		k := NewKernel("modz", 1).In("A").Out("B").Ints("n").
+			Body(
+				LetI("d", Sub(Gid(0), I(7))),
+				LetI("q", Mod(I(1), V("d"))),
+				Put("B", Min(Add(Gid(0), V("q")), Sub(P("n"), I(1))), At("A", Gid(0))),
+			).MustBuild()
+		p := MustCompile(k)
+		runBothEngines(t, p, mkEnv([]precision.Type{precision.Double, precision.Double},
+			[]int{64, 64}, nil, []int64{64}, [2]int{64, 1}))
+	})
+}
+
+// TestBatchDynTape builds a binding the static precision inference
+// cannot resolve — a float select between two compute precisions feeding
+// arithmetic — and checks that the batch compiler switches that binding
+// to the dynamic (per-lane precision column) tape while a uniform
+// binding of the same kernel stays on the fully-static tape, and that
+// both execute identically to the tree engine.
+func TestBatchDynTape(t *testing.T) {
+	k := NewKernel("mixedsel", 1).In("A").In("B").Out("C").Ints("n").
+		Body(
+			LetF("v", Cond(Lt(ItoF(Gid(0)), F(8)), At("A", Gid(0)), At("B", Gid(0)))),
+			Put("C", Gid(0), Add(V("v"), V("v"))),
+		).MustBuild()
+	p := MustCompile(k)
+	ca := []precision.Type{precision.Half, precision.Double, precision.Double}
+	if bp := p.batchFor(ca); bp == nil || !bp.dyn {
+		t.Fatal("mixed-precision select binding should compile to a dyn tape")
+	}
+	uniform := []precision.Type{precision.Double, precision.Double, precision.Double}
+	if bp := p.batchFor(uniform); bp == nil || bp.dyn {
+		t.Fatal("uniform binding should compile to a static tape")
+	}
+	runBothEngines(t, p, mkEnv(
+		[]precision.Type{precision.Double, precision.Double, precision.Double},
+		[]int{16, 16, 16}, ca, []int64{16}, [2]int{16, 1}))
+}
+
+// TestBatchSupportsAccumulators pins the interval-lattice property that
+// makes the engine practical: an untyped-initialized accumulator
+// (acc = 0.0; acc += typed) must resolve statically.
+func TestBatchSupportsAccumulators(t *testing.T) {
+	p := MustCompile(diffKernels()["matmul"])
+	for _, t2 := range precision.All {
+		if p.batchFor([]precision.Type{t2, t2, t2}) == nil {
+			t.Fatalf("matmul at %v: accumulator binding not batch-supported", t2)
+		}
+	}
+}
+
+// TestBatchAllocs pins the steady-state allocation behavior: the batch
+// engine must not allocate per work item (the arena is pooled), only a
+// bounded per-launch constant (run context + Counts assembly).
+func TestBatchAllocs(t *testing.T) {
+	p := MustCompile(diffKernels()["matmul"])
+	const n = 48
+	env := mkEnv([]precision.Type{precision.Double, precision.Double, precision.Double},
+		[]int{n * n, n * n, n * n}, nil, []int64{int64(n)}, [2]int{n, n})()
+	env.Engine = EngineBatch
+	if _, err := p.Run(env); err != nil { // warm the pool and the specialization cache
+		t.Fatal(err)
+	}
+	perLaunch := testing.AllocsPerRun(20, func() {
+		if _, err := p.Run(env); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if perItem := perLaunch / (n * n); perItem >= 0.01 {
+		t.Fatalf("batch engine allocates %.3f allocs/work-item (%.0f per launch); want ~0 per item", perItem, perLaunch)
+	}
+	if perLaunch > 16 {
+		t.Fatalf("batch engine allocates %.0f per launch; want a small constant", perLaunch)
+	}
+}
+
+// TestBatchEngineDefault pins the process default and the flag round
+// trip.
+func TestBatchEngineDefault(t *testing.T) {
+	if DefaultEngine() != EngineBatch {
+		t.Fatalf("default engine = %v, want batch", DefaultEngine())
+	}
+	prev := SetDefaultEngine(EngineTree)
+	if prev != EngineBatch || DefaultEngine() != EngineTree {
+		t.Fatal("SetDefaultEngine swap broken")
+	}
+	SetDefaultEngine(prev)
+	for _, s := range []string{"tree", "batch"} {
+		e, err := ParseEngine(s)
+		if err != nil || e.String() != s {
+			t.Fatalf("ParseEngine(%q) = %v, %v", s, e, err)
+		}
+	}
+	if _, err := ParseEngine("simd"); err == nil {
+		t.Fatal("ParseEngine should reject unknown engines")
+	}
+}

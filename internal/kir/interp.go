@@ -22,6 +22,13 @@ type ExecEnv struct {
 	IntArgs []int64
 	// Global is the NDRange size; Global[1] must be 1 for 1D kernels.
 	Global [2]int
+	// Engine selects the interpreter implementation. The zero value
+	// (EngineAuto) uses the process-wide default; see SetDefaultEngine.
+	Engine Engine
+	// Strip overrides the batch engine's strip size (work items executed
+	// per vectorized batch); 0 means DefaultStrip. The tree engine
+	// ignores it. Results are identical at any strip size.
+	Strip int
 }
 
 // Counts aggregates the dynamic cost-relevant events of one kernel
@@ -133,6 +140,15 @@ func (p *Program) Run(env *ExecEnv) (Counts, error) {
 		sizes[i] = float64(st.Size())
 	}
 
+	// The batch engine handles every binding it can specialize (all of
+	// the kernel suite); bindings with lane-divergent precision dataflow
+	// fall back to the tree walker below.
+	if resolveEngine(env.Engine) == EngineBatch {
+		if bp := p.batchFor(computeAs); bp != nil {
+			return bp.run(env, computeAs, converts, sizes, gx, gy)
+		}
+	}
+
 	st := &interpState{
 		ireg:  make([]int64, p.nIReg),
 		freg:  make([]float64, p.nFReg),
@@ -150,23 +166,30 @@ func (p *Program) Run(env *ExecEnv) (Counts, error) {
 		}
 	}
 
+	return gatherCounts(&st.flops, st.intOps, st.convOps, st.loadB, st.storeB, gx*gy), nil
+}
+
+// gatherCounts assembles the Counts result from raw accumulators. Both
+// engines share it so the map shape (which keys appear, how untyped
+// flops fold into Double) cannot drift between them.
+func gatherCounts(flops *[4]float64, intOps, convOps, loadB, storeB float64, items int) Counts {
 	counts := Counts{
 		Flops:      map[precision.Type]float64{},
-		IntOps:     st.intOps,
-		ConvOps:    st.convOps,
-		LoadBytes:  st.loadB,
-		StoreBytes: st.storeB,
-		WorkItems:  gx * gy,
+		IntOps:     intOps,
+		ConvOps:    convOps,
+		LoadBytes:  loadB,
+		StoreBytes: storeB,
+		WorkItems:  items,
 	}
 	for t := precision.Half; t <= precision.Double; t++ {
-		if n := st.flops[t]; n > 0 {
+		if n := flops[t]; n > 0 {
 			counts.Flops[t] = n
 		}
 	}
-	if n := st.flops[precision.Invalid]; n > 0 {
+	if n := flops[precision.Invalid]; n > 0 {
 		counts.Flops[precision.Double] += n
 	}
-	return counts, nil
+	return counts
 }
 
 // runItem executes the bytecode for one work item.

@@ -73,12 +73,35 @@ type inst struct {
 	cmp          CmpOp
 }
 
+// ctrlRec records the bytecode span of one structured control construct
+// as the lowerer emits it. The batch engine rebuilds the loop/branch tree
+// from these records instead of re-deriving it from jump targets, so the
+// vectorized executor interprets exactly the same instruction stream the
+// per-item walker does (value numbering rewrites instructions in place
+// and never moves them, so the recorded pcs stay valid).
+type ctrlRec struct {
+	loop bool
+	// start..end is the half-open instruction span of the construct.
+	start, end int
+	// Loops: start is the head ICmp, start+1 the exit JumpIfZ, end-1 the
+	// backward Jump; the body (including the increment) is [start+2, end-1).
+	// Ifs: start is the JumpIfZ over the then-branch; thenEnd is the pc of
+	// the Jump over the else-branch, or -1 when there is no else.
+	thenEnd int
+}
+
 // Program is a kernel lowered to executable bytecode.
 type Program struct {
 	Kernel *Kernel
 	code   []inst
 	nIReg  int
 	nFReg  int
+	// ctrl lists the structured control constructs in emission order
+	// (inner constructs complete first); see ctrlRec.
+	ctrl []ctrlRec
+	// batch holds the per-precision-binding vectorized specializations,
+	// built lazily and shared by concurrent trials.
+	batch batchCache
 }
 
 // Compile verifies, optimizes (constant folding, dead-let elimination,
@@ -100,7 +123,7 @@ func Compile(k *Kernel) (*Program, error) {
 	if l.err != nil {
 		return nil, fmt.Errorf("kernel %s: lowering: %w", k.Name, l.err)
 	}
-	p := &Program{Kernel: opt, code: l.code, nIReg: int(l.nextI), nFReg: int(l.nextF)}
+	p := &Program{Kernel: opt, code: l.code, nIReg: int(l.nextI), nFReg: int(l.nextF), ctrl: l.ctrl}
 	p.optimize()
 	return p, nil
 }
@@ -121,6 +144,7 @@ func (p *Program) Len() int { return len(p.code) }
 type lowerer struct {
 	k     *Kernel
 	code  []inst
+	ctrl  []ctrlRec
 	iVars map[string]int32
 	fVars map[string]int32
 	nextI int32
@@ -195,8 +219,9 @@ func (l *lowerer) stmt(s Stmt) {
 		exitJump := l.emit(inst{op: opJumpIfZ, a: condReg})
 		l.block(s.Body)
 		l.emit(inst{op: opIAddImm, dst: loopVar, a: loopVar, imm: 1})
-		l.emit(inst{op: opJump, imm: int64(head)})
+		back := l.emit(inst{op: opJump, imm: int64(head)})
 		l.code[exitJump].imm = int64(len(l.code))
+		l.ctrl = append(l.ctrl, ctrlRec{loop: true, start: head, end: back + 1, thenEnd: -1})
 		delete(l.iVars, s.Var)
 	case If:
 		cond := l.boolExpr(s.Cond)
@@ -204,12 +229,14 @@ func (l *lowerer) stmt(s Stmt) {
 		l.block(s.Then)
 		if len(s.Else) == 0 {
 			l.code[elseJump].imm = int64(len(l.code))
+			l.ctrl = append(l.ctrl, ctrlRec{start: elseJump, end: len(l.code), thenEnd: -1})
 			return
 		}
 		endJump := l.emit(inst{op: opJump})
 		l.code[elseJump].imm = int64(len(l.code))
 		l.block(s.Else)
 		l.code[endJump].imm = int64(len(l.code))
+		l.ctrl = append(l.ctrl, ctrlRec{start: elseJump, end: len(l.code), thenEnd: endJump})
 	default:
 		l.fail("unknown statement %T", s)
 	}

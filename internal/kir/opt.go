@@ -259,5 +259,5 @@ func CompileUnoptimized(k *Kernel) (*Program, error) {
 	if l.err != nil {
 		return nil, fmt.Errorf("kernel %s: lowering: %w", k.Name, l.err)
 	}
-	return &Program{Kernel: opt, code: l.code, nIReg: int(l.nextI), nFReg: int(l.nextF)}, nil
+	return &Program{Kernel: opt, code: l.code, nIReg: int(l.nextI), nFReg: int(l.nextF), ctrl: l.ctrl}, nil
 }

@@ -9,9 +9,12 @@
 //	go test -run - -bench . -benchmem -count 5 ./... | benchjson -o bench.json
 //
 // Compare mode: read a freshly-produced summary (same inputs as snapshot
-// mode) and check it against the committed baseline. A benchmark whose
-// median ns/op regresses by more than -tolerance fails the run; alloc
-// growth warns. When the two summaries were measured on different CPU
+// mode, or an already-summarized prescaler-bench/v1 file via -in, e.g.
+// one written by cmd/prescalerbench) and check it against the committed
+// baseline. A benchmark whose median ns/op regresses by more than
+// -tolerance fails the run; alloc growth warns. Summaries carrying a
+// service load section are gated on p99 latency and throughput with the
+// same tolerance. When the two summaries were measured on different CPU
 // models, absolute-time regressions are downgraded to warnings — but
 // -min-speedup stays fatal, because it checks the engine-to-engine ratio
 // of */batch vs */tree pairs measured in the same run, which is
@@ -20,7 +23,6 @@ package main
 
 import (
 	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,26 +33,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/benchfmt"
 )
-
-const schema = "prescaler-bench/v1"
-
-// Bench is the median summary of one benchmark across repetitions.
-type Bench struct {
-	NsOp     float64 `json:"ns_op"`
-	BOp      float64 `json:"b_op,omitempty"`
-	AllocsOp float64 `json:"allocs_op,omitempty"`
-	Runs     int     `json:"runs"`
-}
-
-// File is the on-disk summary format.
-type File struct {
-	Schema     string           `json:"schema"`
-	Go         string           `json:"go"`
-	CPU        string           `json:"cpu,omitempty"`
-	Count      int              `json:"count"`
-	Benchmarks map[string]Bench `json:"benchmarks"`
-}
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.+)$`)
 
@@ -120,8 +105,11 @@ func median(vs []float64) float64 {
 	return (vs[n/2-1] + vs[n/2]) / 2
 }
 
-func (p *parser) summarize() *File {
-	f := &File{Schema: schema, Go: runtime.Version(), CPU: p.cpu, Benchmarks: map[string]Bench{}}
+func (p *parser) summarize() *benchfmt.File {
+	f := &benchfmt.File{
+		Schema: benchfmt.Schema, Go: runtime.Version(), CPU: p.cpu,
+		Benchmarks: map[string]benchfmt.Bench{},
+	}
 	for name, ss := range p.samples {
 		ns := make([]float64, len(ss))
 		bs := make([]float64, len(ss))
@@ -129,7 +117,7 @@ func (p *parser) summarize() *File {
 		for i, s := range ss {
 			ns[i], bs[i], as[i] = s.nsOp, s.bOp, s.allocsOp
 		}
-		f.Benchmarks[name] = Bench{
+		f.Benchmarks[name] = benchfmt.Bench{
 			NsOp: median(ns), BOp: median(bs), AllocsOp: median(as), Runs: len(ss),
 		}
 		if len(ss) > f.Count {
@@ -139,23 +127,8 @@ func (p *parser) summarize() *File {
 	return f
 }
 
-func load(path string) (*File, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var f File
-	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
-	}
-	if f.Schema != schema {
-		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, schema)
-	}
-	return &f, nil
-}
-
 // compare checks cur against base; returns the number of fatal findings.
-func compare(base, cur *File, tol float64) int {
+func compare(base, cur *benchfmt.File, tol float64) int {
 	sameCPU := base.CPU == cur.CPU
 	if !sameCPU {
 		fmt.Printf("note: CPU differs (baseline %q, current %q); absolute-time regressions are warnings only\n", base.CPU, cur.CPU)
@@ -191,13 +164,50 @@ func compare(base, cur *File, tol float64) int {
 			fmt.Printf("warn %s: allocs/op grew %.0f -> %.0f\n", name, b.AllocsOp, c.AllocsOp)
 		}
 	}
+	if base.Service != nil {
+		fatal += compareService(base, cur, tol, sameCPU)
+	}
+	return fatal
+}
+
+// compareService gates the service load section: p99 latency may not
+// regress and throughput may not drop by more than the tolerance.
+// Cross-CPU runs downgrade both to warnings, like the ns/op gate.
+func compareService(base, cur *benchfmt.File, tol float64, sameCPU bool) int {
+	b, c := base.Service, cur.Service
+	if c == nil {
+		fmt.Println("FAIL service: baseline has a service load section, current run does not")
+		return 1
+	}
+	fatal := 0
+	report := func(ok bool, format string, args ...any) {
+		switch {
+		case ok:
+			fmt.Printf("ok   "+format+"\n", args...)
+		case sameCPU:
+			fmt.Printf("FAIL "+format+"\n", args...)
+			fatal++
+		default:
+			fmt.Printf("warn "+format+" (different CPU)\n", args...)
+		}
+	}
+	p99Ratio := c.P99Ms / b.P99Ms
+	report(p99Ratio <= 1+tol, "service p99: %.2f -> %.2f ms (%+.1f%%, tolerance %.0f%%)",
+		b.P99Ms, c.P99Ms, (p99Ratio-1)*100, tol*100)
+	tputRatio := c.ThroughputRPS / b.ThroughputRPS
+	report(tputRatio >= 1-tol, "service throughput: %.0f -> %.0f req/s (%+.1f%%, tolerance %.0f%%)",
+		b.ThroughputRPS, c.ThroughputRPS, (tputRatio-1)*100, tol*100)
+	if c.Errors > 0 {
+		fmt.Printf("FAIL service: %d transport/server errors in current run\n", c.Errors)
+		fatal++
+	}
 	return fatal
 }
 
 // checkSpeedup enforces the engine-ratio gate: for every benchmark name
 // ending in /tree with a /batch sibling, speedup = tree ns_op / batch
 // ns_op. The geometric mean across pairs must reach min.
-func checkSpeedup(f *File, min float64) int {
+func checkSpeedup(f *benchfmt.File, min float64) int {
 	type pair struct {
 		name    string
 		speedup float64
@@ -235,44 +245,50 @@ func checkSpeedup(f *File, min float64) int {
 
 func main() {
 	out := flag.String("o", "", "write the JSON summary to this file")
+	in := flag.String("in", "", "read the current summary from this prescaler-bench/v1 JSON file instead of parsing bench text")
 	baseline := flag.String("compare", "", "baseline summary to compare against")
-	tol := flag.Float64("tolerance", 0.15, "fractional ns/op regression that fails a compare")
+	tol := flag.Float64("tolerance", 0.15, "fractional regression (ns/op, service p99, throughput) that fails a compare")
 	minSpeedup := flag.Float64("min-speedup", 0, "minimum geomean batch-vs-tree speedup over */{batch,tree} pairs (0 disables)")
 	flag.Parse()
 
-	p := &parser{samples: map[string][]sample{}}
-	if flag.NArg() == 0 {
-		if err := p.feed(os.Stdin); err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(2)
-		}
-	}
-	for _, path := range flag.Args() {
-		fh, err := os.Open(path)
+	var cur *benchfmt.File
+	if *in != "" {
+		f, err := benchfmt.Load(*in)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
-		err = p.feed(fh)
-		fh.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
+		cur = f
+	} else {
+		p := &parser{samples: map[string][]sample{}}
+		if flag.NArg() == 0 {
+			if err := p.feed(os.Stdin); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(2)
+			}
+		}
+		for _, path := range flag.Args() {
+			fh, err := os.Open(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(2)
+			}
+			err = p.feed(fh)
+			fh.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				os.Exit(2)
+			}
+		}
+		cur = p.summarize()
+		if len(cur.Benchmarks) == 0 {
+			fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
 			os.Exit(2)
 		}
-	}
-	cur := p.summarize()
-	if len(cur.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
-		os.Exit(2)
 	}
 
 	if *out != "" {
-		data, err := json.MarshalIndent(cur, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(2)
-		}
-		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		if err := cur.Write(*out); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
@@ -280,7 +296,7 @@ func main() {
 
 	fatal := 0
 	if *baseline != "" {
-		base, err := load(*baseline)
+		base, err := benchfmt.Load(*baseline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)

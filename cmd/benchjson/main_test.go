@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/benchfmt"
 )
 
 const sampleOutput = `goos: linux
@@ -19,7 +21,7 @@ BenchmarkProgRun-8                    	    8000	    140000 ns/op	    2100 B/op	 
 ok  	repro/internal/prog	2.0s
 `
 
-func parseSample(t *testing.T) *File {
+func parseSample(t *testing.T) *benchfmt.File {
 	t.Helper()
 	p := &parser{samples: map[string][]sample{}}
 	if err := p.feed(strings.NewReader(sampleOutput)); err != nil {
@@ -65,6 +67,45 @@ func TestCompareTolerance(t *testing.T) {
 	cur.CPU = "Other CPU"
 	if n := compare(base, cur, 0.15); n != 0 {
 		t.Fatalf("cross-CPU regression produced %d failures, want 0", n)
+	}
+}
+
+func serviceFile(p99, rps float64) *benchfmt.File {
+	return &benchfmt.File{
+		Schema: benchfmt.Schema, CPU: "Test CPU @ 2.10GHz",
+		Service: &benchfmt.Service{
+			Requests: 1000, Seconds: 2, ThroughputRPS: rps,
+			P50Ms: p99 / 4, P99Ms: p99, MaxMs: p99 * 2,
+		},
+	}
+}
+
+func TestCompareService(t *testing.T) {
+	base := serviceFile(40, 500)
+	if n := compare(base, serviceFile(40, 500), 0.15); n != 0 {
+		t.Fatalf("identical service summaries produced %d failures", n)
+	}
+	if n := compare(base, serviceFile(80, 500), 0.15); n != 1 {
+		t.Fatalf("2x p99 regression produced %d failures, want 1", n)
+	}
+	if n := compare(base, serviceFile(40, 250), 0.15); n != 1 {
+		t.Fatalf("halved throughput produced %d failures, want 1", n)
+	}
+	// Errors in the current run are fatal regardless of timing.
+	bad := serviceFile(40, 500)
+	bad.Service.Errors = 3
+	if n := compare(base, bad, 0.15); n != 1 {
+		t.Fatalf("errored run produced %d failures, want 1", n)
+	}
+	// Cross-CPU: timing gates downgrade to warnings.
+	other := serviceFile(80, 250)
+	other.CPU = "Other CPU"
+	if n := compare(base, other, 0.15); n != 0 {
+		t.Fatalf("cross-CPU service regression produced %d failures, want 0", n)
+	}
+	// A baseline with a service section requires one in the current run.
+	if n := compare(base, &benchfmt.File{Schema: benchfmt.Schema, CPU: base.CPU}, 0.15); n != 1 {
+		t.Fatalf("missing service section produced %d failures, want 1", n)
 	}
 }
 

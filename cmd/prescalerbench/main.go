@@ -1,0 +1,283 @@
+// Command prescalerbench is a load generator for prescalerd. It drives
+// thousands of concurrent /v1/scale requests with a configurable mix of
+// cache hits, cold misses, and coalescable duplicates against one node
+// or a cluster, then reports client-observed latency percentiles,
+// throughput, and per-X-Cache-state counts as a prescaler-bench/v1 JSON
+// summary that cmd/benchjson -compare can gate in CI.
+//
+// The request mix: a -hot fraction of requests reuse one shared "hot"
+// body (they coalesce while the first search runs, then hit the cache);
+// the rest spread across -distinct cold bodies, each a distinct
+// fingerprint (misses). Requests round-robin across -targets so a
+// cluster is exercised through every node, including the remote-proxy
+// path.
+//
+// Two correctness assertions ride along with the load:
+//
+//   - -assert-searches N fails the run unless exactly N responses
+//     carried X-Cache: miss. With -hot 1 -distinct 0 every request is
+//     identical, so -assert-searches 1 proves single-flight coalescing:
+//     one search fed the whole storm.
+//   - Byte identity is always checked: all 200-responses sharing an
+//     X-Decision-Id must hash identically, whichever node (or cache
+//     state) produced them. A mismatch means the determinism invariant
+//     broke and the run fails.
+//
+// Example, against a local 2-node cluster:
+//
+//	prescalerbench -targets http://127.0.0.1:8080,http://127.0.0.1:8081 \
+//	  -n 2000 -c 128 -hot 0.5 -distinct 32 -o bench_service.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/benchfmt"
+)
+
+type spec struct {
+	body   string
+	target string
+	client string
+}
+
+type result struct {
+	status  int
+	cache   string
+	origin  string
+	id      string
+	bodySum uint64
+	latency time.Duration
+	err     error
+}
+
+func main() {
+	targets := flag.String("targets", "http://127.0.0.1:8080", "comma-separated prescalerd base URLs")
+	n := flag.Int("n", 2000, "total number of requests")
+	c := flag.Int("c", 128, "concurrent clients")
+	benchmark := flag.String("benchmark", "veccombine", "workload benchmark name to request")
+	hot := flag.Float64("hot", 0.5, "fraction of requests using one shared hot body (coalescable, then cache hits)")
+	distinct := flag.Int("distinct", 32, "number of distinct cold fingerprints for the non-hot remainder")
+	clients := flag.Int("clients", 4, "number of distinct X-Client-Id values")
+	deadlineMs := flag.Int("deadline-ms", 0, "X-Deadline-Ms header to send (0 = none)")
+	seed := flag.Int64("seed", 1, "shuffle seed for the request mix")
+	out := flag.String("o", "", "write the prescaler-bench/v1 JSON summary to this file")
+	assertSearches := flag.Int("assert-searches", -1, "fail unless exactly this many responses were X-Cache: miss (-1 disables)")
+	flag.Parse()
+
+	targetList := strings.Split(*targets, ",")
+	for i := range targetList {
+		targetList[i] = strings.TrimRight(strings.TrimSpace(targetList[i]), "/")
+	}
+	if *n <= 0 || *c <= 0 || len(targetList) == 0 {
+		fmt.Fprintln(os.Stderr, "prescalerbench: -n, -c, and -targets must be positive/non-empty")
+		os.Exit(2)
+	}
+
+	// Build the request mix up front so the run itself is pure dispatch.
+	// Hot requests share one body; cold request i cycles through
+	// -distinct toq values, each normalizing to a distinct fingerprint.
+	hotBody := fmt.Sprintf(`{"benchmark":%q,"toq":0.95}`, *benchmark)
+	specs := make([]spec, *n)
+	nHot := int(float64(*n) * *hot)
+	for i := range specs {
+		if i < nHot || *distinct <= 0 {
+			specs[i].body = hotBody
+		} else {
+			toq := 0.50 + 0.0001*float64(i%*distinct)
+			specs[i].body = fmt.Sprintf(`{"benchmark":%q,"toq":%.4f}`, *benchmark, toq)
+		}
+		specs[i].target = targetList[i%len(targetList)]
+		specs[i].client = fmt.Sprintf("bench-%d", i%*clients)
+	}
+	rand.New(rand.NewSource(*seed)).Shuffle(len(specs), func(i, j int) {
+		specs[i], specs[j] = specs[j], specs[i]
+	})
+
+	httpc := &http.Client{
+		Timeout: 5 * time.Minute,
+		Transport: &http.Transport{
+			MaxIdleConns:        *c * 2,
+			MaxIdleConnsPerHost: *c * 2,
+		},
+	}
+	work := make(chan spec)
+	results := make([]result, 0, *n)
+	var rmu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for sp := range work {
+				r := shoot(httpc, sp, *deadlineMs)
+				rmu.Lock()
+				results = append(results, r)
+				rmu.Unlock()
+			}
+		}()
+	}
+	for _, sp := range specs {
+		work <- sp
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	summary, failures := aggregate(results, targetList, *c, elapsed, *assertSearches)
+	printSummary(summary)
+	if *out != "" {
+		f := &benchfmt.File{
+			Schema:  benchfmt.Schema,
+			Go:      runtime.Version(),
+			CPU:     benchfmt.HostCPU(),
+			Service: summary,
+		}
+		if err := f.Write(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "prescalerbench:", err)
+			os.Exit(2)
+		}
+	}
+	if failures > 0 {
+		fmt.Printf("%d load-run failure(s)\n", failures)
+		os.Exit(1)
+	}
+}
+
+// shoot issues one request and classifies the response.
+func shoot(httpc *http.Client, sp spec, deadlineMs int) result {
+	req, err := http.NewRequest("POST", sp.target+"/v1/scale", strings.NewReader(sp.body))
+	if err != nil {
+		return result{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-Id", sp.client)
+	if deadlineMs > 0 {
+		req.Header.Set("X-Deadline-Ms", fmt.Sprint(deadlineMs))
+	}
+	t0 := time.Now()
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return result{err: err, latency: time.Since(t0)}
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	r := result{
+		status:  resp.StatusCode,
+		cache:   resp.Header.Get("X-Cache"),
+		origin:  resp.Header.Get("X-Cache-Origin"),
+		id:      resp.Header.Get("X-Decision-Id"),
+		latency: time.Since(t0),
+		err:     err,
+	}
+	if r.err == nil && r.status == http.StatusOK {
+		h := fnv.New64a()
+		h.Write(body)
+		r.bodySum = h.Sum64()
+	}
+	return r
+}
+
+// aggregate folds raw results into the service summary and runs the
+// assertions; it returns the number of fatal findings.
+func aggregate(results []result, targets []string, c int, elapsed time.Duration, assertSearches int) (*benchfmt.Service, int) {
+	s := &benchfmt.Service{
+		Targets:     targets,
+		Concurrency: c,
+		Requests:    len(results),
+		Seconds:     elapsed.Seconds(),
+	}
+	latencies := make([]float64, 0, len(results))
+	sums := map[string]uint64{} // decision id -> body hash
+	mismatches := 0
+	for _, r := range results {
+		if r.err != nil {
+			s.Errors++
+			continue
+		}
+		latencies = append(latencies, float64(r.latency)/float64(time.Millisecond))
+		switch {
+		case r.status == http.StatusTooManyRequests:
+			s.Shed++
+			continue
+		case r.status != http.StatusOK:
+			s.Errors++
+			continue
+		}
+		switch r.cache {
+		case "hit":
+			s.Hits++
+		case "miss":
+			s.Misses++
+			s.Searches++
+		case "coalesced":
+			s.Coalesced++
+		case "remote":
+			s.Remote++
+			// A proxied response whose owner missed is the one response
+			// that witnessed that search; count it so -assert-searches
+			// sees cluster-wide search executions, not just local ones.
+			if r.origin == "miss" {
+				s.Searches++
+			}
+		}
+		if r.id != "" {
+			if prev, ok := sums[r.id]; ok && prev != r.bodySum {
+				mismatches++
+			}
+			sums[r.id] = r.bodySum
+		}
+	}
+	if s.Seconds > 0 {
+		s.ThroughputRPS = float64(s.Requests-s.Errors) / s.Seconds
+	}
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	s.P50Ms, s.P99Ms = pct(0.50), pct(0.99)
+	if len(latencies) > 0 {
+		s.MaxMs = latencies[len(latencies)-1]
+	}
+
+	failures := 0
+	if mismatches > 0 {
+		fmt.Printf("FAIL byte identity: %d responses disagreed with an earlier body for the same decision id\n", mismatches)
+		failures++
+	}
+	if assertSearches >= 0 && s.Searches != assertSearches {
+		fmt.Printf("FAIL searches: %d search-executing responses (miss or remote-origin-miss), want exactly %d\n",
+			s.Searches, assertSearches)
+		failures++
+	}
+	if s.Errors > 0 {
+		fmt.Printf("FAIL errors: %d requests failed at transport level or with a non-shed error status\n", s.Errors)
+		failures++
+	}
+	return s, failures
+}
+
+func printSummary(s *benchfmt.Service) {
+	fmt.Printf("requests   %d in %.2fs (%.0f req/s, %d clients)\n",
+		s.Requests, s.Seconds, s.ThroughputRPS, s.Concurrency)
+	fmt.Printf("latency    p50 %.2fms  p99 %.2fms  max %.2fms\n", s.P50Ms, s.P99Ms, s.MaxMs)
+	fmt.Printf("cache      hit %d  miss %d  coalesced %d  remote %d\n",
+		s.Hits, s.Misses, s.Coalesced, s.Remote)
+	fmt.Printf("searches %d  shed %d  errors %d\n", s.Searches, s.Shed, s.Errors)
+}

@@ -12,6 +12,17 @@
 //	curl -s localhost:8080/metrics
 //	curl -N localhost:8080/v1/decisions/<id>/events
 //
+// A fleet shards its decision cache by consistent-hashing the decision
+// fingerprint across nodes (-peers): non-owner nodes proxy /v1/scale to
+// the owner and fall back to local compute when it is down, so any node
+// answers any request with byte-identical bodies. Admission control
+// (-max-queue plus deadline-aware shedding on X-Deadline-Ms) answers
+// 429 + Retry-After instead of queueing unboundedly, and N identical
+// concurrent requests coalesce onto a single search:
+//
+//	prescalerd -addr 127.0.0.1:8080 -peers 127.0.0.1:8081 &
+//	prescalerd -addr 127.0.0.1:8081 -peers 127.0.0.1:8080 &
+//
 // Every request gets a structured log line (slog; -log-format/-log-level)
 // carrying an X-Request-Id that is also echoed to the client.
 // -debug-addr opens a second listener serving net/http/pprof — never
@@ -37,6 +48,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,6 +61,9 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
 	workers := flag.Int("workers", 0, "max concurrent searches; 0 selects GOMAXPROCS")
 	cacheSize := flag.Int("cache-size", 0, "decision LRU capacity in entries; 0 selects 128")
+	maxQueue := flag.Int("max-queue", 0, "admission queue capacity; requests beyond it are shed with 429; 0 selects 4x workers")
+	peers := flag.String("peers", "", "comma-separated peer addresses forming a cluster (this node is added automatically); empty runs standalone")
+	self := flag.String("self", "", "this node's advertised address in the cluster; defaults to -addr")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight searches before they are canceled")
 	logFormat := flag.String("log-format", "text", "request log format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
@@ -68,12 +83,25 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	srv, err := service.New(service.Config{
+	cfg := service.Config{
 		Workers:   *workers,
 		CacheSize: *cacheSize,
+		MaxQueue:  *maxQueue,
 		Obs:       obs.New(),
 		Logger:    logger,
-	})
+	}
+	if *peers != "" {
+		cfg.Self = *self
+		if cfg.Self == "" {
+			cfg.Self = *addr
+		}
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" && p != cfg.Self {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
+	}
+	srv, err := service.New(cfg)
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -99,7 +127,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	logger.Info("serving v1 API", "addr", *addr, "workers", srv.Workers())
+	if len(cfg.Peers) > 0 {
+		logger.Info("serving v1 API", "addr", *addr, "workers", srv.Workers(),
+			"cluster_self", cfg.Self, "cluster_peers", strings.Join(cfg.Peers, ","))
+	} else {
+		logger.Info("serving v1 API", "addr", *addr, "workers", srv.Workers())
+	}
 
 	select {
 	case err := <-errc:

@@ -136,11 +136,15 @@ type System struct {
 
 // Error is the v1 error envelope. Code is a stable machine-readable
 // string (see the service's status mapping); Message is human-readable
-// detail and not part of the API contract.
+// detail and not part of the API contract. RetryAfterSeconds is set
+// only on 429 "overloaded" responses (admission-control shedding) and
+// mirrors the Retry-After header, so JSON clients get the back-off
+// hint without parsing headers.
 type Error struct {
-	Schema  string `json:"schema"`
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Schema            string `json:"schema"`
+	Code              string `json:"code"`
+	Message           string `json:"message"`
+	RetryAfterSeconds int    `json:"retry_after_seconds,omitempty"`
 }
 
 // NewWorkload summarizes w as a wire document. Kernels are listed in

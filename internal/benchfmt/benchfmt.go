@@ -1,0 +1,112 @@
+// Package benchfmt defines the prescaler-bench/v1 on-disk summary
+// schema shared by cmd/benchjson (microbenchmark medians) and
+// cmd/prescalerbench (service load-generator results). Keeping the
+// schema in one place lets benchjson -compare gate both kinds of
+// baseline with the same machinery, and keeps the committed BENCH_*.json
+// files mutually intelligible.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Schema is the versioned identifier every summary file carries.
+const Schema = "prescaler-bench/v1"
+
+// Bench is the median summary of one `go test -bench` benchmark across
+// repetitions.
+type Bench struct {
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+	Runs     int     `json:"runs"`
+}
+
+// Service is the summary of one prescalerbench load-generator run
+// against a prescalerd node or cluster. Latencies are client-observed
+// wall times in milliseconds; cache states count responses by X-Cache.
+type Service struct {
+	Targets       []string `json:"targets"`
+	Concurrency   int      `json:"concurrency"`
+	Requests      int      `json:"requests"`
+	Errors        int      `json:"errors"`
+	Seconds       float64  `json:"seconds"`
+	ThroughputRPS float64  `json:"throughput_rps"`
+	P50Ms         float64  `json:"p50_ms"`
+	P99Ms         float64  `json:"p99_ms"`
+	MaxMs         float64  `json:"max_ms"`
+	Hits          int      `json:"hits"`
+	Misses        int      `json:"misses"`
+	Coalesced     int      `json:"coalesced"`
+	Remote        int      `json:"remote"`
+	Shed          int      `json:"shed"`
+	// Searches counts responses that executed a search somewhere in the
+	// cluster: local misses plus proxied responses whose owner missed
+	// (X-Cache: remote with X-Cache-Origin: miss).
+	Searches int `json:"searches"`
+}
+
+// File is the on-disk summary format. Microbenchmark summaries fill
+// Benchmarks; service load summaries fill Service; a file may carry
+// both.
+type File struct {
+	Schema     string           `json:"schema"`
+	Go         string           `json:"go"`
+	CPU        string           `json:"cpu,omitempty"`
+	Count      int              `json:"count,omitempty"`
+	Benchmarks map[string]Bench `json:"benchmarks,omitempty"`
+	Service    *Service         `json:"service,omitempty"`
+}
+
+// Load reads and schema-checks a summary file.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if f.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, f.Schema, Schema)
+	}
+	return &f, nil
+}
+
+// Write marshals the summary with stable 2-space indentation and a
+// trailing newline, matching the committed BENCH_*.json style.
+func (f *File) Write(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// HostCPU reports the local CPU model string in the same form the Go
+// benchmark runner prints on its "cpu:" line, so summaries produced by
+// different tools on the same machine compare as same-CPU. Empty when
+// the platform does not expose it.
+func HostCPU() string {
+	fh, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer fh.Close()
+	sc := bufio.NewScanner(fh)
+	for sc.Scan() {
+		name, value, ok := strings.Cut(sc.Text(), ":")
+		if !ok {
+			continue
+		}
+		if strings.TrimSpace(name) == "model name" {
+			return strings.TrimSpace(value)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,123 @@
+// Package cluster implements the consistent-hash ring that shards the
+// decision cache of a prescalerd fleet across peer nodes.
+//
+// Every node in a cluster is handed the same membership list (the
+// -peers flag) and builds the identical ring: node addresses are
+// deduplicated and sorted before hashing, and each node contributes a
+// fixed number of virtual points hashed with FNV-64a — the same hash
+// family the decision fingerprint uses — so Owner(fingerprint) agrees
+// on every node with no coordination protocol at all. Ownership decides
+// only *where a decision is computed and cached*, never *what* it is:
+// response bodies are a pure function of the fingerprint (the
+// determinism invariant of DESIGN.md §10/§13), so a node whose owner
+// lookup is stale, or that computes locally because the owner is
+// unreachable, still answers with byte-identical bytes.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-point count per node when New is given
+// 0. 128 points keep the ownership split of a small fleet within a few
+// percent of even while ring construction stays trivially cheap.
+const DefaultReplicas = 128
+
+// Ring is an immutable consistent-hash ring over a set of node
+// addresses. Build one with New; methods are safe for concurrent use.
+type Ring struct {
+	nodes  []string
+	points []point // sorted by hash
+}
+
+// point is one virtual node position on the 64-bit hash circle.
+type point struct {
+	hash uint64
+	node string
+}
+
+// New builds a ring from a membership list. Addresses are deduplicated
+// and sorted first so every node constructs the identical ring from any
+// ordering of the same list. replicas is the virtual-point count per
+// node (0 selects DefaultReplicas). An empty membership yields an error
+// rather than a ring that cannot answer Owner.
+func New(members []string, replicas int) (*Ring, error) {
+	if replicas == 0 {
+		replicas = DefaultReplicas
+	}
+	if replicas < 0 {
+		return nil, fmt.Errorf("cluster: negative replicas %d", replicas)
+	}
+	seen := map[string]bool{}
+	var nodes []string
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("cluster: empty member address")
+		}
+		if !seen[m] {
+			seen[m] = true
+			nodes = append(nodes, m)
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: empty membership")
+	}
+	sort.Strings(nodes)
+	r := &Ring{nodes: nodes, points: make([]point, 0, len(nodes)*replicas)}
+	for _, n := range nodes {
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, point{hash: hashPoint(n, i), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Colliding virtual points order by node so ties are still
+		// deterministic across the fleet.
+		return a.node < b.node
+	})
+	return r, nil
+}
+
+// hashPoint positions virtual point i of a node on the circle.
+func hashPoint(node string, i int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", node, i)
+	return h.Sum64()
+}
+
+// Owner returns the node owning a key — the first virtual point at or
+// after the key's hash, wrapping at the top of the circle. The decision
+// service passes the fingerprint hex string; any string key works.
+func (r *Ring) Owner(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return r.ownerHash(h.Sum64())
+}
+
+// ownerHash is Owner for a pre-computed hash value.
+func (r *Ring) ownerHash(h uint64) string {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the sorted, deduplicated membership.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// Len returns the number of distinct nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Contains reports whether addr is a ring member.
+func (r *Ring) Contains(addr string) bool {
+	i := sort.SearchStrings(r.nodes, addr)
+	return i < len(r.nodes) && r.nodes[i] == addr
+}

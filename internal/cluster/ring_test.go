@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingAgreesAcrossMemberOrderings(t *testing.T) {
+	a, err := New([]string{"node1:8080", "node2:8080", "node3:8080"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New([]string{"node3:8080", "node1:8080", "node2:8080", "node1:8080"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 3 || b.Len() != 3 {
+		t.Fatalf("Len = %d / %d, want 3 (deduplicated)", a.Len(), b.Len())
+	}
+	for i := 0; i < 4096; i++ {
+		key := fmt.Sprintf("%016x", i*2654435761)
+		if ao, bo := a.Owner(key), b.Owner(key); ao != bo {
+			t.Fatalf("key %s: owner %q vs %q across orderings", key, ao, bo)
+		}
+	}
+}
+
+func TestRingSingleNodeOwnsEverything(t *testing.T) {
+	r, err := New([]string{"only:1"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		if o := r.Owner(fmt.Sprintf("key-%d", i)); o != "only:1" {
+			t.Fatalf("Owner = %q, want only:1", o)
+		}
+	}
+}
+
+// Ownership must be spread across nodes (no node starved, none
+// dominating) and keys must be deterministic call-to-call.
+func TestRingDistributionAndDeterminism(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1", "d:1"}
+	r, err := New(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("%016x", uint64(i)*0x9e3779b97f4a7c15)
+		o := r.Owner(key)
+		if again := r.Owner(key); again != o {
+			t.Fatalf("key %s: owner changed %q -> %q", key, o, again)
+		}
+		counts[o]++
+	}
+	for _, node := range nodes {
+		share := float64(counts[node]) / n
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("node %s owns %.1f%% of keys, want a rough 25%% split (%v)", node, share*100, counts)
+		}
+	}
+}
+
+// Removing one node must only move the keys that node owned: every key
+// owned by a surviving node keeps its owner (the consistent-hash
+// property that makes peer death cheap).
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	full, err := New([]string{"a:1", "b:1", "c:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := New([]string{"a:1", "b:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("fp-%d", i)
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before != "c:1" && before != after {
+			t.Fatalf("key %s: owner moved %q -> %q though %q survived", key, before, after, before)
+		}
+		if before == "c:1" {
+			moved++
+		}
+	}
+	if moved == 0 || moved == n {
+		t.Fatalf("implausible moved count %d/%d", moved, n)
+	}
+}
+
+func TestRingErrors(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Error("empty membership accepted")
+	}
+	if _, err := New([]string{""}, 0); err == nil {
+		t.Error("empty member address accepted")
+	}
+	if _, err := New([]string{"a:1"}, -1); err == nil {
+		t.Error("negative replicas accepted")
+	}
+}
+
+func TestRingContains(t *testing.T) {
+	r, err := New([]string{"b:1", "a:1"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Contains("a:1") || !r.Contains("b:1") || r.Contains("c:1") {
+		t.Errorf("Contains wrong: %v", r.Nodes())
+	}
+	if got := r.Nodes(); len(got) != 2 || got[0] != "a:1" || got[1] != "b:1" {
+		t.Errorf("Nodes = %v, want sorted [a:1 b:1]", got)
+	}
+}

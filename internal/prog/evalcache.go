@@ -126,6 +126,15 @@ func (c *EvalCache) Stats() EvalStats {
 	return EvalStats{Hits: h, Misses: c.misses.Load(), OpsSkipped: h}
 }
 
+// Entries returns the number of cached op results — the service's
+// health endpoint reports it per (system, benchmark) cache so load
+// tests can verify cache growth without scraping metrics.
+func (c *EvalCache) Entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ops)
+}
+
 // bind ties the cache to its (system, workload) pair. Keys do not embed
 // the pair, so reuse across different systems or workloads would alias;
 // it is rejected instead.

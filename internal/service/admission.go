@@ -1,0 +1,235 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// shedError is the admission controller's rejection: the service will
+// not start this search now, and the client should retry after the
+// suggested delay. It maps to 429 + Retry-After in writeError, with the
+// delay repeated as retry_after_seconds in the error envelope so JSON
+// clients do not need to parse headers.
+type shedError struct {
+	reason     string // "queue_full" | "deadline"
+	retryAfter int    // whole seconds, >= 1
+	detail     string
+}
+
+func (e *shedError) Error() string {
+	return fmt.Sprintf("overloaded (%s): %s; retry after %ds", e.reason, e.detail, e.retryAfter)
+}
+
+// waiter is one queued admission request. grant is closed by the
+// dispatcher when a slot is handed over; granted/canceled are guarded
+// by the fairQueue mutex and resolve the race between a hand-off and a
+// client disconnect (exactly one side wins the slot).
+type waiter struct {
+	grant    chan struct{}
+	granted  bool
+	canceled bool
+}
+
+// fairQueue is the admission controller: a fixed pool of search slots
+// fronted by a bounded queue with per-client round-robin dispatch.
+//
+// The previous design — a bare semaphore channel — had two fleet-scale
+// failure modes: the queue behind it was unbounded and invisible (every
+// request beyond Workers parked forever on the channel), and a single
+// aggressive client could occupy every queue position, starving
+// everyone else. Here each client id gets its own FIFO; freed slots are
+// handed to the next client in round-robin order, so a client sending
+// one request waits behind at most one request per competing client,
+// not behind the flood. Total queued requests are capped at maxQueue;
+// beyond it requests are shed immediately with 429.
+type fairQueue struct {
+	mu      sync.Mutex
+	workers int // slot capacity
+	busy    int // slots currently held
+	maxQ    int // queued-waiter capacity
+	depth   int // queued (not yet granted, not canceled) waiters
+
+	queues map[string][]*waiter // per client id, FIFO
+	order  []string             // round-robin ring of clients with waiters
+	next   int                  // cursor into order
+
+	depthGauge *obs.Gauge // service_queue_depth
+	busyGauge  *obs.Gauge // service_workers_busy
+}
+
+func newFairQueue(workers, maxQueue int, m *obs.Registry) *fairQueue {
+	return &fairQueue{
+		workers:    workers,
+		maxQ:       maxQueue,
+		queues:     map[string][]*waiter{},
+		depthGauge: m.Gauge("service_queue_depth"),
+		busyGauge:  m.Gauge("service_workers_busy"),
+	}
+}
+
+// Depth returns the current queued-waiter count.
+func (q *fairQueue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.depth
+}
+
+// Busy returns the number of slots currently held.
+func (q *fairQueue) Busy() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.busy
+}
+
+// Acquire blocks until a search slot is granted, the context dies, or
+// the queue is full (immediate shedError). client keys the fairness
+// queue; "" is a valid shared bucket. retryAfter estimates, from the
+// current depth and the observed p99 search time, when a retry is
+// likely to be admitted.
+func (q *fairQueue) Acquire(ctx context.Context, client string, p99 func() float64) error {
+	q.mu.Lock()
+	if q.busy < q.workers && q.depth == 0 {
+		q.busy++
+		q.busyGauge.Set(float64(q.busy))
+		q.mu.Unlock()
+		return nil
+	}
+	if q.depth >= q.maxQ {
+		depth := q.depth
+		q.mu.Unlock()
+		return &shedError{
+			reason:     "queue_full",
+			retryAfter: retryAfterSeconds(depth, q.workers, p99()),
+			detail:     fmt.Sprintf("admission queue at capacity (%d queued, %d workers)", depth, q.workers),
+		}
+	}
+	w := &waiter{grant: make(chan struct{})}
+	if len(q.queues[client]) == 0 {
+		q.order = append(q.order, client)
+	}
+	q.queues[client] = append(q.queues[client], w)
+	q.depth++
+	q.depthGauge.Set(float64(q.depth))
+	q.mu.Unlock()
+
+	select {
+	case <-w.grant:
+		return nil
+	case <-ctx.Done():
+		q.mu.Lock()
+		if w.granted {
+			// The dispatcher handed us a slot in the same instant the
+			// client vanished: give it straight back.
+			q.releaseLocked()
+			q.mu.Unlock()
+			return ctxCause(ctx)
+		}
+		w.canceled = true
+		q.depth--
+		q.depthGauge.Set(float64(q.depth))
+		q.mu.Unlock()
+		return ctxCause(ctx)
+	}
+}
+
+// Release returns a slot to the pool, handing it directly to the next
+// queued waiter (round-robin across clients) when one exists.
+func (q *fairQueue) Release() {
+	q.mu.Lock()
+	q.releaseLocked()
+	q.mu.Unlock()
+}
+
+func (q *fairQueue) releaseLocked() {
+	// Hand the slot to the next live waiter, skipping (and discarding)
+	// canceled ones — their depth contribution was removed at cancel
+	// time. Clients whose FIFO empties leave the round-robin ring.
+	for len(q.order) > 0 {
+		if q.next >= len(q.order) {
+			q.next = 0
+		}
+		client := q.order[q.next]
+		fifo := q.queues[client]
+		for len(fifo) > 0 {
+			w := fifo[0]
+			fifo = fifo[1:]
+			if w.canceled {
+				continue
+			}
+			// Grant: the slot transfers without touching busy.
+			w.granted = true
+			close(w.grant)
+			q.depth--
+			q.depthGauge.Set(float64(q.depth))
+			if len(fifo) == 0 {
+				delete(q.queues, client)
+				q.order = append(q.order[:q.next], q.order[q.next+1:]...)
+			} else {
+				q.queues[client] = fifo
+				q.next++
+			}
+			return
+		}
+		// FIFO held only canceled waiters: drop the client and keep
+		// scanning from the same cursor position.
+		delete(q.queues, client)
+		q.order = append(q.order[:q.next], q.order[q.next+1:]...)
+	}
+	q.busy--
+	q.busyGauge.Set(float64(q.busy))
+}
+
+// retryAfterSeconds estimates when a shed client should retry: the
+// queue ahead of it divided by the worker pool, paced by the observed
+// p99 search time. Clamped to [1, 60] — Retry-After is a hint, not a
+// promise.
+func retryAfterSeconds(depth, workers int, p99 float64) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if p99 <= 0 {
+		p99 = 0.1 // no observations yet: assume a fast search
+	}
+	est := math.Ceil(float64(depth+1) / float64(workers) * p99)
+	if est < 1 {
+		est = 1
+	}
+	if est > 60 {
+		est = 60
+	}
+	return int(est)
+}
+
+// deadlineShed decides whether a request with the given client deadline
+// budget (milliseconds; 0 = none) can possibly be answered in time: the
+// expected wait is one p99 search for each full wave of queued requests
+// ahead of it plus its own search. Requests that cannot meet their
+// deadline are shed immediately — running a search whose client will
+// have given up by completion burns a slot for nobody.
+func (q *fairQueue) deadlineShed(deadlineMs int, p99 func() float64) *shedError {
+	if deadlineMs <= 0 {
+		return nil
+	}
+	p := p99()
+	if p <= 0 {
+		return nil // no latency observations yet: admit optimistically
+	}
+	q.mu.Lock()
+	depth, workers := q.depth, q.workers
+	q.mu.Unlock()
+	waves := float64(depth)/float64(workers) + 1
+	estMs := waves * p * 1e3
+	if estMs <= float64(deadlineMs) {
+		return nil
+	}
+	return &shedError{
+		reason:     "deadline",
+		retryAfter: retryAfterSeconds(depth, workers, p),
+		detail: fmt.Sprintf("estimated completion %.0fms exceeds deadline %dms (p99 search %.0fms, %d queued)",
+			estMs, deadlineMs, p*1e3, depth),
+	}
+}

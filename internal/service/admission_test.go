@@ -1,0 +1,287 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// tryPost issues a scale request without t.Fatal, safe for goroutines.
+func tryPost(url, body string, headers map[string]string) (int, []byte, error) {
+	req, err := http.NewRequest("POST", url+"/v1/scale", strings.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, b, err
+}
+
+// postWith issues a scale request with extra headers.
+func postWith(t *testing.T, url, body string, headers map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest("POST", url+"/v1/scale", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// A request beyond -max-queue must be shed with 429 + Retry-After +
+// retry_after_seconds, and a shed request must never start a search.
+func TestQueueFullSheds(t *testing.T) {
+	o := obs.New()
+	srv, ts := newTestServer(t, Config{Workers: 1, MaxQueue: 1, Obs: o})
+	var searches atomic.Int32
+	hold := make(chan struct{})
+	srv.testSearchStarted = func(ctx context.Context, bench string) {
+		if searches.Add(1) == 1 {
+			<-hold
+		}
+	}
+	defer close(hold)
+
+	// Leader A occupies the only slot (parked in the hook).
+	respA := make(chan int, 1)
+	go func() {
+		status, _, _ := tryPost(ts.URL, `{"benchmark":"veccombine","toq":0.91}`, nil)
+		respA <- status
+	}()
+	waitFor(t, func() bool { return searches.Load() == 1 })
+
+	// Leader B (distinct fingerprint) fills the queue.
+	respB := make(chan int, 1)
+	go func() {
+		status, _, _ := tryPost(ts.URL, `{"benchmark":"veccombine","toq":0.92}`, nil)
+		respB <- status
+	}()
+	waitFor(t, func() bool { return srv.admit.Depth() == 1 })
+	if v := o.Metrics().Gauge("service_queue_depth").Value(); v != 1 {
+		t.Errorf("service_queue_depth = %v, want 1", v)
+	}
+
+	// C (another distinct fingerprint) finds the queue full: shed now.
+	resp, body := postScale(t, ts, `{"benchmark":"veccombine","toq":0.94}`)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("429 missing Retry-After header")
+	}
+	var e struct {
+		Code              string `json:"code"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("non-envelope 429 body: %s", body)
+	}
+	if e.Code != "overloaded" || e.RetryAfterSeconds < 1 {
+		t.Errorf("envelope = %+v, want code overloaded and retry_after_seconds >= 1", e)
+	}
+	if v := o.Metrics().Counter("service_shed", obs.L("reason", "queue_full")).Value(); v != 1 {
+		t.Errorf("shed counter = %v, want 1", v)
+	}
+	// The shed request never started a search: only A has (B is queued).
+	if got := searches.Load(); got != 1 {
+		t.Errorf("searches started = %d, want 1 (shed request must not search)", got)
+	}
+
+	hold <- struct{}{} // release A; close(hold) would panic the second send
+	if s := <-respA; s != http.StatusOK {
+		t.Errorf("A: status %d", s)
+	}
+	if s := <-respB; s != http.StatusOK {
+		t.Errorf("B: status %d", s)
+	}
+	if got := searches.Load(); got != 2 {
+		t.Errorf("searches after drain = %d, want 2", got)
+	}
+}
+
+// A request whose declared deadline cannot be met given the observed
+// p99 search time must be shed without searching.
+func TestDeadlineSheds(t *testing.T) {
+	o := obs.New()
+	srv, ts := newTestServer(t, Config{Workers: 1, Obs: o})
+	var searches atomic.Int32
+	srv.testSearchStarted = func(ctx context.Context, bench string) { searches.Add(1) }
+
+	// Pretend past searches took 10s at p99; a 50ms deadline is hopeless.
+	srv.searchSeconds.Observe(10.0)
+	resp, body := postWith(t, ts.URL, `{"benchmark":"veccombine"}`,
+		map[string]string{"X-Deadline-Ms": "50"})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429: %s", resp.StatusCode, body)
+	}
+	if searches.Load() != 0 {
+		t.Error("deadline-shed request started a search")
+	}
+	if v := o.Metrics().Counter("service_shed", obs.L("reason", "deadline")).Value(); v != 1 {
+		t.Errorf("deadline shed counter = %v, want 1", v)
+	}
+
+	// A generous deadline sails through.
+	resp, body = postWith(t, ts.URL, `{"benchmark":"veccombine"}`,
+		map[string]string{"X-Deadline-Ms": "600000"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("generous deadline: status %d: %s", resp.StatusCode, body)
+	}
+	if searches.Load() != 1 {
+		t.Errorf("searches = %d, want 1", searches.Load())
+	}
+}
+
+// Freed slots dispatch round-robin across client ids: a client with one
+// queued request is served after at most one request of a flooding
+// client, not after its whole backlog.
+func TestFairQueueRoundRobin(t *testing.T) {
+	srv, ts := newTestServer(t, Config{Workers: 1, MaxQueue: 8, Obs: obs.New()})
+	var mu sync.Mutex
+	var order []string
+	hold := make(chan struct{})
+	releaseHold := sync.OnceFunc(func() { close(hold) })
+	// Release the parked search even on a mid-test Fatal: the httptest
+	// Close cleanup waits for outstanding requests and would deadlock.
+	defer releaseHold()
+	first := true
+	srv.testSearchStarted = func(ctx context.Context, bench string) {
+		mu.Lock()
+		order = append(order, bench)
+		wasFirst := first
+		first = false
+		mu.Unlock()
+		if wasFirst {
+			<-hold
+		}
+	}
+
+	var wg sync.WaitGroup
+	post := func(body, client string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tryPost(ts.URL, body, map[string]string{"X-Client-Id": client})
+		}()
+	}
+
+	// Occupy the slot, then flood client A's queue, then one B request.
+	post(`{"benchmark":"veccombine","toq":0.90}`, "warm")
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(order) == 1
+	})
+	for i := 0; i < 4; i++ {
+		post(fmt.Sprintf(`{"benchmark":"veccombine","toq":0.8%d}`, i+1), "floodA")
+		waitFor(t, func() bool { return srv.admit.Depth() == i+1 })
+	}
+	post(`{"benchmark":"halfhostile"}`, "clientB")
+	waitFor(t, func() bool { return srv.admit.Depth() == 5 })
+
+	releaseHold()
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	// order[0] is the warm-up; B must run within the first two grants
+	// (one A request may legitimately go first in the round-robin).
+	pos := -1
+	for i, b := range order {
+		if b == "halfhostile" {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 || pos > 2 {
+		t.Errorf("clientB search at position %d of %v, want <= 2 (round-robin)", pos, order)
+	}
+}
+
+// A client that disconnects while queued must relinquish its queue
+// position without ever occupying a slot.
+func TestQueuedDisconnectFreesPosition(t *testing.T) {
+	o := obs.New()
+	srv, ts := newTestServer(t, Config{Workers: 1, MaxQueue: 1, Obs: o})
+	var searches atomic.Int32
+	hold := make(chan struct{})
+	srv.testSearchStarted = func(ctx context.Context, bench string) {
+		if searches.Add(1) == 1 {
+			<-hold
+		}
+	}
+	defer close(hold)
+
+	go tryPost(ts.URL, `{"benchmark":"veccombine","toq":0.91}`, nil)
+	waitFor(t, func() bool { return searches.Load() == 1 })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/scale",
+		strings.NewReader(`{"benchmark":"veccombine","toq":0.92}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		errc <- err
+	}()
+	waitFor(t, func() bool { return srv.admit.Depth() == 1 })
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("canceled queued request returned a response")
+	}
+	waitFor(t, func() bool { return srv.admit.Depth() == 0 })
+	hold <- struct{}{} // release the first search
+	// The queue position is free again: a third request is admitted
+	// instead of being shed.
+	resp, body := postWith(t, ts.URL, `{"benchmark":"veccombine","toq":0.93}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-disconnect request: status %d: %s", resp.StatusCode, body)
+	}
+	if searches.Load() != 2 {
+		t.Errorf("searches = %d, want 2 (the canceled waiter never searched)", searches.Load())
+	}
+}
+
+// waitFor polls a condition with a hard deadline.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+)
+
+// Cluster request headers. Forwarded marks a proxied request so
+// ownership routing never loops (a forwarded request is always answered
+// locally, even when the receiving node's ring disagrees about
+// ownership — the bodies are byte-identical either way). ClientID keys
+// the fair queue; DeadlineMs carries the client's latency budget for
+// deadline-aware shedding; CacheOrigin reports the owner node's own
+// X-Cache state on a proxied response.
+const (
+	headerForwarded   = "X-Prescaler-Forwarded"
+	headerClientID    = "X-Client-Id"
+	headerDeadline    = "X-Deadline-Ms"
+	headerCacheOrigin = "X-Cache-Origin"
+)
+
+// defaultProxyTimeout bounds one proxied scale request end to end. It
+// must comfortably exceed a worst-case search plus the owner's queue
+// wait; a peer that cannot answer within it is treated as dead and the
+// request falls back to local compute.
+const defaultProxyTimeout = 2 * time.Minute
+
+// proxyScale forwards a scale request to the fingerprint's owner node
+// and relays the answer. It reports whether the response has been
+// written: false means the owner is unreachable (connection failure or
+// 5xx) and the caller should fall back to computing locally — the
+// fallback is correct, not merely available, because the body is a pure
+// function of the fingerprint.
+func (s *Server) proxyScale(w http.ResponseWriter, r *http.Request, req *api.ScaleRequest, id, owner string) bool {
+	m := s.obs.Metrics()
+	var body strings.Builder
+	if err := api.Encode(&body, req); err != nil {
+		return false
+	}
+	preq, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
+		"http://"+owner+"/v1/scale", strings.NewReader(body.String()))
+	if err != nil {
+		return false
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set(headerForwarded, s.self)
+	for _, h := range []string{"X-Request-Id", headerClientID, headerDeadline} {
+		if v := r.Header.Get(h); v != "" {
+			preq.Header.Set(h, v)
+		}
+	}
+	resp, err := s.proxy.Do(preq)
+	if err != nil {
+		m.Counter("service_proxy", obs.L("result", "fallback")).Inc()
+		if s.logger != nil {
+			s.logger.Warn("proxy to owner failed, computing locally",
+				"owner", owner, "decision_id", id, "err", err.Error())
+		}
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		io.Copy(io.Discard, resp.Body)
+		m.Counter("service_proxy", obs.L("result", "fallback")).Inc()
+		if s.logger != nil {
+			s.logger.Warn("owner answered 5xx, computing locally",
+				"owner", owner, "decision_id", id, "status", resp.StatusCode)
+		}
+		return false
+	}
+
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	if did := resp.Header.Get("X-Decision-Id"); did != "" {
+		h.Set("X-Decision-Id", did)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		h.Set("Retry-After", ra)
+	}
+	if resp.StatusCode == http.StatusOK {
+		// The body came from the owner: our cache state is "remote", the
+		// owner's own state (hit / miss / coalesced) rides along so load
+		// tests can still count cluster-wide search work.
+		if oc := resp.Header.Get("X-Cache"); oc != "" {
+			h.Set(headerCacheOrigin, oc)
+		}
+		h.Set("X-Cache", "remote")
+		m.Counter("service_cache", obs.L("result", "remote")).Inc()
+		m.Counter("service_proxy", obs.L("result", "ok")).Inc()
+	} else {
+		m.Counter("service_proxy", obs.L("result", "relay_error")).Inc()
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}

@@ -24,8 +24,15 @@
 // byte-identical with telemetry on or off, and identical to
 // cmd/prescaler -json output.
 //
-// Requests run on a bounded worker pool. Each search runs on a clone
-// of a per-system base Framework (the same isolation pattern as the
+// Requests run on a bounded worker pool behind an admission
+// controller: a bounded per-client fair queue (round-robin dispatch, so
+// one flooding client cannot starve the rest), deadline-aware load
+// shedding (429 + Retry-After when the queue is full or the declared
+// X-Deadline-Ms cannot be met given the observed p99 search time), and
+// single-flight coalescing — N concurrent requests that fingerprint to
+// the same decision run exactly one search and fan its body out to all
+// subscribers (X-Cache: coalesced). Each search runs on a clone of a
+// per-system base Framework (the same isolation pattern as the
 // parallel experiment runner) and shares one EvalCache per
 // (system, benchmark) pair, so repeat traffic for the same pair reuses
 // op results across requests. Completed decisions land in an LRU cache
@@ -35,6 +42,15 @@
 // returns the byte-identical body (the fingerprint deliberately
 // excludes Workers and the eval cache, which change only wall-clock
 // time, never the decision).
+//
+// In a fleet (Config.Self + Config.Peers), the decision cache is
+// sharded across nodes by a consistent-hash ring over the same
+// fingerprint (internal/cluster): a non-owner node proxies /v1/scale
+// to the owner (X-Cache: remote) and computes locally only when the
+// owner is unreachable. Because bodies are pure functions of the
+// fingerprint, any node answers any request with byte-identical bytes —
+// sharding changes where work happens and caches live, never what the
+// client sees.
 package service
 
 import (
@@ -45,13 +61,16 @@ import (
 	"fmt"
 	"hash/fnv"
 	"log/slog"
+	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/hw"
@@ -68,6 +87,21 @@ type Config struct {
 	// it queue until a slot frees (or their client disconnects). 0
 	// selects GOMAXPROCS via scaler.Options.Normalize.
 	Workers int
+	// MaxQueue bounds the admission queue: requests beyond Workers wait
+	// here, and requests beyond MaxQueue are shed immediately with 429 +
+	// Retry-After. 0 selects 4x the resolved worker count.
+	MaxQueue int
+	// Self is this node's advertised address ("host:port") in a
+	// cluster; Peers is the rest of the membership. When Peers is
+	// non-empty, the decision cache is sharded across the fleet by a
+	// consistent-hash ring over the fingerprint: non-owner nodes proxy
+	// /v1/scale to the owner and fall back to local compute when it is
+	// unreachable. Empty Peers disables clustering.
+	Self  string
+	Peers []string
+	// ProxyClient issues proxied scale requests to peer nodes; nil
+	// selects a default client with a 2-minute timeout.
+	ProxyClient *http.Client
 	// CacheSize is the decision LRU capacity in entries; 0 selects 128.
 	CacheSize int
 	// Obs receives the service metrics (request counters, cache
@@ -97,19 +131,27 @@ type Server struct {
 	obs      *obs.Observer
 	mux      *http.ServeMux
 	handler  http.Handler // mux wrapped in the telemetry middleware
-	slots    chan struct{}
+	admit    *fairQueue
 	workload func(name string) *prog.Workload
 
-	logger       *slog.Logger
-	telemetryOff bool
-	start        time.Time
-	hub          *eventHub
-	latency      *obs.Histogram // http_request_seconds, fed by middleware
-	queueWait    *obs.Histogram // service_queue_wait_seconds, slot waits
+	logger        *slog.Logger
+	telemetryOff  bool
+	start         time.Time
+	hub           *eventHub
+	latency       *obs.Histogram // http_request_seconds, fed by middleware
+	queueWait     *obs.Histogram // service_queue_wait_seconds, slot waits
+	searchSeconds *obs.Histogram // service_search_seconds, drives deadline shedding
+
+	ring  *cluster.Ring // nil outside a cluster
+	self  string        // this node's ring identity
+	proxy *http.Client  // issues proxied scale requests
 
 	mu     sync.Mutex
 	bases  map[string]*core.Framework // per system preset, inspected once
 	caches map[string]*prog.EvalCache // per (system, benchmark) pair
+
+	fmu     sync.Mutex
+	flights map[string]*flight // fingerprint hex -> in-flight search
 
 	cmu     sync.Mutex
 	lru     *list.List               // front = most recent; values are *entry
@@ -155,21 +197,44 @@ func New(cfg Config) (*Server, error) {
 	if wl == nil {
 		wl = polybench.ByName
 	}
+	maxQueue := cfg.MaxQueue
+	if maxQueue == 0 {
+		maxQueue = 4 * opts.Workers
+	}
+	if maxQueue < 0 {
+		return nil, fmt.Errorf("service: negative MaxQueue %d", cfg.MaxQueue)
+	}
 	s := &Server{
-		obs:          o,
-		slots:        make(chan struct{}, opts.Workers),
-		workload:     wl,
-		logger:       cfg.Logger,
-		telemetryOff: cfg.DisableTelemetry,
-		start:        time.Now(),
-		hub:          newEventHub(),
-		latency:      o.Metrics().Histogram("http_request_seconds", obs.DefaultLatencyBuckets),
-		queueWait:    o.Metrics().Histogram("service_queue_wait_seconds", obs.DefaultLatencyBuckets),
-		bases:        map[string]*core.Framework{},
-		caches:       map[string]*prog.EvalCache{},
-		lru:          list.New(),
-		byID:         map[string]*list.Element{},
-		maxSize:      size,
+		obs:           o,
+		admit:         newFairQueue(opts.Workers, maxQueue, o.Metrics()),
+		workload:      wl,
+		logger:        cfg.Logger,
+		telemetryOff:  cfg.DisableTelemetry,
+		start:         time.Now(),
+		hub:           newEventHub(),
+		latency:       o.Metrics().Histogram("http_request_seconds", obs.DefaultLatencyBuckets),
+		queueWait:     o.Metrics().Histogram("service_queue_wait_seconds", obs.DefaultLatencyBuckets),
+		searchSeconds: o.Metrics().Histogram("service_search_seconds", obs.DefaultLatencyBuckets),
+		bases:         map[string]*core.Framework{},
+		caches:        map[string]*prog.EvalCache{},
+		flights:       map[string]*flight{},
+		lru:           list.New(),
+		byID:          map[string]*list.Element{},
+		maxSize:       size,
+	}
+	if len(cfg.Peers) > 0 {
+		if cfg.Self == "" {
+			return nil, fmt.Errorf("service: Peers set without Self")
+		}
+		ring, err := cluster.New(append([]string{cfg.Self}, cfg.Peers...), 0)
+		if err != nil {
+			return nil, fmt.Errorf("service: %w", err)
+		}
+		s.ring, s.self = ring, cfg.Self
+		s.proxy = cfg.ProxyClient
+		if s.proxy == nil {
+			s.proxy = &http.Client{Timeout: defaultProxyTimeout}
+		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/scale", s.handleScale)
@@ -194,7 +259,17 @@ func New(cfg Config) (*Server, error) {
 func (s *Server) Handler() http.Handler { return s.handler }
 
 // Workers returns the resolved worker-pool capacity.
-func (s *Server) Workers() int { return cap(s.slots) }
+func (s *Server) Workers() int { return s.admit.workers }
+
+// p99Search returns the observed p99 search duration in seconds (0
+// before the first completed search), the pace the admission controller
+// uses to estimate queue drain time.
+func (s *Server) p99Search() float64 {
+	if s.searchSeconds.Count() == 0 {
+		return 0
+	}
+	return s.searchSeconds.Quantile(0.99)
+}
 
 // framework returns the base Framework for a system preset, inspecting
 // it on first use. The base is never used to run searches directly —
@@ -369,8 +444,11 @@ func (s *Server) traceFor(id string) ([]byte, bool) {
 	return e.trace, true
 }
 
-// handleScale is POST /v1/scale: fingerprint, serve from cache, or run
-// the search on the worker pool under the request context.
+// handleScale is POST /v1/scale: fingerprint, serve from cache, proxy
+// to the fingerprint's owner node, coalesce onto an identical in-flight
+// search, or become the leader that runs the one search under admission
+// control. Whichever path answers, the body is the same bytes — a pure
+// function of the fingerprint.
 func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 	m := s.obs.Metrics()
 	m.Counter("service_requests", obs.L("endpoint", "scale")).Inc()
@@ -396,38 +474,78 @@ func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 		s.writeDecision(w, job.id, "hit", body)
 		return
 	}
-	m.Counter("service_cache", obs.L("result", "miss")).Inc()
+
+	// Ring ownership: a non-owner node proxies to the owner so the
+	// fleet's decision cache shards instead of duplicating. A request
+	// that was already forwarded once is always answered locally (no
+	// proxy loops), as is any request when the owner is unreachable —
+	// local compute produces the byte-identical body.
+	if s.ring != nil && r.Header.Get(headerForwarded) == "" {
+		if owner := s.ring.Owner(job.id); owner != s.self {
+			if s.proxyScale(w, r, req, job.id, owner) {
+				return
+			}
+		}
+	}
 
 	ctx := r.Context()
+	f, ref, leader := s.flightFor(job.id, ctx)
+	defer ref.leave()
+	if !leader {
+		// Single-flight coalescing: an identical search is already
+		// running; subscribe to its result instead of taking a slot.
+		m.Counter("service_cache", obs.L("result", "coalesced")).Inc()
+		s.awaitFlight(w, ctx, f)
+		return
+	}
+	m.Counter("service_cache", obs.L("result", "miss")).Inc()
+	// Abandon guard: if this handler unwinds without publishing an
+	// outcome (a panic outside fault.Guard), terminate the flight so
+	// coalesced subscribers get an error instead of hanging. Normal
+	// completion wins — flightDone is first-outcome-takes-all.
+	defer s.flightDone(f, nil, nil, errFlightAbandoned)
+
 	var rt *reqTelemetry // nil-safe throughout when telemetry is off
 	if !s.telemetryOff {
 		rt = s.newReqTelemetry(RequestIDFrom(ctx), job)
 	}
 
-	// Acquire a pool slot; a client that disconnects while queued never
-	// occupies one.
+	// Admission control. A request that cannot meet its declared
+	// deadline — or that finds the queue full — is shed before it costs
+	// anything; a client that disconnects while queued never occupies a
+	// slot. The search itself runs under the flight's context, which
+	// outlives this request as long as coalesced subscribers remain.
+	if se := s.admit.deadlineShed(deadlineMs(r), s.p99Search); se != nil {
+		s.shed(w, m, f, rt, se)
+		return
+	}
 	qWall := rt.now()
 	qStart := time.Now()
-	select {
-	case s.slots <- struct{}{}:
-	case <-ctx.Done():
-		err := ctxCause(ctx)
+	if err := s.admit.Acquire(f.ctx, clientID(r), s.p99Search); err != nil {
+		var se *shedError
+		if errors.As(err, &se) {
+			s.shed(w, m, f, rt, se)
+			return
+		}
 		rt.fail(err)
+		s.flightDone(f, nil, nil, err)
 		s.writeError(w, err)
 		return
 	}
-	defer func() { <-s.slots }()
+	defer s.admit.Release()
 	s.queueWait.Observe(time.Since(qStart).Seconds())
 	rt.queueWaited(qWall)
-	m.Gauge("service_workers_busy").Set(float64(len(s.slots)))
 	if s.testSearchStarted != nil {
-		s.testSearchStarted(ctx, job.w.Name)
+		s.testSearchStarted(f.ctx, job.w.Name)
 	}
 
-	body, err := s.runSearch(ctx, job, rt)
+	searchStart := time.Now()
+	body, err := s.runSearch(f.ctx, job, rt)
+	s.searchSeconds.Observe(time.Since(searchStart).Seconds())
 	if err != nil {
 		m.Counter("service_searches", obs.L("result", resultLabel(err))).Inc()
 		rt.fail(err)
+		s.flightDone(f, nil, nil, err)
 		s.writeError(w, err)
 		return
 	}
@@ -435,9 +553,63 @@ func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 	s.cmu.Lock()
 	s.misses++
 	s.cmu.Unlock()
-	s.store(job.id, body, rt.closeTrace())
+	s.flightDone(f, body, rt.closeTrace(), nil)
 	rt.done(job.id)
 	s.writeDecision(w, job.id, "miss", body)
+}
+
+// shed rejects a leader request (and with it the whole flight: queued
+// coalesced subscribers receive the same 429, having cost nothing).
+func (s *Server) shed(w http.ResponseWriter, m *obs.Registry, f *flight, rt *reqTelemetry, se *shedError) {
+	m.Counter("service_shed", obs.L("reason", se.reason)).Inc()
+	rt.fail(se)
+	s.flightDone(f, nil, nil, se)
+	s.writeError(w, se)
+}
+
+// awaitFlight blocks a coalesced subscriber until the flight's leader
+// publishes the result (fanned out verbatim) or the subscriber's own
+// client disconnects.
+func (s *Server) awaitFlight(w http.ResponseWriter, ctx context.Context, f *flight) {
+	select {
+	case <-f.done:
+		if f.err != nil {
+			s.writeError(w, f.err)
+			return
+		}
+		s.writeDecision(w, f.id, "coalesced", f.body)
+	case <-ctx.Done():
+		s.writeError(w, ctxCause(ctx))
+	}
+}
+
+// clientID keys the fair queue: an explicit X-Client-Id when the
+// client sent a sane one, else the remote host, so unidentified
+// traffic from one address shares one bucket.
+func clientID(r *http.Request) string {
+	if id := sanitizeRequestID(r.Header.Get(headerClientID)); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// deadlineMs reads the client's declared latency budget (X-Deadline-Ms);
+// 0 means none. Negative or malformed values are ignored rather than
+// rejected — the header is advisory.
+func deadlineMs(r *http.Request) int {
+	v := r.Header.Get(headerDeadline)
+	if v == "" {
+		return 0
+	}
+	ms, err := strconv.Atoi(v)
+	if err != nil || ms < 0 {
+		return 0
+	}
+	return ms
 }
 
 // runSearch executes the decision search for a prepared job on a clone
@@ -540,18 +712,36 @@ func (s *Server) Health() map[string]any {
 	cached := s.lru.Len()
 	hits, misses := s.hits, s.misses
 	s.cmu.Unlock()
-	return map[string]any{
-		"schema":          api.Schema,
-		"status":          "ok",
-		"workers":         cap(s.slots),
-		"busy":            len(s.slots),
-		"decisions":       cached,
-		"cache_hits":      hits,
-		"cache_miss":      misses,
-		"uptime_seconds":  time.Since(s.start).Seconds(),
-		"request_latency": latencySummary(s.latency),
-		"queue_wait":      latencySummary(s.queueWait),
+	// Per-(system, benchmark) eval-cache entry counts, keyed
+	// "system/benchmark", so load tests can verify cache behavior
+	// without scraping Prometheus.
+	evalCaches := map[string]int{}
+	s.mu.Lock()
+	for key, c := range s.caches {
+		evalCaches[strings.ReplaceAll(key, "\x00", "/")] = c.Entries()
 	}
+	s.mu.Unlock()
+	h := map[string]any{
+		"schema":             api.Schema,
+		"status":             "ok",
+		"workers":            s.admit.workers,
+		"busy":               s.admit.Busy(),
+		"queue_depth":        s.admit.Depth(),
+		"queue_capacity":     s.admit.maxQ,
+		"decisions":          cached,
+		"decisions_capacity": s.maxSize,
+		"cache_hits":         hits,
+		"cache_miss":         misses,
+		"eval_caches":        evalCaches,
+		"uptime_seconds":     time.Since(s.start).Seconds(),
+		"request_latency":    latencySummary(s.latency),
+		"queue_wait":         latencySummary(s.queueWait),
+		"search_time":        latencySummary(s.searchSeconds),
+	}
+	if s.ring != nil {
+		h["cluster"] = map[string]any{"self": s.self, "nodes": s.ring.Nodes()}
+	}
+	return h
 }
 
 // handleMetricsz is GET /v1/metricsz: the obs registry as CSV — the
@@ -607,9 +797,14 @@ const statusClientClosedRequest = 499
 // error is wrapped.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status, code := http.StatusInternalServerError, "internal"
+	retryAfter := 0
 	var nf *notFoundError
 	var pe *fault.PanicError
+	var se *shedError
 	switch {
+	case errors.As(err, &se):
+		status, code = http.StatusTooManyRequests, "overloaded"
+		retryAfter = se.retryAfter
 	case errors.As(err, &nf):
 		status, code = http.StatusNotFound, "not_found"
 	case errors.Is(err, scaler.ErrBadOptions), errors.Is(err, api.ErrBadRequest):
@@ -631,6 +826,12 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	}
 	s.obs.Metrics().Counter("service_errors", obs.L("code", code)).Inc()
 	w.Header().Set("Content-Type", "application/json")
+	if retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	}
 	w.WriteHeader(status)
-	api.Encode(w, &api.Error{Schema: api.Schema, Code: code, Message: err.Error()})
+	api.Encode(w, &api.Error{
+		Schema: api.Schema, Code: code, Message: err.Error(),
+		RetryAfterSeconds: retryAfter,
+	})
 }

@@ -395,6 +395,17 @@ func TestHealthzLatencySummaries(t *testing.T) {
 func TestMetricsEndpointConcurrent(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 4})
 
+	// Prime the request counter with one synchronous request so every
+	// scrape below must see the family — without it the first scrape
+	// races the first concurrent POST and can legitimately miss it.
+	resp0, err := http.Post(ts.URL+"/v1/scale", "application/json",
+		strings.NewReader(`{"benchmark":"veccombine"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp0.Body)
+	resp0.Body.Close()
+
 	var wg sync.WaitGroup
 	errs := make(chan error, 16)
 	for i := 0; i < 3; i++ {

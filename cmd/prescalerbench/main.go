@@ -30,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -37,6 +38,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"os/exec"
 	"runtime"
 	"sort"
 	"strings"
@@ -47,18 +49,21 @@ import (
 )
 
 type spec struct {
-	body   string
-	target string
-	client string
+	body    string
+	target  string
+	client  string
+	targets []string // full target list, for transport-failure retries
 }
 
 type result struct {
 	status  int
 	cache   string
 	origin  string
+	route   string
 	id      string
 	bodySum uint64
 	latency time.Duration
+	retried int // transport-level retries before this outcome
 	err     error
 }
 
@@ -74,6 +79,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "shuffle seed for the request mix")
 	out := flag.String("o", "", "write the prescaler-bench/v1 JSON summary to this file")
 	assertSearches := flag.Int("assert-searches", -1, "fail unless exactly this many responses were X-Cache: miss (-1 disables)")
+	retries := flag.Int("retries", 1, "transport-failure retries per request, each against the next target (what a load balancer would do when a node dies mid-request); 0 disables")
+	killAfter := flag.Duration("kill-after", 0, "run -kill-cmd this long after the load starts (chaos hook; 0 disables)")
+	killCmd := flag.String("kill-cmd", "", "shell command for the -kill-after hook, e.g. 'kill -9 $NODE_PID'")
+	restartAfter := flag.Duration("restart-after", 0, "run -restart-cmd this long after the load starts (chaos hook; 0 disables)")
+	restartCmd := flag.String("restart-cmd", "", "shell command for the -restart-after hook, e.g. a script restarting the killed node; a command that starts a server must background it ('prescalerd ... &')")
 	flag.Parse()
 
 	targetList := strings.Split(*targets, ",")
@@ -100,6 +110,7 @@ func main() {
 		}
 		specs[i].target = targetList[i%len(targetList)]
 		specs[i].client = fmt.Sprintf("bench-%d", i%*clients)
+		specs[i].targets = targetList
 	}
 	rand.New(rand.NewSource(*seed)).Shuffle(len(specs), func(i, j int) {
 		specs[i], specs[j] = specs[j], specs[i]
@@ -117,12 +128,15 @@ func main() {
 	var rmu sync.Mutex
 	var wg sync.WaitGroup
 	start := time.Now()
+	var hooks sync.WaitGroup
+	scheduleHook(&hooks, *killAfter, *killCmd, "kill")
+	scheduleHook(&hooks, *restartAfter, *restartCmd, "restart")
 	for w := 0; w < *c; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for sp := range work {
-				r := shoot(httpc, sp, *deadlineMs)
+				r := shoot(httpc, sp, *deadlineMs, *retries)
 				rmu.Lock()
 				results = append(results, r)
 				rmu.Unlock()
@@ -135,8 +149,16 @@ func main() {
 	close(work)
 	wg.Wait()
 	elapsed := time.Since(start)
+	// A -restart-after beyond the load's natural end still fires: CI
+	// recipes rely on the restarted node being back before we exit.
+	hooks.Wait()
 
 	summary, failures := aggregate(results, targetList, *c, elapsed, *assertSearches)
+	if *killAfter > 0 || *restartAfter > 0 {
+		if summary.Failover == nil {
+			summary.Failover = &benchfmt.Failover{}
+		}
+	}
 	printSummary(summary)
 	if *out != "" {
 		f := &benchfmt.File{
@@ -156,9 +178,61 @@ func main() {
 	}
 }
 
-// shoot issues one request and classifies the response.
-func shoot(httpc *http.Client, sp spec, deadlineMs int) result {
-	req, err := http.NewRequest("POST", sp.target+"/v1/scale", strings.NewReader(sp.body))
+// hookTimeout caps how long a chaos hook command may run. A command
+// that starts a server in the foreground would otherwise block the
+// bench forever in hooks.Wait(); such commands must background the
+// server themselves ('prescalerd ... &').
+const hookTimeout = 60 * time.Second
+
+// scheduleHook arranges for a chaos hook command to run after a delay
+// from the load start. The command runs through `sh -c`, so CI can pass
+// "kill -9 $PID" or a restart script.
+func scheduleHook(hooks *sync.WaitGroup, after time.Duration, cmd, label string) {
+	if after <= 0 || cmd == "" {
+		return
+	}
+	hooks.Add(1)
+	go func() {
+		defer hooks.Done()
+		time.Sleep(after)
+		ctx, cancel := context.WithTimeout(context.Background(), hookTimeout)
+		defer cancel()
+		out, err := exec.CommandContext(ctx, "sh", "-c", cmd).CombinedOutput()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "prescalerbench: %s hook failed: %v: %s\n", label, err, out)
+			return
+		}
+		fmt.Printf("%s hook fired after %s\n", label, after)
+	}()
+}
+
+// shoot issues one request and classifies the response. A transport
+// failure (the target died mid-request) is retried up to `retries`
+// times, each against the next target in the ring — the behavior a
+// client gets from any load balancer in front of the fleet.
+func shoot(httpc *http.Client, sp spec, deadlineMs, retries int) result {
+	target := sp.target
+	t0 := time.Now()
+	for attempt := 0; ; attempt++ {
+		r := shootOnce(httpc, target, sp, deadlineMs)
+		r.retried = attempt
+		r.latency = time.Since(t0)
+		if r.err == nil || attempt >= retries || len(sp.targets) < 2 {
+			return r
+		}
+		// Rotate to the next target for the retry.
+		for i, t := range sp.targets {
+			if t == target {
+				target = sp.targets[(i+1)%len(sp.targets)]
+				break
+			}
+		}
+	}
+}
+
+// shootOnce is a single request/response exchange.
+func shootOnce(httpc *http.Client, target string, sp spec, deadlineMs int) result {
+	req, err := http.NewRequest("POST", target+"/v1/scale", strings.NewReader(sp.body))
 	if err != nil {
 		return result{err: err}
 	}
@@ -167,20 +241,19 @@ func shoot(httpc *http.Client, sp spec, deadlineMs int) result {
 	if deadlineMs > 0 {
 		req.Header.Set("X-Deadline-Ms", fmt.Sprint(deadlineMs))
 	}
-	t0 := time.Now()
 	resp, err := httpc.Do(req)
 	if err != nil {
-		return result{err: err, latency: time.Since(t0)}
+		return result{err: err}
 	}
 	body, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	r := result{
-		status:  resp.StatusCode,
-		cache:   resp.Header.Get("X-Cache"),
-		origin:  resp.Header.Get("X-Cache-Origin"),
-		id:      resp.Header.Get("X-Decision-Id"),
-		latency: time.Since(t0),
-		err:     err,
+		status: resp.StatusCode,
+		cache:  resp.Header.Get("X-Cache"),
+		origin: resp.Header.Get("X-Cache-Origin"),
+		route:  resp.Header.Get("X-Cluster-Route"),
+		id:     resp.Header.Get("X-Decision-Id"),
+		err:    err,
 	}
 	if r.err == nil && r.status == http.StatusOK {
 		h := fnv.New64a()
@@ -202,12 +275,29 @@ func aggregate(results []result, targets []string, c int, elapsed time.Duration,
 	latencies := make([]float64, 0, len(results))
 	sums := map[string]uint64{} // decision id -> body hash
 	mismatches := 0
+	var fo benchfmt.Failover
 	for _, r := range results {
+		fo.TransportRetries += r.retried
 		if r.err != nil {
 			s.Errors++
 			continue
 		}
 		latencies = append(latencies, float64(r.latency)/float64(time.Millisecond))
+		switch r.route {
+		case "":
+		case "primary", "replica-0":
+			fo.PrimaryAnswers++
+		case "fallback":
+			fo.LocalFallbacks++
+			if r.cache == "miss" {
+				fo.Recomputes++
+			}
+		default: // replica-<i>, i >= 1
+			fo.ReplicaAnswers++
+			if r.cache == "miss" || (r.cache == "remote" && r.origin == "miss") {
+				fo.Recomputes++
+			}
+		}
 		switch {
 		case r.status == http.StatusTooManyRequests:
 			s.Shed++
@@ -255,6 +345,9 @@ func aggregate(results []result, targets []string, c int, elapsed time.Duration,
 	if len(latencies) > 0 {
 		s.MaxMs = latencies[len(latencies)-1]
 	}
+	if fo != (benchfmt.Failover{}) {
+		s.Failover = &fo
+	}
 
 	failures := 0
 	if mismatches > 0 {
@@ -280,4 +373,8 @@ func printSummary(s *benchfmt.Service) {
 	fmt.Printf("cache      hit %d  miss %d  coalesced %d  remote %d\n",
 		s.Hits, s.Misses, s.Coalesced, s.Remote)
 	fmt.Printf("searches %d  shed %d  errors %d\n", s.Searches, s.Shed, s.Errors)
+	if f := s.Failover; f != nil {
+		fmt.Printf("failover   primary %d  replica %d  fallback %d  recompute %d  retried %d\n",
+			f.PrimaryAnswers, f.ReplicaAnswers, f.LocalFallbacks, f.Recomputes, f.TransportRetries)
+	}
 }

@@ -23,6 +23,16 @@
 //	prescalerd -addr 127.0.0.1:8080 -peers 127.0.0.1:8081 &
 //	prescalerd -addr 127.0.0.1:8081 -peers 127.0.0.1:8080 &
 //
+// The fleet is resilient to node death: every node actively probes its
+// peers (-probe-interval) and excludes dead ones from the effective
+// ring, per-peer circuit breakers stop proxy attempts to a down node
+// after a few fast failures, and with -replication N each decision is
+// owned by N ring successors — the primary computes and pushes the body
+// to the other replicas, so when it dies, requests fail over to a
+// replica that already has the answer cached. -persist-dir adds a
+// crash-safe decision journal: a node killed outright replays its
+// decisions at startup and serves its hot set as cache hits.
+//
 // Every request gets a structured log line (slog; -log-format/-log-level)
 // carrying an X-Request-Id that is also echoed to the client.
 // -debug-addr opens a second listener serving net/http/pprof — never
@@ -64,6 +74,9 @@ func main() {
 	maxQueue := flag.Int("max-queue", 0, "admission queue capacity; requests beyond it are shed with 429; 0 selects 4x workers")
 	peers := flag.String("peers", "", "comma-separated peer addresses forming a cluster (this node is added automatically); empty runs standalone")
 	self := flag.String("self", "", "this node's advertised address in the cluster; defaults to -addr")
+	replication := flag.Int("replication", 2, "ring owners per decision fingerprint in a cluster: the primary computes and warms the others, requests fail over through the list; 1 disables replication (pure sharding)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "peer health-probe interval; a dead peer leaves the effective ring within about one interval")
+	persistDir := flag.String("persist-dir", "", "directory for the crash-safe decision journal; decisions are replayed into the cache on restart; empty disables persistence")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight searches before they are canceled")
 	logFormat := flag.String("log-format", "text", "request log format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
@@ -84,11 +97,12 @@ func main() {
 	}
 
 	cfg := service.Config{
-		Workers:   *workers,
-		CacheSize: *cacheSize,
-		MaxQueue:  *maxQueue,
-		Obs:       obs.New(),
-		Logger:    logger,
+		Workers:    *workers,
+		CacheSize:  *cacheSize,
+		MaxQueue:   *maxQueue,
+		Obs:        obs.New(),
+		Logger:     logger,
+		PersistDir: *persistDir,
 	}
 	if *peers != "" {
 		cfg.Self = *self
@@ -100,6 +114,8 @@ func main() {
 				cfg.Peers = append(cfg.Peers, p)
 			}
 		}
+		cfg.Replication = *replication
+		cfg.ProbeInterval = *probeInterval
 	}
 	srv, err := service.New(cfg)
 	if err != nil {
@@ -157,6 +173,11 @@ func main() {
 			fatalf("health artifact: %v", err)
 		}
 		logger.Info("wrote health artifact", "path", *healthArtifact)
+	}
+	// Stop the prober and drain the decision journal (final compaction
+	// into the snapshot) after the last request has been answered.
+	if err := srv.Close(); err != nil {
+		fatalf("close: %v", err)
 	}
 	logger.Info("bye")
 }

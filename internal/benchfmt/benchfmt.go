@@ -48,6 +48,34 @@ type Service struct {
 	// cluster: local misses plus proxied responses whose owner missed
 	// (X-Cache: remote with X-Cache-Origin: miss).
 	Searches int `json:"searches"`
+	// Failover summarizes how traffic routed across replica slots
+	// (X-Cluster-Route); present when the run saw any cluster-routed
+	// responses or used the kill/restart chaos hooks.
+	Failover *Failover `json:"failover,omitempty"`
+}
+
+// Failover is the chaos accounting of one load run: how many responses
+// were answered by the primary replica versus a failover path, and how
+// much work a node death actually cost.
+type Failover struct {
+	// PrimaryAnswers counts responses answered by the fingerprint's
+	// primary owner (X-Cluster-Route "primary").
+	PrimaryAnswers int `json:"primary_answers"`
+	// ReplicaAnswers counts responses answered by a non-primary replica
+	// (X-Cluster-Route "replica-<i>", i >= 1): the primary was down or
+	// unreachable and a warmed replica took over.
+	ReplicaAnswers int `json:"replica_answers"`
+	// LocalFallbacks counts responses computed by a node outside the
+	// replica set because every replica was unreachable
+	// (X-Cluster-Route "fallback").
+	LocalFallbacks int `json:"local_fallbacks"`
+	// Recomputes counts failover answers (replica or fallback) that had
+	// to run the search — the replication cache-warming missed them.
+	Recomputes int `json:"recomputes"`
+	// TransportRetries counts requests whose first attempt failed at
+	// the transport level (e.g. the target was SIGKILLed mid-request)
+	// and were retried against another target.
+	TransportRetries int `json:"transport_retries"`
 }
 
 // File is the on-disk summary format. Microbenchmark summaries fill

@@ -108,6 +108,43 @@ func (r *Ring) ownerHash(h uint64) string {
 	return r.points[i].node
 }
 
+// OwnerN returns the n distinct nodes that own a key, in ring-successor
+// order: the first element is Owner(key), the rest are the next
+// distinct nodes walking clockwise from it. This is the replica set for
+// a replication factor of n — because every node builds the identical
+// ring, every node computes the identical replica list, and because the
+// walk continues from the primary's position, losing the primary
+// promotes exactly the next replica (the consistent-hash property that
+// makes failover cheap). n beyond the node count returns every node;
+// n <= 0 returns nil.
+func (r *Ring) OwnerN(key string, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	sum := h.Sum64()
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= sum })
+	owners := make([]string, 0, n)
+	for j := 0; j < len(r.points) && len(owners) < n; j++ {
+		node := r.points[(i+j)%len(r.points)].node
+		dup := false
+		for _, o := range owners {
+			if o == node {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			owners = append(owners, node)
+		}
+	}
+	return owners
+}
+
 // Nodes returns the sorted, deduplicated membership.
 func (r *Ring) Nodes() []string {
 	return append([]string(nil), r.nodes...)

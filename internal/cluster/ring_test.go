@@ -117,3 +117,138 @@ func TestRingContains(t *testing.T) {
 		t.Errorf("Nodes = %v, want sorted [a:1 b:1]", got)
 	}
 }
+
+// OwnerN must return distinct nodes in ring-successor order, with the
+// primary first, clamp n to the node count, and agree call-to-call.
+func TestRingOwnerN(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1", "d:1"}
+	r, err := New(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 512; i++ {
+		key := fmt.Sprintf("%016x", uint64(i)*0x9e3779b97f4a7c15)
+		owners := r.OwnerN(key, 2)
+		if len(owners) != 2 {
+			t.Fatalf("key %s: OwnerN(2) = %v", key, owners)
+		}
+		if owners[0] != r.Owner(key) {
+			t.Fatalf("key %s: OwnerN[0] = %q, Owner = %q", key, owners[0], r.Owner(key))
+		}
+		if owners[0] == owners[1] {
+			t.Fatalf("key %s: duplicate owners %v", key, owners)
+		}
+		if again := r.OwnerN(key, 2); again[0] != owners[0] || again[1] != owners[1] {
+			t.Fatalf("key %s: OwnerN changed across calls: %v -> %v", key, owners, again)
+		}
+	}
+}
+
+// n at or beyond the node count returns every node exactly once; n <= 0
+// returns nil.
+func TestRingOwnerNClamps(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1"}
+	r, err := New(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{3, 4, 100} {
+		owners := r.OwnerN("some-key", n)
+		if len(owners) != 3 {
+			t.Fatalf("OwnerN(%d) = %v, want all 3 nodes", n, owners)
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("OwnerN(%d) repeats %q: %v", n, o, owners)
+			}
+			seen[o] = true
+		}
+	}
+	if got := r.OwnerN("some-key", 0); got != nil {
+		t.Errorf("OwnerN(0) = %v, want nil", got)
+	}
+	if got := r.OwnerN("some-key", -1); got != nil {
+		t.Errorf("OwnerN(-1) = %v, want nil", got)
+	}
+}
+
+// Losing the primary must promote the next replica: the reduced ring's
+// owner is the full ring's second owner for every key the lost node
+// owned (the property that makes failover hit a warmed cache).
+func TestRingOwnerNPromotionOnNodeLoss(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1", "d:1"}
+	full, err := New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := New([]string{"a:1", "b:1", "d:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for i := 0; i < 4096; i++ {
+		key := fmt.Sprintf("%016x", uint64(i)*0x9e3779b97f4a7c15)
+		owners := full.OwnerN(key, 2)
+		if owners[0] != "c:1" {
+			continue
+		}
+		checked++
+		want := owners[1]
+		if want == "c:1" {
+			t.Fatalf("key %s: replica list repeats the primary: %v", key, owners)
+		}
+		if got := reduced.Owner(key); got != want {
+			t.Errorf("key %s: after losing c:1 owner = %q, want promoted replica %q", key, got, want)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no keys owned by c:1 — implausible distribution")
+	}
+}
+
+// Churn bound: removing one node from a fleet of n moves roughly 1/n of
+// the keys and never the keys of surviving owners. Table-driven across
+// fleet sizes.
+func TestRingChurnBound(t *testing.T) {
+	for _, size := range []int{3, 5, 8} {
+		t.Run(fmt.Sprintf("fleet-%d", size), func(t *testing.T) {
+			var members []string
+			for i := 0; i < size; i++ {
+				members = append(members, fmt.Sprintf("node%d:1", i))
+			}
+			full, err := New(members, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lost := members[size-1]
+			reduced, err := New(members[:size-1], 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 20000
+			moved := 0
+			for i := 0; i < n; i++ {
+				key := fmt.Sprintf("%016x", uint64(i)*0x9e3779b97f4a7c15)
+				before, after := full.Owner(key), reduced.Owner(key)
+				if before != lost && before != after {
+					t.Fatalf("key %s: surviving owner moved %q -> %q", key, before, after)
+				}
+				if before != after {
+					moved++
+				}
+			}
+			share := float64(moved) / n
+			ideal := 1.0 / float64(size)
+			// Allow 2x the ideal share: vnode placement is uneven on small
+			// fleets, but removal must never reshuffle wholesale.
+			if share > 2*ideal {
+				t.Errorf("removal moved %.1f%% of keys, want <= %.1f%% (~1/n with slack)",
+					share*100, 2*ideal*100)
+			}
+			if moved == 0 {
+				t.Error("removal moved nothing — implausible")
+			}
+		})
+	}
+}

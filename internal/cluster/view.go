@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// View is an epoch'd, liveness-aware membership view: the static seed
+// list a fleet was started with (the -peers flag) overlaid with the
+// health prober's up/down verdicts. The effective Ring is rebuilt over
+// the live subset on every liveness transition, and Epoch counts the
+// rebuilds, so "which ring answered this request" is a single number in
+// logs and metrics.
+//
+// Determinism is the point: the ring over a live set is a pure function
+// of that set (members are sorted and hashed identically everywhere),
+// so any two nodes whose probers agree about who is down compute the
+// identical effective ring — no membership protocol, no coordinator.
+// During the window where probers transiently disagree, nodes may route
+// a fingerprint to different owners; that is safe, never just
+// tolerable, because a decision body is a pure function of the
+// fingerprint and any node can always compute it locally.
+type View struct {
+	mu       sync.Mutex
+	replicas int
+	seed     []string        // sorted, deduplicated full membership
+	down     map[string]bool // liveness overlay; absent = up
+	epoch    uint64
+	ring     *Ring // current effective ring, rebuilt on transitions
+}
+
+// NewView builds a view in which every seed member starts alive, at
+// epoch 1. replicas is the virtual-point count per node (0 selects
+// DefaultReplicas), forwarded to every ring rebuild.
+func NewView(members []string, replicas int) (*View, error) {
+	ring, err := New(members, replicas)
+	if err != nil {
+		return nil, err
+	}
+	return &View{
+		replicas: replicas,
+		seed:     ring.Nodes(),
+		down:     map[string]bool{},
+		epoch:    1,
+		ring:     ring,
+	}, nil
+}
+
+// Ring returns the current effective ring (live members only). The
+// returned ring is immutable; hold it for the duration of one routing
+// decision rather than re-fetching per lookup, so a single request sees
+// one consistent membership epoch.
+func (v *View) Ring() *Ring {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.ring
+}
+
+// Epoch returns the current membership epoch. It starts at 1 and
+// increments on every effective liveness transition.
+func (v *View) Epoch() uint64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.epoch
+}
+
+// SetAlive records a liveness verdict for a seed member and reports
+// whether the effective ring changed (and the epoch advanced). Verdicts
+// for unknown nodes and verdicts matching the current state are no-ops.
+// A verdict that would leave the live set empty is refused: a view must
+// always be able to answer Owner, and the caller (which never probes
+// itself) always has at least itself to fall back on.
+func (v *View) SetAlive(node string, alive bool) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	i := sort.SearchStrings(v.seed, node)
+	if i >= len(v.seed) || v.seed[i] != node {
+		return false
+	}
+	if v.down[node] == !alive {
+		return false
+	}
+	if !alive && len(v.liveLocked()) == 1 {
+		return false
+	}
+	if alive {
+		delete(v.down, node)
+	} else {
+		v.down[node] = true
+	}
+	ring, err := New(v.liveLocked(), v.replicas)
+	if err != nil {
+		// Unreachable given the emptiness guard above; keep the old ring
+		// rather than panic in a health-path callback.
+		return false
+	}
+	v.ring = ring
+	v.epoch++
+	return true
+}
+
+// liveLocked returns the live members. Caller holds v.mu.
+func (v *View) liveLocked() []string {
+	live := make([]string, 0, len(v.seed))
+	for _, n := range v.seed {
+		if !v.down[n] {
+			live = append(live, n)
+		}
+	}
+	return live
+}
+
+// Seed returns the full (sorted, deduplicated) static membership.
+func (v *View) Seed() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return append([]string(nil), v.seed...)
+}
+
+// Live returns the members currently considered alive, sorted.
+func (v *View) Live() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.liveLocked()
+}
+
+// Alive reports the current liveness verdict for a node. Nodes outside
+// the seed membership are never alive.
+func (v *View) Alive(node string) bool {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	i := sort.SearchStrings(v.seed, node)
+	return i < len(v.seed) && v.seed[i] == node && !v.down[node]
+}
+
+// String renders the view for logs: live/seed counts and the epoch.
+func (v *View) String() string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return fmt.Sprintf("epoch %d: %d/%d live", v.epoch, len(v.seed)-len(v.down), len(v.seed))
+}

@@ -1,0 +1,142 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestViewStartsAllAliveAtEpochOne(t *testing.T) {
+	v, err := NewView([]string{"b:1", "a:1", "c:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Epoch(); got != 1 {
+		t.Errorf("Epoch = %d, want 1", got)
+	}
+	want := []string{"a:1", "b:1", "c:1"}
+	if got := v.Seed(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Seed = %v, want %v", got, want)
+	}
+	if got := v.Live(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Live = %v, want %v", got, want)
+	}
+	for _, n := range want {
+		if !v.Alive(n) {
+			t.Errorf("Alive(%s) = false at start", n)
+		}
+	}
+	if v.Alive("stranger:1") {
+		t.Error("Alive(non-member) = true")
+	}
+}
+
+func TestViewSetAliveRebuildsRingAndEpoch(t *testing.T) {
+	v, err := NewView([]string{"a:1", "b:1", "c:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.SetAlive("b:1", false) {
+		t.Fatal("SetAlive(b, down) reported no change")
+	}
+	if got := v.Epoch(); got != 2 {
+		t.Errorf("Epoch after one transition = %d, want 2", got)
+	}
+	if got := v.Live(); !reflect.DeepEqual(got, []string{"a:1", "c:1"}) {
+		t.Errorf("Live = %v, want [a:1 c:1]", got)
+	}
+	// The effective ring excludes the down node: no key routes to it.
+	r := v.Ring()
+	for i := 0; i < 1024; i++ {
+		if o := r.Owner(fmt.Sprintf("key-%d", i)); o == "b:1" {
+			t.Fatal("down node still owns keys on the effective ring")
+		}
+	}
+	// Recovery rebuilds again.
+	if !v.SetAlive("b:1", true) {
+		t.Fatal("SetAlive(b, up) reported no change")
+	}
+	if got := v.Epoch(); got != 3 {
+		t.Errorf("Epoch after recovery = %d, want 3", got)
+	}
+	if got := v.Live(); !reflect.DeepEqual(got, []string{"a:1", "b:1", "c:1"}) {
+		t.Errorf("Live after recovery = %v", got)
+	}
+}
+
+func TestViewSetAliveNoOps(t *testing.T) {
+	v, err := NewView([]string{"a:1", "b:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.SetAlive("stranger:1", false) {
+		t.Error("verdict for unknown node changed the view")
+	}
+	if v.SetAlive("a:1", true) {
+		t.Error("already-up verdict changed the view")
+	}
+	if got := v.Epoch(); got != 1 {
+		t.Errorf("Epoch after no-ops = %d, want 1", got)
+	}
+}
+
+// A verdict that would empty the live set is refused: the view must
+// always be able to answer Owner.
+func TestViewRefusesEmptyLiveSet(t *testing.T) {
+	v, err := NewView([]string{"a:1", "b:1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.SetAlive("b:1", false) {
+		t.Fatal("first down verdict refused")
+	}
+	if v.SetAlive("a:1", false) {
+		t.Error("down verdict emptying the live set was accepted")
+	}
+	if got := v.Live(); !reflect.DeepEqual(got, []string{"a:1"}) {
+		t.Errorf("Live = %v, want the last survivor [a:1]", got)
+	}
+	if v.Ring() == nil {
+		t.Error("Ring nil after refused transition")
+	}
+}
+
+// Epoch determinism: two views fed the identical probe-state sequence
+// land on the same epoch and byte-identical effective rings — the
+// property that lets a fleet converge without a membership protocol.
+func TestViewDeterminismFromIdenticalProbeStates(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1", "d:1"}
+	mk := func() *View {
+		v, err := NewView(members, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	v1, v2 := mk(), mk()
+	transitions := []struct {
+		node  string
+		alive bool
+	}{
+		{"c:1", false}, {"a:1", false}, {"c:1", true}, {"d:1", false}, {"a:1", true},
+	}
+	for _, tr := range transitions {
+		r1 := v1.SetAlive(tr.node, tr.alive)
+		r2 := v2.SetAlive(tr.node, tr.alive)
+		if r1 != r2 {
+			t.Fatalf("transition %v: views disagree on change (%v vs %v)", tr, r1, r2)
+		}
+		if e1, e2 := v1.Epoch(), v2.Epoch(); e1 != e2 {
+			t.Fatalf("transition %v: epochs diverged (%d vs %d)", tr, e1, e2)
+		}
+		for i := 0; i < 256; i++ {
+			key := fmt.Sprintf("%016x", uint64(i)*0x9e3779b97f4a7c15)
+			if o1, o2 := v1.Ring().Owner(key), v2.Ring().Owner(key); o1 != o2 {
+				t.Fatalf("transition %v, key %s: owners diverged (%q vs %q)", tr, key, o1, o2)
+			}
+		}
+	}
+	if got := v1.Live(); !reflect.DeepEqual(got, []string{"a:1", "b:1", "c:1"}) {
+		t.Errorf("final Live = %v, want [a:1 b:1 c:1]", got)
+	}
+}

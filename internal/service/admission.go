@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/rand"
 	"sync"
 
 	"repro/internal/obs"
@@ -59,6 +60,11 @@ type fairQueue struct {
 
 	depthGauge *obs.Gauge // service_queue_depth
 	busyGauge  *obs.Gauge // service_workers_busy
+
+	// jitter sources the ±20% spread on Retry-After estimates, so a
+	// burst of shed clients doesn't retry in one synchronized wave.
+	// Returns a value in [-1, 1); tests pin it for determinism.
+	jitter func() float64
 }
 
 func newFairQueue(workers, maxQueue int, m *obs.Registry) *fairQueue {
@@ -68,6 +74,7 @@ func newFairQueue(workers, maxQueue int, m *obs.Registry) *fairQueue {
 		queues:     map[string][]*waiter{},
 		depthGauge: m.Gauge("service_queue_depth"),
 		busyGauge:  m.Gauge("service_workers_busy"),
+		jitter:     func() float64 { return 2*rand.Float64() - 1 },
 	}
 }
 
@@ -103,7 +110,7 @@ func (q *fairQueue) Acquire(ctx context.Context, client string, p99 func() float
 		q.mu.Unlock()
 		return &shedError{
 			reason:     "queue_full",
-			retryAfter: retryAfterSeconds(depth, q.workers, p99()),
+			retryAfter: q.retryAfterSeconds(depth, p99()),
 			detail:     fmt.Sprintf("admission queue at capacity (%d queued, %d workers)", depth, q.workers),
 		}
 	}
@@ -185,16 +192,21 @@ func (q *fairQueue) releaseLocked() {
 
 // retryAfterSeconds estimates when a shed client should retry: the
 // queue ahead of it divided by the worker pool, paced by the observed
-// p99 search time. Clamped to [1, 60] — Retry-After is a hint, not a
-// promise.
-func retryAfterSeconds(depth, workers int, p99 float64) int {
+// p99 search time, spread by ±20% jitter so the clients shed during one
+// overload spike don't all come back in the same second. The jittered
+// value goes to both the Retry-After header and the JSON
+// retry_after_seconds field. Clamped to [1, 60] — Retry-After is a
+// hint, not a promise.
+func (q *fairQueue) retryAfterSeconds(depth int, p99 float64) int {
+	workers := q.workers
 	if workers < 1 {
 		workers = 1
 	}
 	if p99 <= 0 {
 		p99 = 0.1 // no observations yet: assume a fast search
 	}
-	est := math.Ceil(float64(depth+1) / float64(workers) * p99)
+	est := float64(depth+1) / float64(workers) * p99
+	est = math.Ceil(est * (1 + 0.2*q.jitter()))
 	if est < 1 {
 		est = 1
 	}
@@ -228,7 +240,7 @@ func (q *fairQueue) deadlineShed(deadlineMs int, p99 func() float64) *shedError 
 	}
 	return &shedError{
 		reason:     "deadline",
-		retryAfter: retryAfterSeconds(depth, workers, p),
+		retryAfter: q.retryAfterSeconds(depth, p),
 		detail: fmt.Sprintf("estimated completion %.0fms exceeds deadline %dms (p99 search %.0fms, %d queued)",
 			estMs, deadlineMs, p*1e3, depth),
 	}

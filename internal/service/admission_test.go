@@ -285,3 +285,44 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// Retry-After estimates carry ±20% jitter so shed clients don't retry
+// in one synchronized wave. Pinned jitter makes the spread exact.
+func TestRetryAfterJitter(t *testing.T) {
+	q := newFairQueue(1, 4, obs.New().Metrics())
+	// depth 4, 1 worker, p99 2s: base estimate (4+1)/1*2 = 10s.
+	cases := []struct {
+		jitter float64
+		want   int
+	}{
+		{0, 10},   // no spread
+		{1, 12},   // +20%
+		{-1, 8},   // -20%
+		{0.5, 11}, // +10%
+	}
+	for _, c := range cases {
+		q.jitter = func() float64 { return c.jitter }
+		if got := q.retryAfterSeconds(4, 2); got != c.want {
+			t.Errorf("jitter %+.1f: retryAfterSeconds = %d, want %d", c.jitter, got, c.want)
+		}
+	}
+	// The clamp bounds whatever the jitter does: never below 1s, never
+	// above 60s.
+	q.jitter = func() float64 { return -1 }
+	if got := q.retryAfterSeconds(0, 0.01); got != 1 {
+		t.Errorf("tiny estimate = %d, want clamped to 1", got)
+	}
+	q.jitter = func() float64 { return 1 }
+	if got := q.retryAfterSeconds(1000, 10); got != 60 {
+		t.Errorf("huge estimate = %d, want clamped to 60", got)
+	}
+	// The default jitter source stays inside [-1, 1): a sampled run must
+	// keep estimates within the ±20% band around the 10s base.
+	q = newFairQueue(1, 4, obs.New().Metrics())
+	for i := 0; i < 200; i++ {
+		got := q.retryAfterSeconds(4, 2)
+		if got < 8 || got > 12 {
+			t.Fatalf("default jitter produced %d, outside [8, 12]", got)
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package service
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// breakerState is the classic three-state circuit-breaker machine.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // healthy: requests flow
+	breakerHalfOpen                     // backoff elapsed: one trial request probes the peer
+	breakerOpen                         // peer considered down: requests skip it instantly
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "open"
+	}
+}
+
+// Breaker tuning. Defaults are chosen so a dead peer costs
+// defaultBreakerThreshold fast connection failures before every
+// subsequent request skips it without dialing, and a recovered peer is
+// re-admitted within a couple of seconds.
+const (
+	defaultBreakerThreshold = 3
+	defaultBreakerBackoff   = 500 * time.Millisecond
+	defaultBreakerMax       = 30 * time.Second
+)
+
+// breaker is a per-peer circuit breaker guarding the proxy path.
+// Closed, consecutive failures up to the threshold trip it open; while
+// open, Allow refuses instantly until the backoff elapses, then admits
+// exactly one half-open trial. A trial success closes the breaker and
+// resets the backoff; a trial failure re-opens it with the backoff
+// doubled (capped, and jittered so a fleet's breakers don't retry a
+// recovering peer in lockstep). The health prober can also force the
+// state directly — probe-down opens, probe-up closes — so a peer's
+// death is reflected within one probe interval even on a node that
+// never proxied to it.
+type breaker struct {
+	mu      sync.Mutex
+	state   breakerState
+	fails   int           // consecutive failures while closed
+	until   time.Time     // while open: earliest half-open trial
+	backoff time.Duration // current open→half-open delay
+	trial   bool          // half-open probe currently in flight
+
+	threshold int
+	base, max time.Duration
+	now       func() time.Time // test hook; time.Now in production
+	jitter    func() float64   // test hook; [0,1) multiplier source
+	gauge     *obs.Gauge       // service_breaker_state{peer}: 0/1/2
+}
+
+func newBreaker(gauge *obs.Gauge) *breaker {
+	b := &breaker{
+		threshold: defaultBreakerThreshold,
+		base:      defaultBreakerBackoff,
+		max:       defaultBreakerMax,
+		backoff:   defaultBreakerBackoff,
+		now:       time.Now,
+		jitter:    rand.Float64,
+		gauge:     gauge,
+	}
+	b.publish()
+	return b
+}
+
+// publish mirrors the state into the gauge. Caller holds b.mu (or the
+// breaker is not yet shared).
+func (b *breaker) publish() {
+	if b.gauge != nil {
+		b.gauge.Set(float64(b.state))
+	}
+}
+
+// Allow reports whether a request may be sent to the peer right now.
+// While open it flips to half-open once the backoff has elapsed and
+// admits a single trial; the caller must report the trial's outcome
+// through Success or Failure.
+func (b *breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerHalfOpen:
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	default: // breakerOpen
+		if b.now().Before(b.until) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.trial = true
+		b.publish()
+		return true
+	}
+}
+
+// Success records a request that reached the peer (any HTTP answer
+// counts — a 429 from a live peer is still a live peer): the breaker
+// closes and the backoff resets.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.trial = false
+	b.backoff = b.base
+	b.publish()
+}
+
+// Failure records a failed attempt (connect error, timeout, or 5xx).
+// Closed, it counts toward the threshold; half-open, the trial failed
+// and the breaker re-opens with doubled backoff.
+func (b *breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.openLocked()
+		}
+	case breakerHalfOpen:
+		b.backoff = min(2*b.backoff, b.max)
+		b.openLocked()
+	}
+}
+
+// openLocked trips the breaker with the current backoff plus up to 25%
+// jitter. Caller holds b.mu.
+func (b *breaker) openLocked() {
+	b.state = breakerOpen
+	b.trial = false
+	b.fails = 0
+	b.until = b.now().Add(b.backoff + time.Duration(b.jitter()*0.25*float64(b.backoff)))
+	b.publish()
+}
+
+// ForceOpen trips the breaker immediately (health probe reported the
+// peer down). The backoff is left as-is: proxy traffic arriving before
+// the probe's rise verdict still half-open-probes on the usual
+// schedule.
+func (b *breaker) ForceOpen() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerOpen {
+		b.openLocked()
+	}
+}
+
+// ForceClose resets the breaker (health probe reported the peer up).
+func (b *breaker) ForceClose() {
+	b.Success()
+}
+
+// State returns the current state for health reporting.
+func (b *breaker) State() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

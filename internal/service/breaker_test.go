@@ -1,0 +1,132 @@
+package service
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// testBreaker builds a breaker with a controllable clock and zero
+// jitter, so state transitions are exact.
+func testBreaker(t *testing.T) (*breaker, *time.Time) {
+	t.Helper()
+	now := time.Unix(1000, 0)
+	b := newBreaker(obs.New().Metrics().Gauge("service_breaker_state", obs.L("peer", "p:1")))
+	b.now = func() time.Time { return now }
+	b.jitter = func() float64 { return 0 }
+	return b, &now
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := testBreaker(t)
+	for i := 0; i < defaultBreakerThreshold-1; i++ {
+		b.Failure()
+		if !b.Allow() {
+			t.Fatalf("breaker refused after %d failures, threshold is %d", i+1, defaultBreakerThreshold)
+		}
+		if got := b.State(); got != breakerClosed {
+			t.Fatalf("state after %d failures = %v, want closed", i+1, got)
+		}
+	}
+	b.Failure()
+	if got := b.State(); got != breakerOpen {
+		t.Fatalf("state after threshold failures = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Error("open breaker allowed a request before backoff elapsed")
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b, _ := testBreaker(t)
+	b.Failure()
+	b.Failure()
+	b.Success()
+	b.Failure()
+	b.Failure()
+	if got := b.State(); got != breakerClosed {
+		t.Fatalf("state = %v, want closed (success reset the count)", got)
+	}
+}
+
+func TestBreakerHalfOpenTrial(t *testing.T) {
+	b, now := testBreaker(t)
+	for i := 0; i < defaultBreakerThreshold; i++ {
+		b.Failure()
+	}
+	// Backoff not yet elapsed: refused.
+	if b.Allow() {
+		t.Fatal("allowed before backoff")
+	}
+	*now = now.Add(defaultBreakerBackoff)
+	// Backoff elapsed: exactly one trial admitted.
+	if !b.Allow() {
+		t.Fatal("trial refused after backoff elapsed")
+	}
+	if got := b.State(); got != breakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	if b.Allow() {
+		t.Error("second concurrent trial admitted while one is in flight")
+	}
+	// Trial succeeds: closed, backoff reset.
+	b.Success()
+	if got := b.State(); got != breakerClosed {
+		t.Fatalf("state after trial success = %v, want closed", got)
+	}
+	if b.backoff != defaultBreakerBackoff {
+		t.Errorf("backoff = %v, want reset to %v", b.backoff, defaultBreakerBackoff)
+	}
+}
+
+func TestBreakerHalfOpenFailureDoublesBackoff(t *testing.T) {
+	b, now := testBreaker(t)
+	for i := 0; i < defaultBreakerThreshold; i++ {
+		b.Failure()
+	}
+	backoff := defaultBreakerBackoff
+	for round := 0; round < 10; round++ {
+		*now = now.Add(backoff)
+		if !b.Allow() {
+			t.Fatalf("round %d: trial refused after %v backoff", round, backoff)
+		}
+		b.Failure() // trial failed
+		if got := b.State(); got != breakerOpen {
+			t.Fatalf("round %d: state = %v, want re-opened", round, got)
+		}
+		backoff = min(2*backoff, defaultBreakerMax)
+		if b.backoff != backoff {
+			t.Fatalf("round %d: backoff = %v, want %v", round, b.backoff, backoff)
+		}
+	}
+	if b.backoff != defaultBreakerMax {
+		t.Errorf("backoff never capped: %v", b.backoff)
+	}
+}
+
+func TestBreakerForceTransitions(t *testing.T) {
+	b, now := testBreaker(t)
+	b.ForceOpen()
+	if got := b.State(); got != breakerOpen {
+		t.Fatalf("state after ForceOpen = %v, want open", got)
+	}
+	if b.Allow() {
+		t.Error("forced-open breaker allowed a request")
+	}
+	b.ForceClose()
+	if got := b.State(); got != breakerClosed {
+		t.Fatalf("state after ForceClose = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Error("forced-closed breaker refused a request")
+	}
+	// ForceOpen on an already-open breaker must not extend the deadline.
+	b.ForceOpen()
+	until := b.until
+	*now = now.Add(100 * time.Millisecond)
+	b.ForceOpen()
+	if b.until != until {
+		t.Error("ForceOpen on open breaker pushed the half-open deadline")
+	}
+}

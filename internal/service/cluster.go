@@ -1,6 +1,8 @@
 package service
 
 import (
+	"context"
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
@@ -16,36 +18,111 @@ import (
 // ownership — the bodies are byte-identical either way). ClientID keys
 // the fair queue; DeadlineMs carries the client's latency budget for
 // deadline-aware shedding; CacheOrigin reports the owner node's own
-// X-Cache state on a proxied response.
+// X-Cache state on a proxied response; ClusterRoute tells the client
+// which replica slot answered ("primary", "replica-<i>", or "fallback"
+// when every replica was unreachable and the receiving node computed
+// locally) so load tests can count failovers.
 const (
-	headerForwarded   = "X-Prescaler-Forwarded"
-	headerClientID    = "X-Client-Id"
-	headerDeadline    = "X-Deadline-Ms"
-	headerCacheOrigin = "X-Cache-Origin"
+	headerForwarded    = "X-Prescaler-Forwarded"
+	headerClientID     = "X-Client-Id"
+	headerDeadline     = "X-Deadline-Ms"
+	headerCacheOrigin  = "X-Cache-Origin"
+	headerClusterRoute = "X-Cluster-Route"
 )
 
-// defaultProxyTimeout bounds one proxied scale request end to end. It
-// must comfortably exceed a worst-case search plus the owner's queue
-// wait; a peer that cannot answer within it is treated as dead and the
-// request falls back to local compute.
+// defaultProxyTimeout is the outer safety bound on one proxied attempt
+// at the HTTP-client level. The effective bound is the much shorter
+// per-attempt context timeout below; this only catches pathological
+// response-body stalls past the headers.
 const defaultProxyTimeout = 2 * time.Minute
 
-// proxyScale forwards a scale request to the fingerprint's owner node
-// and relays the answer. It reports whether the response has been
-// written: false means the owner is unreachable (connection failure or
-// 5xx) and the caller should fall back to computing locally — the
-// fallback is correct, not merely available, because the body is a pure
-// function of the fingerprint.
-func (s *Server) proxyScale(w http.ResponseWriter, r *http.Request, req *api.ScaleRequest, id, owner string) bool {
+// defaultProxyAttemptTimeout bounds one proxy attempt end to end. A
+// dead peer fails at connect within milliseconds; this bound is for the
+// worse case of a hung peer, and is short enough that walking the whole
+// replica list and falling back to local compute still beats the old
+// flat 2-minute wait by an order of magnitude.
+const defaultProxyAttemptTimeout = 15 * time.Second
+
+// routeLabel names the replica slot that answered.
+func routeLabel(i int) string {
+	if i == 0 {
+		return "primary"
+	}
+	return fmt.Sprintf("replica-%d", i)
+}
+
+// breakerFor returns the circuit breaker guarding a peer (nil for self
+// or unknown addresses).
+func (s *Server) breakerFor(peer string) *breaker {
+	return s.breakers[peer]
+}
+
+// proxyScale forwards a scale request along the fingerprint's replica
+// list — primary first — and relays the first answer. owners is the
+// ring-ordered replica set; entries equal to self and entries whose
+// circuit breaker is open are skipped, and each attempt runs under a
+// short per-attempt timeout, so a dead primary costs milliseconds
+// before the next replica (which was warmed when the decision was
+// computed) answers. It reports whether the response has been written:
+// false means every replica was unreachable and the caller should fall
+// back to computing locally — the fallback is correct, not merely
+// available, because the body is a pure function of the fingerprint.
+func (s *Server) proxyScale(w http.ResponseWriter, r *http.Request, req *api.ScaleRequest, id string, owners []string) bool {
 	m := s.obs.Metrics()
 	var body strings.Builder
 	if err := api.Encode(&body, req); err != nil {
+		// An unencodable request should be impossible (it just decoded),
+		// but silently computing locally would hide the bug: count and log.
+		m.Counter("service_proxy", obs.L("result", "encode_error")).Inc()
+		if s.logger != nil {
+			s.logger.Warn("proxy request encode failed, computing locally",
+				"decision_id", id, "err", err.Error())
+		}
 		return false
 	}
-	preq, err := http.NewRequestWithContext(r.Context(), http.MethodPost,
-		"http://"+owner+"/v1/scale", strings.NewReader(body.String()))
+	for i, owner := range owners {
+		if owner == s.self {
+			continue
+		}
+		br := s.breakerFor(owner)
+		if br != nil && !br.Allow() {
+			m.Counter("service_proxy", obs.L("result", "breaker_open")).Inc()
+			continue
+		}
+		switch s.proxyAttempt(w, r, body.String(), id, owner, i, br) {
+		case proxyOK:
+			return true
+		case proxyClientGone:
+			// The client vanished mid-proxy; nothing left to answer.
+			s.writeError(w, ctxCause(r.Context()))
+			return true
+		}
+		// proxyFailed: try the next replica.
+	}
+	return false
+}
+
+// proxyAttempt outcome.
+type proxyOutcome int
+
+const (
+	proxyOK proxyOutcome = iota
+	proxyFailed
+	proxyClientGone
+)
+
+// proxyAttempt issues one proxied scale request to one replica and, on
+// success, relays its answer. Failures feed the replica's breaker
+// unless the true cause is our own client disconnecting.
+func (s *Server) proxyAttempt(w http.ResponseWriter, r *http.Request, body, id, owner string, slot int, br *breaker) proxyOutcome {
+	m := s.obs.Metrics()
+	ctx, cancel := context.WithTimeout(r.Context(), s.proxyAttemptTimeout)
+	defer cancel()
+	preq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+owner+"/v1/scale", strings.NewReader(body))
 	if err != nil {
-		return false
+		m.Counter("service_proxy", obs.L("result", "fallback")).Inc()
+		return proxyFailed
 	}
 	preq.Header.Set("Content-Type", "application/json")
 	preq.Header.Set(headerForwarded, s.self)
@@ -56,22 +133,36 @@ func (s *Server) proxyScale(w http.ResponseWriter, r *http.Request, req *api.Sca
 	}
 	resp, err := s.proxy.Do(preq)
 	if err != nil {
+		if r.Context().Err() != nil {
+			return proxyClientGone
+		}
+		if br != nil {
+			br.Failure()
+		}
 		m.Counter("service_proxy", obs.L("result", "fallback")).Inc()
 		if s.logger != nil {
-			s.logger.Warn("proxy to owner failed, computing locally",
-				"owner", owner, "decision_id", id, "err", err.Error())
+			s.logger.Warn("proxy to replica failed",
+				"owner", owner, "slot", slot, "decision_id", id, "err", err.Error())
 		}
-		return false
+		return proxyFailed
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 500 {
 		io.Copy(io.Discard, resp.Body)
+		if br != nil {
+			br.Failure()
+		}
 		m.Counter("service_proxy", obs.L("result", "fallback")).Inc()
 		if s.logger != nil {
-			s.logger.Warn("owner answered 5xx, computing locally",
-				"owner", owner, "decision_id", id, "status", resp.StatusCode)
+			s.logger.Warn("replica answered 5xx",
+				"owner", owner, "slot", slot, "decision_id", id, "status", resp.StatusCode)
 		}
-		return false
+		return proxyFailed
+	}
+	// The peer answered: whatever the status (200, 404, even 429), it is
+	// alive — close its breaker.
+	if br != nil {
+		br.Success()
 	}
 
 	h := w.Header()
@@ -83,13 +174,16 @@ func (s *Server) proxyScale(w http.ResponseWriter, r *http.Request, req *api.Sca
 		h.Set("Retry-After", ra)
 	}
 	if resp.StatusCode == http.StatusOK {
-		// The body came from the owner: our cache state is "remote", the
-		// owner's own state (hit / miss / coalesced) rides along so load
-		// tests can still count cluster-wide search work.
+		// The body came from a replica: our cache state is "remote", the
+		// replica's own state (hit / miss / coalesced) rides along so load
+		// tests can still count cluster-wide search work, and the replica
+		// slot that answered rides in X-Cluster-Route so they can count
+		// failovers.
 		if oc := resp.Header.Get("X-Cache"); oc != "" {
 			h.Set(headerCacheOrigin, oc)
 		}
 		h.Set("X-Cache", "remote")
+		h.Set(headerClusterRoute, routeLabel(slot))
 		m.Counter("service_cache", obs.L("result", "remote")).Inc()
 		m.Counter("service_proxy", obs.L("result", "ok")).Inc()
 	} else {
@@ -97,5 +191,5 @@ func (s *Server) proxyScale(w http.ResponseWriter, r *http.Request, req *api.Sca
 	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
-	return true
+	return proxyOK
 }

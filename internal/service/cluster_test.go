@@ -27,6 +27,14 @@ func (n *clusterNode) url() string { return "http://" + n.addr }
 
 func startCluster(t *testing.T, size int) []*clusterNode {
 	t.Helper()
+	return startClusterCfg(t, size, nil)
+}
+
+// startClusterCfg starts a cluster with a per-node Config hook (applied
+// after the defaults, before New), for tests that need replication or
+// persistence.
+func startClusterCfg(t *testing.T, size int, configure func(i int, cfg *Config)) []*clusterNode {
+	t.Helper()
 	nodes := make([]*clusterNode, size)
 	addrs := make([]string, size)
 	listeners := make([]net.Listener, size)
@@ -46,20 +54,28 @@ func startCluster(t *testing.T, size int) []*clusterNode {
 			}
 		}
 		o := obs.New()
-		srv, err := New(Config{
+		cfg := Config{
 			Workers:  2,
 			Obs:      o,
 			Workload: testWorkloads,
 			Self:     addrs[i],
 			Peers:    peers,
-		})
+			// Membership stays static: these tests exercise the breaker
+			// and proxy fallback paths, which must work during the window
+			// before any probe verdict lands.
+			DisableProber: true,
+		}
+		if configure != nil {
+			configure(i, &cfg)
+		}
+		srv, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		hs := &http.Server{Handler: srv.Handler()}
 		go hs.Serve(listeners[i])
 		nodes[i] = &clusterNode{addr: addrs[i], srv: srv, hs: hs, obs: o}
-		t.Cleanup(func() { hs.Close() })
+		t.Cleanup(func() { hs.Close(); srv.Close() })
 	}
 	return nodes
 }
@@ -91,11 +107,11 @@ func TestClusterProxiesByOwnership(t *testing.T) {
 	reqBody := `{"benchmark":"veccombine","toq":0.9}`
 	id := fingerprintFor(t, nodes[0], reqBody)
 
-	if a, b := nodes[0].srv.ring.Owner(id), nodes[1].srv.ring.Owner(id); a != b {
+	if a, b := nodes[0].srv.view.Ring().Owner(id), nodes[1].srv.view.Ring().Owner(id); a != b {
 		t.Fatalf("nodes disagree on owner: %q vs %q", a, b)
 	}
 	owner, other := nodes[0], nodes[1]
-	if nodes[0].srv.ring.Owner(id) != nodes[0].addr {
+	if nodes[0].srv.view.Ring().Owner(id) != nodes[0].addr {
 		owner, other = nodes[1], nodes[0]
 	}
 
@@ -172,7 +188,7 @@ func TestClusterFallbackOnPeerDeath(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		body := fmt.Sprintf(`{"benchmark":"veccombine","toq":0.5%02d}`, i)
 		id := fingerprintFor(t, nodes[0], body)
-		if nodes[0].srv.ring.Owner(id) == nodes[1].addr {
+		if nodes[0].srv.view.Ring().Owner(id) == nodes[1].addr {
 			reqBody = body
 			break
 		}

@@ -1,0 +1,302 @@
+package service
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"log/slog"
+	"os"
+	"path/filepath"
+
+	"repro/internal/obs"
+)
+
+// Decision persistence: an append-only journal that makes the decision
+// LRU survive kill -9.
+//
+// Layout under the persist dir:
+//
+//	decisions.snap   compacted snapshot (same record format as the WAL)
+//	decisions.wal    append-only tail of decisions stored since the snapshot
+//
+// Record format (both files), length-prefixed and checksummed:
+//
+//	uint32 BE  payload length
+//	uint32 BE  CRC-32 (IEEE) of payload
+//	payload    16-byte fingerprint hex || canonical decision body
+//
+// Appends happen off the hot path: store() hands the record to a
+// bounded channel and returns; a single writer goroutine batches
+// whatever is queued, writes, and fsyncs once per batch. If the channel
+// is full the record is dropped (counted in service_persist{event=
+// "drop"}) — the journal is a warm-restart cache, not a ledger, and a
+// dropped record costs one recomputed search after a crash, never
+// correctness (the body is a pure function of the fingerprint).
+//
+// On startup the snapshot is replayed first, then the WAL; a corrupt
+// record (torn write from the crash) truncates that file at the last
+// good offset and replay continues — corruption is never fatal. When
+// the WAL outgrows its threshold (and at drain), the writer compacts:
+// the current cache contents are written to a fresh snapshot, renamed
+// into place, and the WAL is truncated.
+
+const (
+	walFile         = "decisions.wal"
+	snapFile        = "decisions.snap"
+	defaultMaxWAL   = 8 << 20
+	maxRecordSize   = 64 << 20 // replay sanity bound on one record
+	journalQueueCap = 256
+)
+
+// persistRecord is one journaled decision.
+type persistRecord struct {
+	id   string
+	body []byte
+}
+
+// journal is the append-only decision log. Create with openJournal;
+// append is safe for concurrent use; Close drains, compacts, and joins
+// the writer.
+type journal struct {
+	dir      string
+	maxWAL   int64
+	snapshot func() []persistRecord // current cache, oldest first
+	logger   *slog.Logger
+
+	appends   *obs.Counter
+	drops     *obs.Counter
+	compacts  *obs.Counter
+	replayed  *obs.Counter
+	truncated *obs.Counter
+
+	ch   chan persistRecord
+	done chan struct{}
+
+	wal     *os.File // owned by the writer goroutine after start
+	walSize int64
+}
+
+// openJournal opens (creating if needed) the journal under dir, replays
+// both files, and starts the writer. The returned records are the
+// surviving decisions, snapshot first then WAL, oldest first; the
+// caller inserts them into the LRU before wiring the journal into the
+// store path so replay never re-journals. snapshot supplies the cache
+// contents at compaction time.
+func openJournal(dir string, maxWAL int64, snapshot func() []persistRecord,
+	m *obs.Registry, logger *slog.Logger) (*journal, []persistRecord, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("service: persist dir: %w", err)
+	}
+	if maxWAL <= 0 {
+		maxWAL = defaultMaxWAL
+	}
+	j := &journal{
+		dir:       dir,
+		maxWAL:    maxWAL,
+		snapshot:  snapshot,
+		logger:    logger,
+		appends:   m.Counter("service_persist", obs.L("event", "append")),
+		drops:     m.Counter("service_persist", obs.L("event", "drop")),
+		compacts:  m.Counter("service_persist", obs.L("event", "compact")),
+		replayed:  m.Counter("service_persist", obs.L("event", "replayed")),
+		truncated: m.Counter("service_persist", obs.L("event", "corrupt_truncated")),
+		ch:        make(chan persistRecord, journalQueueCap),
+		done:      make(chan struct{}),
+	}
+	var records []persistRecord
+	for _, name := range []string{snapFile, walFile} {
+		recs, err := j.replayFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, nil, err
+		}
+		records = append(records, recs...)
+	}
+	j.replayed.Add(float64(len(records)))
+
+	wal, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: open wal: %w", err)
+	}
+	st, err := wal.Stat()
+	if err != nil {
+		wal.Close()
+		return nil, nil, fmt.Errorf("service: stat wal: %w", err)
+	}
+	j.wal, j.walSize = wal, st.Size()
+	go j.run()
+	return j, records, nil
+}
+
+// replayFile reads every valid record of one journal file. A corrupt or
+// torn record truncates the file at the last good offset; a missing
+// file is empty.
+func (j *journal) replayFile(path string) ([]persistRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: open %s: %w", path, err)
+	}
+	defer f.Close()
+	var records []persistRecord
+	var good int64
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			if err == io.EOF {
+				return records, nil // clean end
+			}
+			break // torn header
+		}
+		n := binary.BigEndian.Uint32(hdr[0:4])
+		sum := binary.BigEndian.Uint32(hdr[4:8])
+		if n < 16 || n > maxRecordSize {
+			break
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		records = append(records, persistRecord{id: string(payload[:16]), body: payload[16:]})
+		good += 8 + int64(n)
+	}
+	// Fell out of the loop: the tail past `good` is corrupt. Truncate so
+	// the next append starts on a record boundary.
+	j.truncated.Inc()
+	if j.logger != nil {
+		j.logger.Warn("truncating corrupt journal tail", "path", path, "offset", good)
+	}
+	if err := f.Truncate(good); err != nil {
+		return nil, fmt.Errorf("service: truncate %s: %w", path, err)
+	}
+	return records, nil
+}
+
+// append queues one decision for journaling. Never blocks: a full queue
+// drops the record (warm-restart coverage degrades; correctness never).
+func (j *journal) append(id string, body []byte) {
+	if len(id) != 16 {
+		return // ids are always %016x fingerprints; anything else is unjournalable
+	}
+	select {
+	case j.ch <- persistRecord{id: id, body: body}:
+	default:
+		j.drops.Inc()
+	}
+}
+
+// Close drains outstanding appends, compacts into a snapshot, and
+// closes the files.
+func (j *journal) Close() error {
+	close(j.ch)
+	<-j.done
+	return nil
+}
+
+// run is the writer goroutine: batch whatever is queued, write it,
+// fsync once, compact past the WAL threshold. On channel close it
+// drains, compacts a final snapshot, and exits.
+func (j *journal) run() {
+	defer close(j.done)
+	defer j.wal.Close()
+	for rec := range j.ch {
+		batch := []persistRecord{rec}
+	drain:
+		for {
+			select {
+			case more, ok := <-j.ch:
+				if !ok {
+					j.writeBatch(batch)
+					j.compact()
+					return
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		j.writeBatch(batch)
+		if j.walSize > j.maxWAL {
+			j.compact()
+		}
+	}
+	j.compact()
+}
+
+// writeBatch appends records to the WAL with one fsync.
+func (j *journal) writeBatch(batch []persistRecord) {
+	for _, rec := range batch {
+		n, err := j.wal.Write(encodeRecord(rec))
+		j.walSize += int64(n)
+		if err != nil {
+			j.logError("wal write", err)
+			return
+		}
+		j.appends.Inc()
+	}
+	if err := j.wal.Sync(); err != nil {
+		j.logError("wal fsync", err)
+	}
+}
+
+// encodeRecord renders one record in the on-disk format.
+func encodeRecord(rec persistRecord) []byte {
+	payload := make([]byte, 0, 16+len(rec.body))
+	payload = append(payload, rec.id[:16]...)
+	payload = append(payload, rec.body...)
+	out := make([]byte, 8, 8+len(payload))
+	binary.BigEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	return append(out, payload...)
+}
+
+// compact writes the current cache contents to a fresh snapshot,
+// renames it into place, and truncates the WAL. Runs on the writer
+// goroutine only.
+func (j *journal) compact() {
+	entries := j.snapshot()
+	tmp := filepath.Join(j.dir, snapFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		j.logError("snapshot create", err)
+		return
+	}
+	for _, rec := range entries {
+		if _, err := f.Write(encodeRecord(rec)); err != nil {
+			j.logError("snapshot write", err)
+			f.Close()
+			os.Remove(tmp)
+			return
+		}
+	}
+	if err := f.Sync(); err != nil {
+		j.logError("snapshot fsync", err)
+	}
+	if err := f.Close(); err != nil {
+		j.logError("snapshot close", err)
+		return
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, snapFile)); err != nil {
+		j.logError("snapshot rename", err)
+		return
+	}
+	if err := j.wal.Truncate(0); err != nil {
+		j.logError("wal truncate", err)
+		return
+	}
+	// O_APPEND writes position at the (now zero) end on their own; reset
+	// the accounted size to match.
+	j.walSize = 0
+	j.compacts.Inc()
+}
+
+func (j *journal) logError(what string, err error) {
+	if j.logger != nil {
+		j.logger.Error("journal "+what+" failed", "err", err.Error())
+	}
+}

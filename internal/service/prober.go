@@ -1,0 +1,213 @@
+package service
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Prober tuning. The fall threshold is deliberately low — a dead peer
+// should leave the effective ring within roughly one probe interval
+// (the chaos-test acceptance bar) — while the rise threshold demands
+// two consecutive healthy answers so a flapping peer doesn't churn the
+// ring epoch on every blip.
+const (
+	defaultProbeInterval = 2 * time.Second
+	defaultProbeRise     = 2
+	defaultProbeFall     = 2
+)
+
+// prober actively health-checks the cluster peers: one goroutine per
+// peer issues GET /v1/healthz on a jittered interval (so a fleet's
+// probes don't synchronize into bursts) and turns consecutive
+// outcomes into up/down verdicts via rise/fall thresholds. Verdict
+// transitions are reported through onChange — the server feeds them
+// into the membership View (ring epoch) and the peer's circuit breaker
+// — and are mirrored into the service_peer_up{peer} gauge.
+//
+// Peers start optimistically up: the breaker and the proxy fallback
+// already make a dead peer cheap, and starting down would make a
+// freshly booted fleet route everything locally until the first probe
+// round.
+type prober struct {
+	peers    []string
+	interval time.Duration
+	rise     int
+	fall     int
+	probe    func(ctx context.Context, peer string) error
+	onChange func(peer string, up bool)
+	logger   *slog.Logger
+
+	okCount   *obs.Counter
+	failCount *obs.Counter
+	upGauges  map[string]*obs.Gauge
+
+	mu    sync.Mutex
+	up    map[string]bool
+	runs  map[string]int  // consecutive same-outcome probe count
+	state map[string]bool // last single-probe outcome
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// newProber builds (but does not start) a prober. probe nil selects the
+// default HTTP /v1/healthz check with a timeout of half the interval.
+func newProber(peers []string, interval time.Duration, probe func(context.Context, string) error,
+	onChange func(string, bool), m *obs.Registry, logger *slog.Logger) *prober {
+	if interval <= 0 {
+		interval = defaultProbeInterval
+	}
+	p := &prober{
+		peers:     peers,
+		interval:  interval,
+		rise:      defaultProbeRise,
+		fall:      defaultProbeFall,
+		probe:     probe,
+		onChange:  onChange,
+		logger:    logger,
+		okCount:   m.Counter("service_probe", obs.L("result", "ok")),
+		failCount: m.Counter("service_probe", obs.L("result", "fail")),
+		upGauges:  map[string]*obs.Gauge{},
+		up:        map[string]bool{},
+		runs:      map[string]int{},
+		state:     map[string]bool{},
+	}
+	if p.probe == nil {
+		client := &http.Client{Timeout: max(interval/2, 250*time.Millisecond)}
+		p.probe = func(ctx context.Context, peer string) error {
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+peer+"/v1/healthz", nil)
+			if err != nil {
+				return err
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				return err
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return &httpStatusError{status: resp.StatusCode}
+			}
+			return nil
+		}
+	}
+	for _, peer := range peers {
+		p.up[peer] = true
+		g := m.Gauge("service_peer_up", obs.L("peer", peer))
+		g.Set(1)
+		p.upGauges[peer] = g
+	}
+	return p
+}
+
+// httpStatusError is a non-2xx healthz answer.
+type httpStatusError struct{ status int }
+
+func (e *httpStatusError) Error() string {
+	return "healthz status " + http.StatusText(e.status)
+}
+
+// Start launches the probe loops. Stop cancels and joins them.
+func (p *prober) Start() {
+	p.ctx, p.cancel = context.WithCancel(context.Background())
+	for _, peer := range p.peers {
+		p.wg.Add(1)
+		go p.loop(peer)
+	}
+}
+
+// Stop halts all probe loops and waits for them to exit.
+func (p *prober) Stop() {
+	if p.cancel != nil {
+		p.cancel()
+		p.wg.Wait()
+	}
+}
+
+// Up reports the current verdict for a peer (unknown peers are down).
+func (p *prober) Up(peer string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.up[peer]
+}
+
+// loop probes one peer until the prober stops. Each sleep is jittered
+// within [0.75, 1.25] of the interval.
+func (p *prober) loop(peer string) {
+	defer p.wg.Done()
+	rng := rand.New(rand.NewSource(int64(fnvHash(peer))))
+	for {
+		sleep := time.Duration((0.75 + 0.5*rng.Float64()) * float64(p.interval))
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-time.After(sleep):
+		}
+		err := p.probe(p.ctx, peer)
+		if p.ctx.Err() != nil {
+			return
+		}
+		p.observe(peer, err == nil)
+	}
+}
+
+// observe folds one probe outcome into the rise/fall state machine and
+// fires onChange on verdict transitions.
+func (p *prober) observe(peer string, ok bool) {
+	if ok {
+		p.okCount.Inc()
+	} else {
+		p.failCount.Inc()
+	}
+	p.mu.Lock()
+	if p.runs[peer] == 0 || p.state[peer] != ok {
+		p.state[peer] = ok
+		p.runs[peer] = 1
+	} else {
+		p.runs[peer]++
+	}
+	var flipped, up bool
+	switch {
+	case ok && !p.up[peer] && p.runs[peer] >= p.rise:
+		p.up[peer], flipped, up = true, true, true
+	case !ok && p.up[peer] && p.runs[peer] >= p.fall:
+		p.up[peer], flipped, up = false, true, false
+	}
+	if flipped {
+		p.upGauges[peer].Set(boolGauge(up))
+	}
+	p.mu.Unlock()
+	if flipped {
+		if p.logger != nil {
+			p.logger.Warn("peer liveness changed", "peer", peer, "up", up)
+		}
+		if p.onChange != nil {
+			p.onChange(peer, up)
+		}
+	}
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// fnvHash is a tiny inline FNV-64a for per-peer jitter seeding.
+func fnvHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,116 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// testProber builds a prober whose probe outcomes are driven directly
+// through observe — the rise/fall state machine under test is
+// independent of the goroutine scheduling.
+func testProber(t *testing.T, peers []string, onChange func(string, bool)) (*prober, *obs.Observer) {
+	t.Helper()
+	o := obs.New()
+	p := newProber(peers, 0, nil, onChange, o.Metrics(), nil)
+	return p, o
+}
+
+func TestProberFallThenRise(t *testing.T) {
+	var flips []string
+	p, o := testProber(t, []string{"a:1"}, func(peer string, up bool) {
+		if up {
+			flips = append(flips, peer+"=up")
+		} else {
+			flips = append(flips, peer+"=down")
+		}
+	})
+	if !p.Up("a:1") {
+		t.Fatal("peer must start optimistically up")
+	}
+	// One failure is a blip, not a verdict (fall threshold 2).
+	p.observe("a:1", false)
+	if !p.Up("a:1") || len(flips) != 0 {
+		t.Fatalf("verdict flipped on a single failure: up=%v flips=%v", p.Up("a:1"), flips)
+	}
+	// Second consecutive failure flips down.
+	p.observe("a:1", false)
+	if p.Up("a:1") {
+		t.Fatal("peer still up after fall-threshold failures")
+	}
+	if len(flips) != 1 || flips[0] != "a:1=down" {
+		t.Fatalf("flips = %v, want [a:1=down]", flips)
+	}
+	if g := o.Metrics().Gauge("service_peer_up", obs.L("peer", "a:1")).Value(); g != 0 {
+		t.Errorf("service_peer_up = %v, want 0", g)
+	}
+	// One success is not recovery (rise threshold 2)...
+	p.observe("a:1", true)
+	if p.Up("a:1") {
+		t.Fatal("peer rose after a single success")
+	}
+	// ...two consecutive successes are.
+	p.observe("a:1", true)
+	if !p.Up("a:1") {
+		t.Fatal("peer still down after rise-threshold successes")
+	}
+	if len(flips) != 2 || flips[1] != "a:1=up" {
+		t.Fatalf("flips = %v, want [a:1=down a:1=up]", flips)
+	}
+	if g := o.Metrics().Gauge("service_peer_up", obs.L("peer", "a:1")).Value(); g != 1 {
+		t.Errorf("service_peer_up = %v, want 1", g)
+	}
+}
+
+// Alternating outcomes never accumulate a run, so a flapping peer stays
+// at its last verdict instead of churning the ring epoch.
+func TestProberFlappingPeerHoldsVerdict(t *testing.T) {
+	flips := 0
+	p, _ := testProber(t, []string{"a:1"}, func(string, bool) { flips++ })
+	for i := 0; i < 20; i++ {
+		p.observe("a:1", i%2 == 0)
+	}
+	if flips != 0 {
+		t.Errorf("alternating outcomes caused %d verdict flips, want 0", flips)
+	}
+	if !p.Up("a:1") {
+		t.Error("flapping peer lost its up verdict")
+	}
+}
+
+func TestProberCountsOutcomes(t *testing.T) {
+	p, o := testProber(t, []string{"a:1", "b:1"}, nil)
+	p.observe("a:1", true)
+	p.observe("b:1", false)
+	p.observe("b:1", false)
+	m := o.Metrics()
+	if v := m.Counter("service_probe", obs.L("result", "ok")).Value(); v != 1 {
+		t.Errorf("ok count = %v, want 1", v)
+	}
+	if v := m.Counter("service_probe", obs.L("result", "fail")).Value(); v != 2 {
+		t.Errorf("fail count = %v, want 2", v)
+	}
+	// b flipped down, a untouched; verdicts are per-peer.
+	if !p.Up("a:1") || p.Up("b:1") {
+		t.Errorf("verdicts leaked across peers: a=%v b=%v", p.Up("a:1"), p.Up("b:1"))
+	}
+}
+
+// A prober with an injected probe function must start, fire probes on
+// its jittered schedule, and stop cleanly even when every probe fails.
+func TestProberStartStop(t *testing.T) {
+	probed := make(chan string, 64)
+	p := newProber([]string{"a:1"}, 1, // ~1ns interval: probe immediately
+		func(_ context.Context, peer string) error {
+			select {
+			case probed <- peer:
+			default:
+			}
+			return errors.New("down")
+		}, nil, obs.New().Metrics(), nil)
+	p.Start()
+	<-probed // at least one probe fired
+	p.Stop() // must join without deadlock
+}

@@ -1,0 +1,305 @@
+package service
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// postScale issues one scale request and returns the response plus its
+// drained body.
+func postScaleURL(t *testing.T, url, reqBody string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/scale", "application/json", strings.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, body
+}
+
+// With replication 2, the primary's compute must asynchronously warm
+// the second replica's cache, and after the primary dies the replica
+// answers the hot fingerprint as a local hit — failover without
+// recompute.
+func TestReplicationWarmsReplicaAndFailsOver(t *testing.T) {
+	warmed := make(chan string, 8)
+	nodes := startClusterCfg(t, 3, func(i int, cfg *Config) {
+		cfg.Replication = 2
+	})
+	for _, n := range nodes {
+		n.srv.testWarmed = func(id string) { warmed <- id }
+	}
+	byAddr := map[string]*clusterNode{}
+	for _, n := range nodes {
+		byAddr[n.addr] = n
+	}
+
+	reqBody := `{"benchmark":"veccombine","toq":0.9}`
+	id := fingerprintFor(t, nodes[0], reqBody)
+	owners := nodes[0].srv.view.Ring().OwnerN(id, 2)
+	if len(owners) != 2 || owners[0] == owners[1] {
+		t.Fatalf("OwnerN(2) = %v", owners)
+	}
+	primary, replica := byAddr[owners[0]], byAddr[owners[1]]
+	var outsider *clusterNode
+	for _, n := range nodes {
+		if n != primary && n != replica {
+			outsider = n
+		}
+	}
+
+	// Compute on the primary.
+	resp, primaryBody := postScaleURL(t, primary.url(), reqBody)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "miss" {
+		t.Fatalf("primary: status %d, X-Cache %q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	if route := resp.Header.Get("X-Cluster-Route"); route != "primary" {
+		t.Errorf("X-Cluster-Route = %q, want primary", route)
+	}
+	if got := <-warmed; got != id {
+		t.Fatalf("warmed id = %s, want %s", got, id)
+	}
+
+	// The warm landed on the replica — and only there.
+	if _, ok := replica.srv.cached(id); !ok {
+		t.Fatal("replica cache cold after warm push")
+	}
+	if _, ok := outsider.srv.cached(id); ok {
+		t.Error("non-replica node received a warm push")
+	}
+	if v := primary.obs.Metrics().Counter("service_warm", obs.L("result", "ok")).Value(); v != 1 {
+		t.Errorf("primary warm ok counter = %v, want 1", v)
+	}
+	if v := replica.obs.Metrics().Counter("service_warm", obs.L("result", "stored")).Value(); v != 1 {
+		t.Errorf("replica warm stored counter = %v, want 1", v)
+	}
+
+	// Kill the primary: a request hitting the replica directly is a
+	// local hit at its replica slot — no search, no proxy.
+	primary.hs.Close()
+	resp, replicaBody := postScaleURL(t, replica.url(), reqBody)
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("replica after primary death: status %d, X-Cache %q",
+			resp.StatusCode, resp.Header.Get("X-Cache"))
+	}
+	if route := resp.Header.Get("X-Cluster-Route"); route != "replica-1" {
+		t.Errorf("replica X-Cluster-Route = %q, want replica-1", route)
+	}
+	if !bytes.Equal(primaryBody, replicaBody) {
+		t.Error("replica body differs from the primary's — determinism invariant broken")
+	}
+
+	// A non-owner proxies: the primary attempt fails fast, the warmed
+	// replica answers from cache.
+	resp, outsiderBody := postScaleURL(t, outsider.url(), reqBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("outsider: status %d: %s", resp.StatusCode, outsiderBody)
+	}
+	if c := resp.Header.Get("X-Cache"); c != "remote" {
+		t.Errorf("outsider X-Cache = %q, want remote", c)
+	}
+	if oc := resp.Header.Get("X-Cache-Origin"); oc != "hit" {
+		t.Errorf("outsider X-Cache-Origin = %q, want hit (failover without recompute)", oc)
+	}
+	if route := resp.Header.Get("X-Cluster-Route"); route != "replica-1" {
+		t.Errorf("outsider X-Cluster-Route = %q, want replica-1", route)
+	}
+	if !bytes.Equal(primaryBody, outsiderBody) {
+		t.Error("failover body differs from the primary's")
+	}
+}
+
+// A replica that misses routes to the owners ahead of it instead of
+// computing — fleet-wide, one fingerprint still means one search.
+func TestReplicaProxiesMissToPrimary(t *testing.T) {
+	nodes := startClusterCfg(t, 3, func(i int, cfg *Config) {
+		cfg.Replication = 2
+	})
+	byAddr := map[string]*clusterNode{}
+	for _, n := range nodes {
+		byAddr[n.addr] = n
+	}
+	reqBody := `{"benchmark":"veccombine","toq":0.7}`
+	id := fingerprintFor(t, nodes[0], reqBody)
+	owners := nodes[0].srv.view.Ring().OwnerN(id, 2)
+	primary, replica := byAddr[owners[0]], byAddr[owners[1]]
+
+	resp, _ := postScaleURL(t, replica.url(), reqBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replica: status %d", resp.StatusCode)
+	}
+	if c := resp.Header.Get("X-Cache"); c != "remote" {
+		t.Errorf("replica miss X-Cache = %q, want remote (proxied to primary)", c)
+	}
+	if oc := resp.Header.Get("X-Cache-Origin"); oc != "miss" {
+		t.Errorf("X-Cache-Origin = %q, want miss (primary computed)", oc)
+	}
+	if route := resp.Header.Get("X-Cluster-Route"); route != "primary" {
+		t.Errorf("X-Cluster-Route = %q, want primary (slot that answered)", route)
+	}
+	if _, ok := primary.srv.cached(id); !ok {
+		t.Error("primary did not cache its own compute")
+	}
+}
+
+// The warm endpoint verifies the fingerprint before storing: a body
+// pushed under the wrong id is rejected, so a buggy or malicious peer
+// cannot poison the cache.
+func TestWarmEndpointVerifiesFingerprint(t *testing.T) {
+	nodes := startCluster(t, 2)
+	reqBody := `{"benchmark":"veccombine","toq":0.9}`
+	id := fingerprintFor(t, nodes[0], reqBody)
+
+	// Compute a real decision body on node 0.
+	resp, body := postScaleURL(t, nodes[0].url(), reqBody)
+	if resp.StatusCode != http.StatusOK {
+		// Node 0 may have proxied; either way we hold the canonical body.
+		t.Fatalf("scale: status %d", resp.StatusCode)
+	}
+
+	warm := func(target *clusterNode, underID string, b []byte) *http.Response {
+		t.Helper()
+		resp, err := http.Post(target.url()+"/v1/decisions/"+underID+"/warm",
+			"application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	// Correct id: stored.
+	if resp := warm(nodes[1], id, body); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("valid warm: status %d, want 204", resp.StatusCode)
+	}
+	if _, ok := nodes[1].srv.cached(id); !ok {
+		t.Fatal("valid warm not stored")
+	}
+
+	// Wrong id: rejected, not stored.
+	wrong := "00000000000000ff"
+	if resp := warm(nodes[1], wrong, body); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched warm: status %d, want 400", resp.StatusCode)
+	}
+	if _, ok := nodes[1].srv.cached(wrong); ok {
+		t.Error("mismatched warm poisoned the cache")
+	}
+	if v := nodes[1].obs.Metrics().Counter("service_warm", obs.L("result", "mismatch")).Value(); v != 1 {
+		t.Errorf("mismatch counter = %v, want 1", v)
+	}
+
+	// Garbage body: bad request.
+	if resp := warm(nodes[1], id, []byte("{not json")); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage warm: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// A server restarted over the same persist dir serves its pre-crash hot
+// set as cache hits without re-searching.
+func TestWarmRestartFromJournal(t *testing.T) {
+	dir := t.TempDir()
+	mk := func() (*Server, *obs.Observer) {
+		t.Helper()
+		o := obs.New()
+		srv, err := New(Config{
+			Workers:    2,
+			Obs:        o,
+			Workload:   testWorkloads,
+			PersistDir: dir,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv, o
+	}
+
+	srv1, _ := mk()
+	req, err := http.NewRequest("POST", "/v1/scale", strings.NewReader(`{"benchmark":"veccombine","toq":0.9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := httptest.NewRecorder()
+	srv1.Handler().ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK || rr.Header().Get("X-Cache") != "miss" {
+		t.Fatalf("first compute: status %d, X-Cache %q: %s", rr.Code, rr.Header().Get("X-Cache"), rr.Body.String())
+	}
+	firstBody := rr.Body.String()
+	id := rr.Header().Get("X-Decision-Id")
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same dir: the decision replays into the LRU.
+	srv2, o2 := mk()
+	defer srv2.Close()
+	if v := o2.Metrics().Counter("service_persist", obs.L("event", "replayed")).Value(); v < 1 {
+		t.Fatalf("replayed counter = %v, want >= 1", v)
+	}
+	req2, err := http.NewRequest("POST", "/v1/scale", strings.NewReader(`{"benchmark":"veccombine","toq":0.9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr2 := httptest.NewRecorder()
+	srv2.Handler().ServeHTTP(rr2, req2)
+	if rr2.Code != http.StatusOK {
+		t.Fatalf("post-restart: status %d: %s", rr2.Code, rr2.Body.String())
+	}
+	if c := rr2.Header().Get("X-Cache"); c != "hit" {
+		t.Errorf("post-restart X-Cache = %q, want hit (served from journal)", c)
+	}
+	if rr2.Header().Get("X-Decision-Id") != id {
+		t.Errorf("post-restart id = %q, want %q", rr2.Header().Get("X-Decision-Id"), id)
+	}
+	if rr2.Body.String() != firstBody {
+		t.Error("post-restart body differs from the pre-crash body")
+	}
+}
+
+// A probe-detected death advances the membership epoch, shrinks the
+// effective ring, and forces the peer's breaker open; recovery reverses
+// all three. Driven through onPeerChange directly — the prober's own
+// state machine has its own tests.
+func TestPeerChangeUpdatesViewAndBreaker(t *testing.T) {
+	nodes := startCluster(t, 3)
+	srv := nodes[0].srv
+	peer := nodes[1].addr
+	if srv.view.Epoch() != 1 {
+		t.Fatalf("initial epoch = %d", srv.view.Epoch())
+	}
+
+	srv.onPeerChange(peer, false)
+	if e := srv.view.Epoch(); e != 2 {
+		t.Errorf("epoch after death = %d, want 2", e)
+	}
+	if srv.view.Alive(peer) {
+		t.Error("dead peer still in the live set")
+	}
+	if srv.view.Ring().Contains(peer) {
+		t.Error("dead peer still on the effective ring")
+	}
+	if st := srv.breakerFor(peer).State(); st != breakerOpen {
+		t.Errorf("breaker after probe-down = %v, want open", st)
+	}
+	if g := nodes[0].obs.Metrics().Gauge("service_cluster_epoch").Value(); g != 2 {
+		t.Errorf("service_cluster_epoch = %v, want 2", g)
+	}
+
+	srv.onPeerChange(peer, true)
+	if e := srv.view.Epoch(); e != 3 {
+		t.Errorf("epoch after recovery = %d, want 3", e)
+	}
+	if !srv.view.Ring().Contains(peer) {
+		t.Error("recovered peer missing from the effective ring")
+	}
+	if st := srv.breakerFor(peer).State(); st != breakerClosed {
+		t.Errorf("breaker after probe-up = %v, want closed", st)
+	}
+}

@@ -99,9 +99,39 @@ type Config struct {
 	// unreachable. Empty Peers disables clustering.
 	Self  string
 	Peers []string
+	// Replication is the number of ring owners per fingerprint. 1 (the
+	// default) is pure sharding; above 1, the primary owner computes and
+	// asynchronously warms the other replicas' caches, and requests
+	// fail over through the replica list when the primary is down.
+	// Ignored outside a cluster.
+	Replication int
 	// ProxyClient issues proxied scale requests to peer nodes; nil
-	// selects a default client with a 2-minute timeout.
+	// selects a default client. Each proxy attempt additionally runs
+	// under ProxyAttemptTimeout.
 	ProxyClient *http.Client
+	// ProxyAttemptTimeout bounds one proxied attempt to one replica; 0
+	// selects 15s. Failing attempts walk the replica list, so this is
+	// the worst-case cost of a hung (not dead — dead fails at connect)
+	// peer per request.
+	ProxyAttemptTimeout time.Duration
+	// ProbeInterval paces the active peer health prober in a cluster; 0
+	// selects 2s. Probes feed the liveness overlay of the membership
+	// view (dead peers leave the effective ring within roughly one
+	// interval) and the per-peer circuit breakers.
+	ProbeInterval time.Duration
+	// DisableProber turns off the active health prober (tests that want
+	// deterministic membership drive SetAlive themselves). Breakers
+	// still learn from proxy failures.
+	DisableProber bool
+	// PersistDir, when non-empty, enables the crash-safe decision
+	// journal: completed decisions are appended (checksummed, fsync'd
+	// off the hot path) under this directory and replayed into the LRU
+	// at startup, so a restarted node serves its hot set as cache hits
+	// instead of re-searching.
+	PersistDir string
+	// PersistMaxWAL is the WAL size (bytes) beyond which the journal is
+	// compacted into a snapshot; 0 selects 8 MiB.
+	PersistMaxWAL int64
 	// CacheSize is the decision LRU capacity in entries; 0 selects 128.
 	CacheSize int
 	// Obs receives the service metrics (request counters, cache
@@ -142,9 +172,16 @@ type Server struct {
 	queueWait     *obs.Histogram // service_queue_wait_seconds, slot waits
 	searchSeconds *obs.Histogram // service_search_seconds, drives deadline shedding
 
-	ring  *cluster.Ring // nil outside a cluster
-	self  string        // this node's ring identity
-	proxy *http.Client  // issues proxied scale requests
+	view                *cluster.View // nil outside a cluster
+	self                string        // this node's ring identity
+	replication         int           // ring owners per fingerprint
+	proxy               *http.Client  // issues proxied scale requests
+	proxyAttemptTimeout time.Duration
+	warmClient          *http.Client        // pushes decisions to replicas
+	breakers            map[string]*breaker // per peer
+	prober              *prober             // nil outside a cluster or when disabled
+	epochGauge          *obs.Gauge          // service_cluster_epoch
+	journal             *journal            // nil without PersistDir
 
 	mu     sync.Mutex
 	bases  map[string]*core.Framework // per system preset, inspected once
@@ -164,6 +201,10 @@ type Server struct {
 	// slot is acquired and before the search runs — a deterministic
 	// point for tests to cancel the request context.
 	testSearchStarted func(ctx context.Context, bench string)
+	// testWarmed, when set, is called after warmReplicas finishes
+	// pushing a decision — a deterministic point for tests to assert
+	// replica cache state.
+	testWarmed func(id string)
 }
 
 // entry is one cached decision: the canonical response body, the id it
@@ -226,18 +267,68 @@ func New(cfg Config) (*Server, error) {
 		if cfg.Self == "" {
 			return nil, fmt.Errorf("service: Peers set without Self")
 		}
-		ring, err := cluster.New(append([]string{cfg.Self}, cfg.Peers...), 0)
+		view, err := cluster.NewView(append([]string{cfg.Self}, cfg.Peers...), 0)
 		if err != nil {
 			return nil, fmt.Errorf("service: %w", err)
 		}
-		s.ring, s.self = ring, cfg.Self
+		s.view, s.self = view, cfg.Self
+		s.replication = cfg.Replication
+		if s.replication == 0 {
+			s.replication = 1
+		}
+		if s.replication < 0 {
+			return nil, fmt.Errorf("service: negative Replication %d", cfg.Replication)
+		}
 		s.proxy = cfg.ProxyClient
 		if s.proxy == nil {
 			s.proxy = &http.Client{Timeout: defaultProxyTimeout}
 		}
+		s.proxyAttemptTimeout = cfg.ProxyAttemptTimeout
+		if s.proxyAttemptTimeout <= 0 {
+			s.proxyAttemptTimeout = defaultProxyAttemptTimeout
+		}
+		s.warmClient = &http.Client{Timeout: defaultWarmTimeout}
+		s.epochGauge = o.Metrics().Gauge("service_cluster_epoch")
+		s.epochGauge.Set(float64(view.Epoch()))
+		s.breakers = map[string]*breaker{}
+		for _, peer := range cfg.Peers {
+			if peer == cfg.Self {
+				continue
+			}
+			s.breakers[peer] = newBreaker(
+				o.Metrics().Gauge("service_breaker_state", obs.L("peer", peer)))
+		}
+		if !cfg.DisableProber {
+			peers := make([]string, 0, len(s.breakers))
+			for peer := range s.breakers {
+				peers = append(peers, peer)
+			}
+			sort.Strings(peers)
+			s.prober = newProber(peers, cfg.ProbeInterval, nil, s.onPeerChange,
+				o.Metrics(), cfg.Logger)
+			s.prober.Start()
+		}
+	}
+	if cfg.PersistDir != "" {
+		j, records, err := openJournal(cfg.PersistDir, cfg.PersistMaxWAL,
+			s.persistSnapshot, o.Metrics(), cfg.Logger)
+		if err != nil {
+			if s.prober != nil {
+				s.prober.Stop()
+			}
+			return nil, err
+		}
+		// Replay before the journal is wired into store(), so replayed
+		// entries are not re-journaled. Oldest first: if the cache is
+		// smaller than the journal, the newest decisions survive.
+		for _, rec := range records {
+			s.store(rec.id, rec.body, nil)
+		}
+		s.journal = j
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/scale", s.handleScale)
+	mux.HandleFunc("POST /v1/decisions/{id}/warm", s.handleWarm)
 	mux.HandleFunc("GET /v1/decisions/{id}", s.handleDecision)
 	mux.HandleFunc("GET /v1/decisions/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/decisions/{id}/events", s.handleEvents)
@@ -257,6 +348,68 @@ func New(cfg Config) (*Server, error) {
 // request-id / access-log / panic-recovery middleware unless
 // Config.DisableTelemetry.
 func (s *Server) Handler() http.Handler { return s.handler }
+
+// Close releases the server's background machinery: the health prober
+// stops, and the decision journal drains its queue and compacts a final
+// snapshot. Call after the HTTP server has shut down.
+func (s *Server) Close() error {
+	if s.prober != nil {
+		s.prober.Stop()
+	}
+	if s.journal != nil {
+		return s.journal.Close()
+	}
+	return nil
+}
+
+// onPeerChange is the prober's verdict callback: fold the liveness
+// transition into the membership view (rebuilding the effective ring
+// and advancing the epoch) and force the peer's breaker to match, so a
+// probe-detected death stops proxy attempts within one interval even on
+// nodes that never dialed the peer.
+func (s *Server) onPeerChange(peer string, up bool) {
+	if s.view.SetAlive(peer, up) {
+		s.epochGauge.Set(float64(s.view.Epoch()))
+		if s.logger != nil {
+			s.logger.Warn("cluster membership changed",
+				"peer", peer, "up", up, "epoch", s.view.Epoch(),
+				"live", strings.Join(s.view.Live(), ","))
+		}
+	}
+	if br := s.breakerFor(peer); br != nil {
+		if up {
+			br.ForceClose()
+		} else {
+			br.ForceOpen()
+		}
+	}
+}
+
+// routeFor labels a locally answered response with this node's replica
+// slot for the fingerprint ("primary", "replica-<i>", or "fallback" for
+// a node outside the replica set serving a body it computed during an
+// earlier fallback), so load generators can count failover traffic.
+func (s *Server) routeFor(id string) string {
+	for i, o := range s.view.Ring().OwnerN(id, s.replication) {
+		if o == s.self {
+			return routeLabel(i)
+		}
+	}
+	return "fallback"
+}
+
+// persistSnapshot captures the decision cache for journal compaction,
+// oldest first so replay rebuilds the same LRU order.
+func (s *Server) persistSnapshot() []persistRecord {
+	s.cmu.Lock()
+	defer s.cmu.Unlock()
+	recs := make([]persistRecord, 0, s.lru.Len())
+	for el := s.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		recs = append(recs, persistRecord{id: e.id, body: e.body})
+	}
+	return recs
+}
 
 // Workers returns the resolved worker-pool capacity.
 func (s *Server) Workers() int { return s.admit.workers }
@@ -419,6 +572,9 @@ func (s *Server) store(id string, body, trace []byte) {
 		return
 	}
 	s.byID[id] = s.lru.PushFront(&entry{id: id, body: body, trace: trace})
+	if s.journal != nil {
+		s.journal.append(id, body)
+	}
 	for s.lru.Len() > s.maxSize {
 		el := s.lru.Back()
 		s.lru.Remove(el)
@@ -470,21 +626,49 @@ func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 		s.cmu.Lock()
 		s.hits++
 		s.cmu.Unlock()
+		if s.view != nil && r.Header.Get(headerForwarded) == "" {
+			w.Header().Set(headerClusterRoute, s.routeFor(job.id))
+		}
 		m.Counter("service_cache", obs.L("result", "hit")).Inc()
 		s.writeDecision(w, job.id, "hit", body)
 		return
 	}
 
-	// Ring ownership: a non-owner node proxies to the owner so the
-	// fleet's decision cache shards instead of duplicating. A request
-	// that was already forwarded once is always answered locally (no
-	// proxy loops), as is any request when the owner is unreachable —
-	// local compute produces the byte-identical body.
-	if s.ring != nil && r.Header.Get(headerForwarded) == "" {
-		if owner := s.ring.Owner(job.id); owner != s.self {
-			if s.proxyScale(w, r, req, job.id, owner) {
+	// Ring ownership: requests route to the fingerprint's replica set on
+	// the *live* ring (the membership view with probe-down peers
+	// excluded), primary first, so the fleet's decision cache shards
+	// instead of duplicating and searches concentrate on one node. The
+	// first live owner computes; other replicas and non-owners proxy to
+	// it, failing over through the replica list — warmed at compute time
+	// — when it dies between probe verdicts. A request that was already
+	// forwarded once is always answered locally (no proxy loops), as is
+	// any request when every replica is unreachable ("fallback") — local
+	// compute produces the byte-identical body.
+	if s.view != nil && r.Header.Get(headerForwarded) == "" {
+		owners := s.view.Ring().OwnerN(job.id, s.replication)
+		selfSlot := -1
+		for i, o := range owners {
+			if o == s.self {
+				selfSlot = i
+				break
+			}
+		}
+		switch {
+		case selfSlot == 0:
+			w.Header().Set(headerClusterRoute, routeLabel(0))
+		case selfSlot > 0:
+			// A replica answers its own cache (checked above) but routes
+			// misses to the owners ahead of it; it computes only when all
+			// of them are unreachable.
+			if s.proxyScale(w, r, req, job.id, owners[:selfSlot]) {
 				return
 			}
+			w.Header().Set(headerClusterRoute, routeLabel(selfSlot))
+		default:
+			if s.proxyScale(w, r, req, job.id, owners) {
+				return
+			}
+			w.Header().Set(headerClusterRoute, "fallback")
 		}
 	}
 
@@ -555,6 +739,12 @@ func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 	s.cmu.Unlock()
 	s.flightDone(f, body, rt.closeTrace(), nil)
 	rt.done(job.id)
+	if s.view != nil && s.replication > 1 {
+		// Push the fresh decision to the fingerprint's other replicas so
+		// a failover request finds it cached instead of re-searching.
+		// Asynchronous and best-effort; the client never waits on it.
+		go s.warmReplicas(job.id, body)
+	}
 	s.writeDecision(w, job.id, "miss", body)
 }
 
@@ -738,8 +928,26 @@ func (s *Server) Health() map[string]any {
 		"queue_wait":         latencySummary(s.queueWait),
 		"search_time":        latencySummary(s.searchSeconds),
 	}
-	if s.ring != nil {
-		h["cluster"] = map[string]any{"self": s.self, "nodes": s.ring.Nodes()}
+	if s.view != nil {
+		peers := map[string]any{}
+		for peer, br := range s.breakers {
+			up := true
+			if s.prober != nil {
+				up = s.prober.Up(peer)
+			}
+			peers[peer] = map[string]any{"up": up, "breaker": br.State().String()}
+		}
+		h["cluster"] = map[string]any{
+			"self":        s.self,
+			"nodes":       s.view.Seed(),
+			"live":        s.view.Live(),
+			"epoch":       s.view.Epoch(),
+			"replication": s.replication,
+			"peers":       peers,
+		}
+	}
+	if s.journal != nil {
+		h["persist_dir"] = s.journal.dir
 	}
 	return h
 }

@@ -13,10 +13,19 @@
 //	prescaler -bench gemm -json decision.json
 //	prescaler -bench gemm -progress
 //	prescaler -list
+//
+// With -daemon URL the search runs on a prescalerd instead of
+// in-process: the request goes through the typed v1 API client, and
+// -progress follows the daemon's SSE event stream, printing the same
+// per-trial lines a local search would:
+//
+//	prescaler -bench gemm -daemon http://127.0.0.1:8080 -progress
 package main
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +33,7 @@ import (
 	"syscall"
 
 	"repro/internal/api"
+	"repro/internal/api/client"
 	"repro/internal/core"
 	"repro/internal/fault"
 	"repro/internal/hw"
@@ -50,6 +60,7 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 0, "seed for the fault-injection decision stream (same spec+seed reproduces the same faults at any -j)")
 	retries := flag.Int("retries", 2, "bounded retries per search trial after an injected fault (inert without -faults)")
 	progress := flag.Bool("progress", false, "stream search progress (one line per trial/decision) to stderr as it happens")
+	daemon := flag.String("daemon", "", "prescalerd base URL (e.g. http://127.0.0.1:8080); submit the request to the daemon through the v1 API client instead of searching in-process")
 	interp := flag.String("interp", "batch", "kir interpreter engine: batch (vectorized strips) or tree (reference walker); all artifacts are byte-identical between the two")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
@@ -73,6 +84,25 @@ func main() {
 	// Ctrl-C / SIGTERM cancels the search at the next trial boundary.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *daemon != "" {
+		req := &api.ScaleRequest{
+			Schema:    api.Schema,
+			Benchmark: *bench,
+			System:    *system,
+			TOQ:       *toq,
+			InputSet:  *input,
+			Faults:    *faults,
+			FaultSeed: *faultSeed,
+		}
+		if *faults != "" {
+			req.Retries = retries
+		}
+		if err := runDaemon(ctx, *daemon, req, *progress, *jsonPath); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
 
 	w := polybench.ByName(*bench)
 	if w == nil {
@@ -201,6 +231,75 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", *metricsPath)
 	}
+}
+
+// errStreamDone stops the SSE loop when the terminal event arrives.
+var errStreamDone = errors.New("stream done")
+
+// runDaemon submits the request to a running prescalerd through the
+// typed v1 API client. With -progress it computes the decision id first
+// (POST /v1/scale?fingerprint=1), subscribes to the daemon's SSE event
+// stream, and renders each search milestone through the same
+// printProgress a local search uses — then POSTs for real.
+func runDaemon(ctx context.Context, url string, req *api.ScaleRequest, progress bool, jsonPath string) error {
+	cl := &client.Client{Targets: []string{url}}
+	done := make(chan struct{})
+	close(done)
+	if progress {
+		id, cached, err := cl.Fingerprint(ctx, req)
+		if err != nil {
+			return err
+		}
+		if cached {
+			fmt.Fprintf(os.Stderr, "decision %s already cached on %s\n", id, url)
+		} else {
+			done = make(chan struct{})
+			go func() {
+				defer close(done)
+				err := cl.Events(ctx, id, func(event string, data []byte) error {
+					if event == "done" || event == "error" {
+						return errStreamDone
+					}
+					var ev scaler.ProgressEvent
+					if json.Unmarshal(data, &ev) == nil {
+						printProgress(ev)
+					}
+					return nil
+				})
+				if err != nil && !errors.Is(err, errStreamDone) {
+					fmt.Fprintf(os.Stderr, "prescaler: progress stream: %v\n", err)
+				}
+			}()
+		}
+	}
+	d, body, meta, err := cl.Scale(ctx, req)
+	if err != nil {
+		return err
+	}
+	<-done
+
+	fmt.Fprintf(os.Stderr, "daemon %s answered decision %s (cache %s)\n", url, meta.DecisionID, meta.Cache)
+	res := d.Search
+	fmt.Printf("baseline       %12.6f ms\n", res.BaselineMs)
+	fmt.Printf("prescaler      %12.6f ms (kernel %.6f, HtoD %.6f, DtoH %.6f)\n",
+		res.FinalMs, res.KernelMs, res.HtoDMs, res.DtoHMs)
+	fmt.Printf("speedup        %12.2fx\n", res.Speedup)
+	fmt.Printf("quality        %12.4f (TOQ %.2f)\n", res.Quality, d.TOQ)
+	fmt.Printf("trials         %12d of %.3g possible configurations\n", res.Trials, res.SearchSpace)
+
+	if jsonPath != "" {
+		// The raw response bytes, not a re-encode: the artifact stays
+		// byte-identical to the daemon's POST /v1/scale body.
+		if jsonPath == "-" {
+			_, err := os.Stdout.Write(body)
+			return err
+		}
+		if err := os.WriteFile(jsonPath, body, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote decision JSON to %s\n", jsonPath)
+	}
+	return nil
 }
 
 // printProgress renders one search milestone per line on stderr.

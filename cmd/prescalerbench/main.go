@@ -34,7 +34,6 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
-	"io"
 	"math/rand"
 	"net/http"
 	"os"
@@ -45,14 +44,14 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/api/client"
 	"repro/internal/benchfmt"
 )
 
 type spec struct {
-	body    string
-	target  string
-	client  string
-	targets []string // full target list, for transport-failure retries
+	body   string
+	target string
+	client string
 }
 
 type result struct {
@@ -110,7 +109,6 @@ func main() {
 		}
 		specs[i].target = targetList[i%len(targetList)]
 		specs[i].client = fmt.Sprintf("bench-%d", i%*clients)
-		specs[i].targets = targetList
 	}
 	rand.New(rand.NewSource(*seed)).Shuffle(len(specs), func(i, j int) {
 		specs[i], specs[j] = specs[j], specs[i]
@@ -122,6 +120,18 @@ func main() {
 			MaxIdleConns:        *c * 2,
 			MaxIdleConnsPerHost: *c * 2,
 		},
+	}
+	// Transport-failure retries rotate through the target list — with a
+	// single target there is nowhere to rotate to, so retries are off.
+	benchRetries := *retries
+	if len(targetList) < 2 {
+		benchRetries = 0
+	}
+	base := &client.Client{
+		Targets:    targetList,
+		HTTPClient: httpc,
+		Retries:    benchRetries,
+		DeadlineMs: *deadlineMs,
 	}
 	work := make(chan spec)
 	results := make([]result, 0, *n)
@@ -136,7 +146,7 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for sp := range work {
-				r := shoot(httpc, sp, *deadlineMs, *retries)
+				r := shoot(base, sp)
 				rmu.Lock()
 				results = append(results, r)
 				rmu.Unlock()
@@ -206,54 +216,22 @@ func scheduleHook(hooks *sync.WaitGroup, after time.Duration, cmd, label string)
 	}()
 }
 
-// shoot issues one request and classifies the response. A transport
-// failure (the target died mid-request) is retried up to `retries`
-// times, each against the next target in the ring — the behavior a
-// client gets from any load balancer in front of the fleet.
-func shoot(httpc *http.Client, sp spec, deadlineMs, retries int) result {
-	target := sp.target
+// shoot issues one request through the typed client and classifies the
+// response. The client handles transport-failure retries, each against
+// the next target in the ring — the behavior a client gets from any
+// load balancer in front of the fleet.
+func shoot(base *client.Client, sp spec) result {
+	cl := base.WithStart(sp.target).WithClientID(sp.client)
 	t0 := time.Now()
-	for attempt := 0; ; attempt++ {
-		r := shootOnce(httpc, target, sp, deadlineMs)
-		r.retried = attempt
-		r.latency = time.Since(t0)
-		if r.err == nil || attempt >= retries || len(sp.targets) < 2 {
-			return r
-		}
-		// Rotate to the next target for the retry.
-		for i, t := range sp.targets {
-			if t == target {
-				target = sp.targets[(i+1)%len(sp.targets)]
-				break
-			}
-		}
-	}
-}
-
-// shootOnce is a single request/response exchange.
-func shootOnce(httpc *http.Client, target string, sp spec, deadlineMs int) result {
-	req, err := http.NewRequest("POST", target+"/v1/scale", strings.NewReader(sp.body))
-	if err != nil {
-		return result{err: err}
-	}
-	req.Header.Set("Content-Type", "application/json")
-	req.Header.Set("X-Client-Id", sp.client)
-	if deadlineMs > 0 {
-		req.Header.Set("X-Deadline-Ms", fmt.Sprint(deadlineMs))
-	}
-	resp, err := httpc.Do(req)
-	if err != nil {
-		return result{err: err}
-	}
-	body, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	r := result{
-		status: resp.StatusCode,
-		cache:  resp.Header.Get("X-Cache"),
-		origin: resp.Header.Get("X-Cache-Origin"),
-		route:  resp.Header.Get("X-Cluster-Route"),
-		id:     resp.Header.Get("X-Decision-Id"),
-		err:    err,
+	body, meta, err := cl.ScaleRaw(context.Background(), []byte(sp.body))
+	r := result{latency: time.Since(t0), err: err}
+	if meta != nil {
+		r.retried = meta.Retried
+		r.status = meta.Status
+		r.cache = meta.Cache
+		r.origin = meta.CacheOrigin
+		r.route = meta.ClusterRoute
+		r.id = meta.DecisionID
 	}
 	if r.err == nil && r.status == http.StatusOK {
 		h := fnv.New64a()

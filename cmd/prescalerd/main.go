@@ -12,6 +12,17 @@
 //	curl -s localhost:8080/metrics
 //	curl -N localhost:8080/v1/decisions/<id>/events
 //
+// Sessions bind a long-lived decision to a workload and re-scale it
+// warm when the input distribution drifts or the achieved quality
+// falls below TOQ (DESIGN.md §19). Sessions expire after an idle
+// -session-ttl, are capped at -max-sessions (LRU), and persist their
+// generations to the -persist-dir journal:
+//
+//	curl -s -X POST localhost:8080/v1/sessions \
+//	    -d '{"benchmark":"ATAX","toq":0.9,"input_set":"random"}'
+//	curl -s -X POST localhost:8080/v1/sessions/<id>/evaluate \
+//	    -d '{"input_set":"image"}'
+//
 // A fleet shards its decision cache by consistent-hashing the decision
 // fingerprint across nodes (-peers): non-owner nodes proxy /v1/scale to
 // the owner and fall back to local compute when it is down, so any node
@@ -76,7 +87,9 @@ func main() {
 	self := flag.String("self", "", "this node's advertised address in the cluster; defaults to -addr")
 	replication := flag.Int("replication", 2, "ring owners per decision fingerprint in a cluster: the primary computes and warms the others, requests fail over through the list; 1 disables replication (pure sharding)")
 	probeInterval := flag.Duration("probe-interval", 2*time.Second, "peer health-probe interval; a dead peer leaves the effective ring within about one interval")
-	persistDir := flag.String("persist-dir", "", "directory for the crash-safe decision journal; decisions are replayed into the cache on restart; empty disables persistence")
+	persistDir := flag.String("persist-dir", "", "directory for the crash-safe decision journal; decisions and open sessions are replayed on restart; empty disables persistence")
+	sessionTTL := flag.Duration("session-ttl", 0, "idle expiry for sessions (POST /v1/sessions); 0 selects 1h")
+	maxSessions := flag.Int("max-sessions", 0, "session store capacity; creating beyond it evicts the least recently used session; 0 selects 64")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight searches before they are canceled")
 	logFormat := flag.String("log-format", "text", "request log format: text or json")
 	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
@@ -97,12 +110,14 @@ func main() {
 	}
 
 	cfg := service.Config{
-		Workers:    *workers,
-		CacheSize:  *cacheSize,
-		MaxQueue:   *maxQueue,
-		Obs:        obs.New(),
-		Logger:     logger,
-		PersistDir: *persistDir,
+		Workers:     *workers,
+		CacheSize:   *cacheSize,
+		MaxQueue:    *maxQueue,
+		Obs:         obs.New(),
+		Logger:      logger,
+		PersistDir:  *persistDir,
+		SessionTTL:  *sessionTTL,
+		MaxSessions: *maxSessions,
 	}
 	if *peers != "" {
 		cfg.Self = *self

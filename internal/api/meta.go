@@ -1,0 +1,29 @@
+package api
+
+import "encoding/json"
+
+// Meta is the response metadata the service otherwise carries only in
+// headers. Behind ?meta=1 it is promoted into the JSON envelope so
+// clients that cannot (or prefer not to) read headers still see where
+// a decision came from. Field values mirror the headers exactly:
+// decision_id = X-Decision-Id, cache = X-Cache, cluster_route =
+// X-Cluster-Route, cache_origin = X-Cache-Origin.
+type Meta struct {
+	DecisionID   string `json:"decision_id"`
+	Cache        string `json:"cache"`
+	ClusterRoute string `json:"cluster_route,omitempty"`
+	CacheOrigin  string `json:"cache_origin,omitempty"`
+}
+
+// Envelope wraps a decision body with its Meta block for ?meta=1
+// responses. Decision holds the untouched decision document; decoding
+// it and re-encoding with EncodeDecision reproduces the bare body
+// byte-for-byte (the canonical rendering is a pure function of the
+// document). Without ?meta=1 the service returns the bare decision
+// body — that body, not this envelope, is the byte-stable surface the
+// CLI's -json artifact is compared against.
+type Envelope struct {
+	Schema   string          `json:"schema"`
+	Meta     *Meta           `json:"meta"`
+	Decision json.RawMessage `json:"decision"`
+}

@@ -107,6 +107,14 @@ type Options struct {
 	// none was supplied. It never disables an explicitly set EvalCache
 	// and has no effect outside Normalize.
 	DisableEvalCache bool
+	// Seed, when non-nil, warm-starts the search from a previous
+	// decision on the same workload: the pre-full-precision pass and the
+	// full per-object descent are replaced by a single seed trial plus a
+	// re-search of only the objects whose error contribution moved (or a
+	// TOQ-repair climb when the seed no longer passes). A nil Seed — the
+	// default — leaves the search byte-identical to the cold pipeline.
+	// See internal/scaler/warm.go.
+	Seed *Seed
 	// Progress, when non-nil, receives a ProgressEvent at every search
 	// milestone: search start, the profiling run, every candidate trial
 	// (with its quality vs TOQ), each object's decision, and the final
@@ -228,6 +236,7 @@ type Scaler struct {
 	keys   *configKeyer
 	memo   map[string]*trialRecord
 	spec   map[string]*specTrial
+	warm   *WarmReport
 }
 
 // New creates a scaler. The inspector database must belong to sys.
@@ -362,6 +371,9 @@ type Result struct {
 	PredictedSpace float64
 	// Info is the application profile the search used.
 	Info *profile.AppInfo
+	// Warm describes the warm-start outcome when Options.Seed was set;
+	// nil for cold searches.
+	Warm *WarmReport
 }
 
 // TypeDist returns how many memory objects ended at each precision.
@@ -768,36 +780,47 @@ func (s *Scaler) Search(ctx context.Context) (*Result, error) {
 	}
 
 	// Pre-full-precision scaling: pick the fastest TOQ-passing uniform
-	// configuration as the starting point.
+	// configuration as the starting point. A warm-started search (a
+	// session re-scaling after input drift) replaces the pass and the
+	// full descent with the seeded pipeline in warm.go.
 	current := prog.Baseline(s.w)
-	if !s.opts.DisableFullPrecisionPass {
-		spPass := tr.Start("pre-fp-pass", "pipeline")
-		current, err = s.fullPrecisionPass(types)
-		tr.End(spPass)
+	if s.opts.Seed != nil && s.opts.Seed.Config != nil {
+		spWarm := tr.Start("warm-start", "pipeline")
+		current, err = s.warmSearch(types)
+		tr.End(spWarm)
 		if err != nil {
 			return nil, err
 		}
-	}
+	} else {
+		if !s.opts.DisableFullPrecisionPass {
+			spPass := tr.Start("pre-fp-pass", "pipeline")
+			current, err = s.fullPrecisionPass(types)
+			tr.End(spPass)
+			if err != nil {
+				return nil, err
+			}
+		}
 
-	// Decision-tree search over objects in descending effective time.
-	for i := range s.info.Objects {
-		obj := &s.info.Objects[i]
-		spObj := tr.Start("object "+obj.Name, "pipeline",
-			obs.A("effective_ms", obj.EffectiveTime*1e3))
-		chosen, err := s.searchObject(current, obj, types)
-		tr.End(spObj)
-		if err != nil {
-			return nil, err
+		// Decision-tree search over objects in descending effective time.
+		for i := range s.info.Objects {
+			obj := &s.info.Objects[i]
+			spObj := tr.Start("object "+obj.Name, "pipeline",
+				obs.A("effective_ms", obj.EffectiveTime*1e3))
+			chosen, err := s.searchObject(current, obj, types)
+			tr.End(spObj)
+			if err != nil {
+				return nil, err
+			}
+			current = chosen
+			target := current.Objects[obj.Name].Target
+			if !target.Valid() {
+				target = s.w.Original
+			}
+			s.progress(ProgressEvent{
+				Kind: "object", Object: obj.Name, Target: target.String(),
+				Trial: s.trials, Verdict: "chosen",
+			})
 		}
-		current = chosen
-		target := current.Objects[obj.Name].Target
-		if !target.Valid() {
-			target = s.w.Original
-		}
-		s.progress(ProgressEvent{
-			Kind: "object", Object: obj.Name, Target: target.String(),
-			Trial: s.trials, Verdict: "chosen",
-		})
 	}
 
 	// Final measurement (memoized when the last accepted configuration
@@ -846,6 +869,7 @@ func (s *Scaler) Search(ctx context.Context) (*Result, error) {
 		BaselineTime: ref.Total,
 		Trials:       s.trials,
 		Info:         info,
+		Warm:         s.warm,
 	}
 	if final.res.Total > 0 {
 		res.Speedup = ref.Total / final.res.Total

@@ -189,6 +189,16 @@ func (s *Server) proxyAttempt(w http.ResponseWriter, r *http.Request, body, id, 
 	} else {
 		m.Counter("service_proxy", obs.L("result", "relay_error")).Inc()
 	}
+	if resp.StatusCode == http.StatusOK && wantMeta(r) {
+		// The peer was asked for the bare body (the proxy URL carries no
+		// query); wrap it here so the envelope reports this node's view —
+		// cache "remote", the origin's state in cache_origin.
+		relayed, err := io.ReadAll(io.LimitReader(resp.Body, warmBodyLimit))
+		if err == nil {
+			s.writeDecision(w, r, h.Get("X-Decision-Id"), h.Get("X-Cache"), relayed)
+			return proxyOK
+		}
+	}
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
 	return proxyOK

@@ -1,0 +1,105 @@
+package service
+
+// Route table: the single registry of the v1 surface. Every route is
+// registered twice — once under its method pattern, and once (per
+// path pattern) under a method-less fallback that answers any other
+// verb with a 405 error envelope and an Allow header. A catch-all
+// turns unknown paths into the same 404 envelope the handlers use, so
+// every byte the service emits — success or failure — is
+// schema-tagged JSON.
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/api"
+	"repro/internal/obs"
+)
+
+// route is one (method, pattern) registration.
+type route struct {
+	method  string
+	pattern string
+	h       http.HandlerFunc
+}
+
+// routes enumerates the v1 surface.
+func (s *Server) routes() []route {
+	return []route{
+		{http.MethodPost, "/v1/scale", s.handleScale},
+		{http.MethodGet, "/v1/decisions/{id}", s.handleDecision},
+		{http.MethodPost, "/v1/decisions/{id}/warm", s.handleWarm},
+		{http.MethodGet, "/v1/decisions/{id}/trace", s.handleTrace},
+		{http.MethodGet, "/v1/decisions/{id}/events", s.handleEvents},
+		{http.MethodPost, "/v1/sessions", s.handleSessionCreate},
+		{http.MethodGet, "/v1/sessions/{id}", s.handleSessionGet},
+		{http.MethodDelete, "/v1/sessions/{id}", s.handleSessionDelete},
+		{http.MethodPost, "/v1/sessions/{id}/evaluate", s.handleSessionEvaluate},
+		{http.MethodGet, "/v1/sessions/{id}/events", s.handleSessionEvents},
+		{http.MethodGet, "/v1/systems", s.handleSystems},
+		{http.MethodGet, "/v1/healthz", s.handleHealthz},
+		{http.MethodGet, "/v1/metricsz", s.handleMetricsz},
+		{http.MethodGet, "/metrics", s.handleMetrics},
+	}
+}
+
+// buildMux materializes the route table.
+func (s *Server) buildMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	allowed := map[string][]string{}
+	for _, rt := range s.routes() {
+		mux.HandleFunc(rt.method+" "+rt.pattern, rt.h)
+		allowed[rt.pattern] = append(allowed[rt.pattern], rt.method)
+	}
+	for pattern, methods := range allowed {
+		allow := allowHeader(methods)
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			s.writeMethodNotAllowed(w, r, allow)
+		})
+	}
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		s.writeRouteNotFound(w, r)
+	})
+	return mux
+}
+
+// allowHeader renders an Allow header value: the registered methods
+// (plus the implicit HEAD next to GET), sorted.
+func allowHeader(methods []string) string {
+	set := map[string]bool{}
+	for _, m := range methods {
+		set[m] = true
+		if m == http.MethodGet {
+			set[http.MethodHead] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ", ")
+}
+
+// writeMethodNotAllowed answers a known path hit with the wrong verb:
+// 405, the v1 error envelope, and the Allow header.
+func (s *Server) writeMethodNotAllowed(w http.ResponseWriter, r *http.Request, allow string) {
+	s.obs.Metrics().Counter("service_errors", obs.L("code", "method_not_allowed")).Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Allow", allow)
+	w.WriteHeader(http.StatusMethodNotAllowed)
+	api.Encode(w, &api.Error{
+		Schema: api.Schema,
+		Code:   "method_not_allowed",
+		Message: fmt.Sprintf("method %s not allowed for %s (allow: %s)",
+			r.Method, r.URL.Path, allow),
+	})
+}
+
+// writeRouteNotFound answers a path outside the v1 surface with the
+// same 404 envelope unknown resources get.
+func (s *Server) writeRouteNotFound(w http.ResponseWriter, r *http.Request) {
+	s.writeError(w, &notFoundError{what: "route", name: r.URL.Path})
+}

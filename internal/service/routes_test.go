@@ -1,0 +1,155 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/api"
+)
+
+// Every route answers a wrong-verb request with 405, the v1 error
+// envelope, and an Allow header listing exactly the registered methods
+// (plus the implicit HEAD next to GET) — driven off the route table
+// itself, so a new route cannot dodge the contract.
+func TestRouteMethodNotAllowed(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	allowed := map[string][]string{}
+	for _, rt := range srv.routes() {
+		allowed[rt.pattern] = append(allowed[rt.pattern], rt.method)
+	}
+	probes := []string{http.MethodGet, http.MethodPost, http.MethodPut,
+		http.MethodDelete, http.MethodPatch}
+	for pattern, methods := range allowed {
+		path := strings.ReplaceAll(pattern, "{id}", "ffffffffffffffff")
+		registered := map[string]bool{}
+		for _, m := range methods {
+			registered[m] = true
+		}
+		for _, method := range probes {
+			// Registered verbs reach their real handlers (searches, SSE
+			// subscriptions) — their behavior is covered elsewhere; here we
+			// probe only the verbs the route table does not register.
+			if registered[method] {
+				continue
+			}
+			req, err := http.NewRequest(method, ts.URL+path, strings.NewReader("{}"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusMethodNotAllowed {
+				t.Errorf("%s %s: status %d, want 405", method, path, resp.StatusCode)
+				continue
+			}
+			if got, want := resp.Header.Get("Allow"), allowHeader(methods); got != want {
+				t.Errorf("%s %s: Allow %q, want %q", method, path, got, want)
+			}
+			var e api.Error
+			if err := json.Unmarshal(body, &e); err != nil || e.Code != "method_not_allowed" || e.Schema != api.Schema {
+				t.Errorf("%s %s: bad envelope %s", method, path, body)
+			}
+		}
+	}
+}
+
+// Paths outside the v1 surface get the same 404 envelope unknown
+// resources do — never the stdlib's plain-text 404.
+func TestRouteNotFoundEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, path := range []string{"/", "/v1", "/v1/nope", "/v2/scale", "/favicon.ico"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+			continue
+		}
+		var e api.Error
+		if err := json.Unmarshal(body, &e); err != nil || e.Code != "not_found" || e.Schema != api.Schema {
+			t.Errorf("GET %s: bad envelope %s", path, body)
+		}
+	}
+}
+
+// ?meta=1 wraps the decision in the meta envelope; the inner document
+// is the untouched bare body and the headers stay exactly as before.
+func TestMetaEnvelope(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	respBare, bare := postScale(t, ts, `{"benchmark":"veccombine"}`)
+	if respBare.StatusCode != http.StatusOK {
+		t.Fatalf("bare scale: status %d: %s", respBare.StatusCode, bare)
+	}
+	id := respBare.Header.Get("X-Decision-Id")
+
+	resp, err := http.Post(ts.URL+"/v1/scale?meta=1", "application/json",
+		strings.NewReader(`{"benchmark":"veccombine"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("meta scale: status %d: %s", resp.StatusCode, body)
+	}
+	var env api.Envelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("meta scale: not an envelope: %v\n%s", err, body)
+	}
+	if env.Schema != api.Schema || env.Meta == nil {
+		t.Fatalf("meta scale: incomplete envelope %s", body)
+	}
+	if env.Meta.DecisionID != id || env.Meta.DecisionID != resp.Header.Get("X-Decision-Id") {
+		t.Errorf("meta decision_id %q, want %q (header %q)",
+			env.Meta.DecisionID, id, resp.Header.Get("X-Decision-Id"))
+	}
+	if env.Meta.Cache != "hit" || env.Meta.Cache != resp.Header.Get("X-Cache") {
+		t.Errorf("meta cache %q (header %q), want hit", env.Meta.Cache, resp.Header.Get("X-Cache"))
+	}
+	// The inner document re-encodes canonically to the bare body,
+	// byte-for-byte (the envelope only re-indents the raw message).
+	if got := recanonicalize(t, env.Decision); !bytes.Equal(got, bare) {
+		t.Errorf("envelope decision differs from the bare body:\n%s\nvs\n%s", got, bare)
+	}
+
+	// GET /v1/decisions/{id}?meta=1 wraps the same way.
+	getResp, err := http.Get(ts.URL + "/v1/decisions/" + id + "?meta=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getBody, _ := io.ReadAll(getResp.Body)
+	getResp.Body.Close()
+	var getEnv api.Envelope
+	if err := json.Unmarshal(getBody, &getEnv); err != nil {
+		t.Fatalf("GET ?meta=1: %v: %s", err, getBody)
+	}
+	if got := recanonicalize(t, getEnv.Decision); !bytes.Equal(got, bare) {
+		t.Errorf("GET ?meta=1: envelope decision differs from the bare body")
+	}
+}
+
+// recanonicalize decodes an embedded decision document and re-encodes
+// it through the canonical encoder.
+func recanonicalize(t *testing.T, raw json.RawMessage) []byte {
+	t.Helper()
+	var d api.Decision
+	if err := json.Unmarshal(raw, &d); err != nil {
+		t.Fatalf("embedded decision: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := api.EncodeDecision(&buf, &d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}

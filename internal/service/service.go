@@ -12,10 +12,26 @@
 //	GET  /v1/decisions/{id}         re-fetch a completed Decision
 //	GET  /v1/decisions/{id}/trace   wall-clock Chrome trace of the search
 //	GET  /v1/decisions/{id}/events  live decision progress over SSE
+//	POST /v1/sessions               create a session (cold search, gen 1)
+//	GET  /v1/sessions/{id}          session document + current decision
+//	POST /v1/sessions/{id}/evaluate execute a batch; report drift; may re-scale
+//	DELETE /v1/sessions/{id}        close a session
+//	GET  /v1/sessions/{id}/events   session lifecycle over SSE
 //	GET  /v1/systems                system presets + inspector DB inventory
 //	GET  /v1/healthz                liveness, pool occupancy, latency quantiles
 //	GET  /v1/metricsz               the obs metrics registry as CSV
 //	GET  /metrics                   the same registry, Prometheus exposition
+//
+// The route table (routes.go) also derives the negative surface: wrong
+// verbs answer 405 + Allow and unknown paths 404, both in the standard
+// error envelope, and ?meta=1 on the decision-returning routes wraps
+// the body in an envelope carrying the response-header metadata.
+// Sessions (session.go) are long-lived decisions that re-scale
+// themselves: each evaluate folds the batch into per-object running
+// statistics, and a normalized shift past the session's drift
+// threshold — or an achieved quality below TOQ — triggers a
+// warm-started re-search seeded from the previous generation's config
+// and error attribution (see DESIGN.md §19).
 //
 // Telemetry is a strict side channel. Decision bodies are a pure
 // function of (inspector DB, workload, options) — request ids travel in
@@ -151,6 +167,13 @@ type Config struct {
 	// tests can pin that decision bodies are byte-identical with
 	// telemetry on or off.
 	DisableTelemetry bool
+	// SessionTTL is the idle expiry for sessions (POST /v1/sessions):
+	// a session untouched for this long is reclaimed lazily. Individual
+	// sessions may shorten it via ttl_seconds. 0 selects 1h.
+	SessionTTL time.Duration
+	// MaxSessions bounds the session store; creating past it evicts the
+	// least recently used session. 0 selects 64.
+	MaxSessions int
 }
 
 // defaultCacheSize is the decision LRU capacity when Config leaves it 0.
@@ -196,6 +219,16 @@ type Server struct {
 	hits    int64
 	misses  int64
 	maxSize int
+
+	// Session store (see session.go). Lock order is smu before a
+	// session's own mu, never the reverse.
+	smu         sync.Mutex
+	sessions    map[string]*session
+	sessSeq     uint64
+	sessTTL     time.Duration
+	maxSessions int
+	sessGauge   *obs.Gauge
+	now         func() time.Time // injectable clock for session-TTL tests
 
 	// testSearchStarted, when set, is called by the worker after the
 	// slot is acquired and before the search runs — a deterministic
@@ -245,6 +278,20 @@ func New(cfg Config) (*Server, error) {
 	if maxQueue < 0 {
 		return nil, fmt.Errorf("service: negative MaxQueue %d", cfg.MaxQueue)
 	}
+	sessTTL := cfg.SessionTTL
+	if sessTTL == 0 {
+		sessTTL = defaultSessionTTL
+	}
+	if sessTTL < 0 {
+		return nil, fmt.Errorf("service: negative SessionTTL %v", cfg.SessionTTL)
+	}
+	maxSessions := cfg.MaxSessions
+	if maxSessions == 0 {
+		maxSessions = defaultMaxSessions
+	}
+	if maxSessions < 0 {
+		return nil, fmt.Errorf("service: negative MaxSessions %d", cfg.MaxSessions)
+	}
 	s := &Server{
 		obs:           o,
 		admit:         newFairQueue(opts.Workers, maxQueue, o.Metrics()),
@@ -262,6 +309,11 @@ func New(cfg Config) (*Server, error) {
 		lru:           list.New(),
 		byID:          map[string]*list.Element{},
 		maxSize:       size,
+		sessions:      map[string]*session{},
+		sessTTL:       sessTTL,
+		maxSessions:   maxSessions,
+		sessGauge:     o.Metrics().Gauge("service_sessions"),
+		now:           time.Now,
 	}
 	if len(cfg.Peers) > 0 {
 		if cfg.Self == "" {
@@ -319,24 +371,28 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		// Replay before the journal is wired into store(), so replayed
-		// entries are not re-journaled. Oldest first: if the cache is
-		// smaller than the journal, the newest decisions survive.
+		// entries are not re-journaled. Decisions replay oldest first: if
+		// the cache is smaller than the journal, the newest survive.
+		// Session snapshots (ids prefixed "sess") restore last-write-wins
+		// — each re-scale journals a full snapshot under the same id.
+		sessRecs := map[string]persistRecord{}
+		var sessOrder []string
 		for _, rec := range records {
+			if strings.HasPrefix(rec.id, sessionIDPrefix) {
+				if _, ok := sessRecs[rec.id]; !ok {
+					sessOrder = append(sessOrder, rec.id)
+				}
+				sessRecs[rec.id] = rec
+				continue
+			}
 			s.store(rec.id, rec.body, nil)
+		}
+		for _, id := range sessOrder {
+			s.restoreSession(sessRecs[id])
 		}
 		s.journal = j
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/scale", s.handleScale)
-	mux.HandleFunc("POST /v1/decisions/{id}/warm", s.handleWarm)
-	mux.HandleFunc("GET /v1/decisions/{id}", s.handleDecision)
-	mux.HandleFunc("GET /v1/decisions/{id}/trace", s.handleTrace)
-	mux.HandleFunc("GET /v1/decisions/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/systems", s.handleSystems)
-	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /v1/metricsz", s.handleMetricsz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux = mux
+	s.mux = s.buildMux()
 	s.handler = s.mux
 	if !cfg.DisableTelemetry {
 		s.handler = s.telemetry(s.mux)
@@ -399,16 +455,17 @@ func (s *Server) routeFor(id string) string {
 }
 
 // persistSnapshot captures the decision cache for journal compaction,
-// oldest first so replay rebuilds the same LRU order.
+// oldest first so replay rebuilds the same LRU order, followed by one
+// snapshot per open session.
 func (s *Server) persistSnapshot() []persistRecord {
 	s.cmu.Lock()
-	defer s.cmu.Unlock()
 	recs := make([]persistRecord, 0, s.lru.Len())
 	for el := s.lru.Back(); el != nil; el = el.Prev() {
 		e := el.Value.(*entry)
 		recs = append(recs, persistRecord{id: e.id, body: e.body})
 	}
-	return recs
+	s.cmu.Unlock()
+	return append(recs, s.sessionSnapshots()...)
 }
 
 // Workers returns the resolved worker-pool capacity.
@@ -630,7 +687,7 @@ func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set(headerClusterRoute, s.routeFor(job.id))
 		}
 		m.Counter("service_cache", obs.L("result", "hit")).Inc()
-		s.writeDecision(w, job.id, "hit", body)
+		s.writeDecision(w, r, job.id, "hit", body)
 		return
 	}
 
@@ -679,7 +736,7 @@ func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 		// Single-flight coalescing: an identical search is already
 		// running; subscribe to its result instead of taking a slot.
 		m.Counter("service_cache", obs.L("result", "coalesced")).Inc()
-		s.awaitFlight(w, ctx, f)
+		s.awaitFlight(w, r, f)
 		return
 	}
 	m.Counter("service_cache", obs.L("result", "miss")).Inc()
@@ -745,7 +802,7 @@ func (s *Server) handleScale(w http.ResponseWriter, r *http.Request) {
 		// Asynchronous and best-effort; the client never waits on it.
 		go s.warmReplicas(job.id, body)
 	}
-	s.writeDecision(w, job.id, "miss", body)
+	s.writeDecision(w, r, job.id, "miss", body)
 }
 
 // shed rejects a leader request (and with it the whole flight: queued
@@ -760,16 +817,16 @@ func (s *Server) shed(w http.ResponseWriter, m *obs.Registry, f *flight, rt *req
 // awaitFlight blocks a coalesced subscriber until the flight's leader
 // publishes the result (fanned out verbatim) or the subscriber's own
 // client disconnects.
-func (s *Server) awaitFlight(w http.ResponseWriter, ctx context.Context, f *flight) {
+func (s *Server) awaitFlight(w http.ResponseWriter, r *http.Request, f *flight) {
 	select {
 	case <-f.done:
 		if f.err != nil {
 			s.writeError(w, f.err)
 			return
 		}
-		s.writeDecision(w, f.id, "coalesced", f.body)
-	case <-ctx.Done():
-		s.writeError(w, ctxCause(ctx))
+		s.writeDecision(w, r, f.id, "coalesced", f.body)
+	case <-r.Context().Done():
+		s.writeError(w, ctxCause(r.Context()))
 	}
 }
 
@@ -808,11 +865,21 @@ func deadlineMs(r *http.Request) int {
 // or cache state — which keeps it byte-identical to cmd/prescaler
 // -json for the same workload and options.
 func (s *Server) runSearch(ctx context.Context, job *scaleJob, rt *reqTelemetry) ([]byte, error) {
+	_, body, err := s.runScaled(ctx, job, rt, nil)
+	return body, err
+}
+
+// runScaled is runSearch plus the scaled program itself, which the
+// session layer needs to execute batches under the chosen config. A
+// non-nil seed warm-starts the search from a previous generation; the
+// cold path (nil seed) is bit-for-bit the pre-session search.
+func (s *Server) runScaled(ctx context.Context, job *scaleJob, rt *reqTelemetry, seed *scaler.Seed) (*core.ScaledProgram, []byte, error) {
 	fw := job.fw.Clone()
 	sys := fw.System()
 	sys.Faults = job.spec
 	opts := job.opts
 	opts.EvalCache = job.cache
+	opts.Seed = seed
 	var reqObs *obs.Observer
 	if rt != nil {
 		// The per-request journal and virtual tracer share the
@@ -836,7 +903,7 @@ func (s *Server) runSearch(ctx context.Context, job *scaleJob, rt *reqTelemetry)
 		return e
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if s.logger != nil && reqObs != nil && s.logger.Enabled(ctx, slog.LevelDebug) {
 		s.logger.Debug("decision explain", "request_id", rt.id, "explain", reqObs.Explain())
@@ -844,9 +911,9 @@ func (s *Server) runSearch(ctx context.Context, job *scaleJob, rt *reqTelemetry)
 	d := api.NewDecision(sys, job.w, sp.Search, opts.TOQ, opts.InputSet)
 	var buf strings.Builder
 	if err := api.EncodeDecision(&buf, d); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return []byte(buf.String()), nil
+	return sp, []byte(buf.String()), nil
 }
 
 // handleDecision is GET /v1/decisions/{id}.
@@ -858,7 +925,7 @@ func (s *Server) handleDecision(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, &notFoundError{what: "decision", name: id})
 		return
 	}
-	s.writeDecision(w, id, "hit", body)
+	s.writeDecision(w, r, id, "hit", body)
 }
 
 // handleSystems is GET /v1/systems: every preset with its inspector
@@ -964,13 +1031,38 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 
 // writeDecision serves a canonical decision body. The id and cache
 // status travel as headers, never in the body, which must stay a pure
-// function of the search result.
-func (s *Server) writeDecision(w http.ResponseWriter, id, cache string, body []byte) {
+// function of the search result. Behind ?meta=1 the same metadata is
+// additionally promoted into an api.Envelope wrapper for clients that
+// cannot read headers; the headers stay set either way, and the bare
+// body (no meta) remains the byte-stable surface.
+func (s *Server) writeDecision(w http.ResponseWriter, r *http.Request, id, cache string, body []byte) {
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
 	h.Set("X-Decision-Id", id)
 	h.Set("X-Cache", cache)
+	if wantMeta(r) {
+		api.Encode(w, &api.Envelope{
+			Schema: api.Schema,
+			Meta: &api.Meta{
+				DecisionID:   id,
+				Cache:        cache,
+				ClusterRoute: h.Get(headerClusterRoute),
+				CacheOrigin:  h.Get(headerCacheOrigin),
+			},
+			Decision: json.RawMessage(body),
+		})
+		return
+	}
 	w.Write(body)
+}
+
+// wantMeta reports whether the request asked for the ?meta=1 envelope.
+func wantMeta(r *http.Request) bool {
+	if r == nil {
+		return false
+	}
+	v := r.URL.Query().Get("meta")
+	return v == "1" || v == "true"
 }
 
 // ctxCause extracts the most specific cancellation error.

@@ -1,7 +1,7 @@
 package service
 
 import (
-	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/api"
+	"repro/internal/api/client"
 	"repro/internal/obs"
 )
 
@@ -105,22 +106,9 @@ func (s *Server) warmReplicas(id string, body []byte) {
 	}
 }
 
-// warmOne issues one warm push.
+// warmOne issues one warm push through the typed client; the short
+// per-push timeout lives in s.warmClient.
 func (s *Server) warmOne(owner, id string, body []byte) error {
-	req, err := http.NewRequest(http.MethodPost,
-		"http://"+owner+"/v1/decisions/"+id+"/warm", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := s.warmClient.Do(req)
-	if err != nil {
-		return err
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusNoContent {
-		return fmt.Errorf("warm status %d", resp.StatusCode)
-	}
-	return nil
+	cl := &client.Client{Targets: []string{owner}, HTTPClient: s.warmClient}
+	return cl.Warm(context.Background(), id, body)
 }

@@ -105,6 +105,48 @@ func HalfHostile(n int) *prog.Workload {
 	}
 }
 
+// RangeHostile returns a workload whose half-precision viability depends
+// on the input set: it squares its input, and with random inputs (values
+// around 1) every precision passes a 0.9 TOQ, while image-range inputs
+// (values up to ~276) square past the binary16 maximum of 65504, so any
+// configuration touching half fails. Session drift tests use it to force
+// a TOQ-violation re-scale when inputs drift from random to image.
+func RangeHostile(n int) *prog.Workload {
+	sq := kir.NewKernel("square", 1).In("a").Out("c").
+		Body(kir.Put("c", kir.Gid(0), kir.Mul(kir.At("a", kir.Gid(0)), kir.At("a", kir.Gid(0))))).
+		MustBuild()
+	return &prog.Workload{
+		Name:     "rangehostile",
+		Original: precision.Double,
+		Objects: []prog.ObjectSpec{
+			{Name: "a", Len: n, Kind: prog.ObjInput},
+			{Name: "c", Len: n, Kind: prog.ObjOutput},
+		},
+		Kernels:      map[string]*kir.Program{"square": kir.MustCompile(sq)},
+		InputBytes:   n * 8,
+		DefaultRange: [2]float64{0, 2},
+		MakeInputs: func(set prog.InputSet) map[string][]float64 {
+			a := make([]float64, n)
+			scale := rangeScale(set, 1)
+			for i := 0; i < n; i++ {
+				// random: values in [0.8, 1.08); image: [204.8, 276.5) whose
+				// squares reach ~76000 — past half's 65504 for most elements.
+				a[i] = scale * (1.6 + float64(i%8)*0.08)
+			}
+			return map[string][]float64{"a": a}
+		},
+		Script: func(x *prog.Exec) error {
+			if err := x.Write("a"); err != nil {
+				return err
+			}
+			if err := x.Launch("square", [2]int{n, 1}, []string{"a", "c"}); err != nil {
+				return err
+			}
+			return x.Read("c")
+		},
+	}
+}
+
 // ComputeHeavy returns a kernel-dominated workload: each work item loops
 // k times accumulating FMAs over a small input, so kernel time dwarfs the
 // transfers.
